@@ -1,0 +1,773 @@
+(* Experiment harness: regenerates every table/figure of the reproduction
+   (see DESIGN.md section 2 for the experiment index E1..E13). Each
+   experiment prints the paper's claim next to the measured quantities; the
+   Bechamel suite (E10) times the sketch primitives and full passes.
+
+     dune exec bench/main.exe            -- run everything
+     dune exec bench/main.exe e1 e5      -- run selected experiments *)
+
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_core
+
+let line () = Fmt.pr "%s@." (String.make 100 '-')
+
+let header id claim =
+  Fmt.pr "@.%s@." (String.make 100 '=');
+  Fmt.pr "%s  %s@." id claim;
+  Fmt.pr "%s@." (String.make 100 '=')
+
+let master_seed = 20140721 (* PODC'14 *)
+
+(* ------------------------------------------------------------------ *)
+(* E1: Theorem 1 — two-pass 2^k spanner: size, stretch, space          *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  header "E1" "Theorem 1: two-pass 2^k-spanner; size O(k n^(1+1/k) log n), stretch <= 2^k";
+  Fmt.pr "%-6s %-3s %-7s %-8s %-10s %-9s %-7s %-10s %-12s@." "n" "k" "|E|" "|H|" "size-bnd"
+    "stretch" "2^k" "space(w)" "space-bnd(w)";
+  line ();
+  List.iter
+    (fun (n, k) ->
+      let rng = Prng.create (master_seed + n + (1000 * k)) in
+      let g = Gen.connected_gnp (Prng.split rng) ~n ~p:(12.0 /. float_of_int n) in
+      let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:(2 * Graph.num_edges g) g in
+      let r =
+        Two_pass_spanner.run (Prng.split rng) ~n ~params:(Two_pass_spanner.default_params ~k)
+          stream
+      in
+      let s = Stretch.multiplicative ~base:g ~spanner:r.Two_pass_spanner.spanner in
+      Fmt.pr "%-6d %-3d %-7d %-8d %-10.0f %-9.1f %-7d %-10d %-12.0f@." n k (Graph.num_edges g)
+        (Graph.num_edges r.Two_pass_spanner.spanner)
+        (Basic_spanner.size_bound ~n ~k)
+        s.Stretch.max (1 lsl k) r.Two_pass_spanner.space_words
+        (Two_pass_spanner.space_bound ~n ~k);
+      Gc.compact ())
+    [ (64, 2); (128, 2); (256, 2); (64, 3); (128, 3); (256, 3); (384, 3); (128, 4); (256, 4) ];
+  Fmt.pr "shape check: |H| grows ~ n^(1+1/k) at fixed k; measured stretch never exceeds 2^k.@."
+
+(* ------------------------------------------------------------------ *)
+(* E2: streaming vs offline baselines                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  header "E2" "Theorem 1 vs offline baselines (same graphs): size/stretch per algorithm";
+  let n = 192 in
+  Fmt.pr "%-26s %-3s %-8s %-9s %-9s %-8s@." "algorithm" "k" "passes" "|H|" "stretch" "bound";
+  line ();
+  List.iter
+    (fun k ->
+      let rng = Prng.create (master_seed + 17 + k) in
+      let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.08 in
+      let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:2000 g in
+      let row name passes spanner bound =
+        let s = Stretch.multiplicative ~base:g ~spanner in
+        Fmt.pr "%-26s %-3d %-8s %-9d %-9.1f %-8d@." name k passes (Graph.num_edges spanner)
+          s.Stretch.max bound
+      in
+      let tp =
+        Two_pass_spanner.run (Prng.split rng) ~n ~params:(Two_pass_spanner.default_params ~k)
+          stream
+      in
+      row "two-pass (this paper)" "2" tp.Two_pass_spanner.spanner (1 lsl k);
+      let mp =
+        Multipass_spanner.run (Prng.split rng) ~n
+          ~params:(Multipass_spanner.default_params ~k)
+          stream
+      in
+      row "k-pass sketch BS [AGM12b]" (string_of_int mp.Multipass_spanner.passes)
+        mp.Multipass_spanner.spanner
+        (Multipass_spanner.stretch_bound ~k);
+      row "offline basic (Sec 3.1)" "-"
+        (Basic_spanner.run (Prng.split rng) ~k g).Basic_spanner.spanner (1 lsl k);
+      row "Baswana-Sen [BS07]" "-" (Baswana_sen.run (Prng.split rng) ~k g) ((2 * k) - 1);
+      row "greedy [Althofer]" "-" (Greedy_spanner.run ~k g) ((2 * k) - 1);
+      line ();
+      Gc.compact ())
+    [ 2; 3 ];
+  Fmt.pr "expected: offline (2k-1) baselines are smaller/tighter; the streaming cost is the@.";
+  Fmt.pr "2^k stretch and log-factor size overhead -- the paper's stated tradeoff.@."
+
+(* ------------------------------------------------------------------ *)
+(* E3: stretch distribution vs k (figure-style series)                 *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  header "E3" "Lemma 13 shape: distribution of per-edge stretch as k grows (fixed graph)";
+  let n = 256 in
+  let rng = Prng.create (master_seed + 3) in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.05 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:3000 g in
+  Fmt.pr "%-3s %-8s %-8s %-8s %-8s %-8s %-9s@." "k" "|H|" "mean" "p50" "p95" "max" "bound 2^k";
+  line ();
+  List.iter
+    (fun k ->
+      let r =
+        Two_pass_spanner.run (Prng.split rng) ~n ~params:(Two_pass_spanner.default_params ~k)
+          stream
+      in
+      let s = Stretch.multiplicative ~base:g ~spanner:r.Two_pass_spanner.spanner in
+      Fmt.pr "%-3d %-8d %-8.2f %-8.1f %-8.1f %-8.1f %-9d@." k
+        (Graph.num_edges r.Two_pass_spanner.spanner)
+        s.Stretch.mean s.Stretch.p50 s.Stretch.p95 s.Stretch.max (1 lsl k);
+      Gc.compact ())
+    [ 1; 2; 3; 4; 5 ];
+  Fmt.pr "expected: size falls and the stretch distribution shifts right as k grows, always@.";
+  Fmt.pr "below 2^k -- the exponential-diameter clusters of Section 3 in action.@."
+
+(* ------------------------------------------------------------------ *)
+(* E4: Theorem 3 — additive spanner                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  header "E4" "Theorem 3: single-pass n/d-additive spanner in ~O(nd) space";
+  Fmt.pr "%-16s %-6s %-3s %-7s %-8s %-9s %-10s %-10s %-12s@." "graph" "n" "d" "|E|" "|H|"
+    "surplus" "bound" "space(w)" "space-bnd(w)";
+  line ();
+  let cases =
+    [
+      ("gnp-sparse", Gen.connected_gnp (Prng.create 1) ~n:192 ~p:0.06, 4);
+      ("gnp-dense", Gen.connected_gnp (Prng.create 2) ~n:192 ~p:0.35, 4);
+      ("gnp-dense", Gen.connected_gnp (Prng.create 3) ~n:192 ~p:0.35, 8);
+      ("pref-attach", Gen.preferential_attachment (Prng.create 4) ~n:192 ~m:6, 4);
+      ("clique", Gen.complete 128, 2);
+      ("clique", Gen.complete 128, 8);
+      ("clique-chain", Gen.lollipop 96 64, 4);
+    ]
+  in
+  List.iter
+    (fun (name, g, d) ->
+      let n = Graph.n g in
+      let rng = Prng.create (master_seed + n + d) in
+      let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:1000 g in
+      let r =
+        Additive_spanner.run (Prng.split rng) ~n
+          ~params:(Additive_spanner.default_params ~n ~d)
+          stream
+      in
+      let s = Stretch.additive ~base:g ~spanner:r.Additive_spanner.spanner () in
+      Fmt.pr "%-16s %-6d %-3d %-7d %-8d %-9.0f %-10.0f %-10d %-12.0f@." name n d
+        (Graph.num_edges g)
+        (Graph.num_edges r.Additive_spanner.spanner)
+        s.Stretch.max
+        (Additive_spanner.distortion_bound ~n ~d)
+        r.Additive_spanner.space_words
+        (Additive_spanner.space_bound ~n ~d);
+      Gc.compact ())
+    cases;
+  Fmt.pr "expected: surplus well under the O(n/d) bound; space grows linearly with d;@.";
+  Fmt.pr "dense graphs compress hard (everything is high-degree, only stars+forest remain).@.";
+  (* Offline additive baseline for context: ACIM99's +2-spanner. *)
+  Fmt.pr "@.-- offline baseline [ACIM99] (+2 additive, needs the whole graph)@.";
+  Fmt.pr "%-16s %-6s %-7s %-8s %-9s@." "graph" "n" "|E|" "|H|" "surplus";
+  line ();
+  List.iter
+    (fun (name, g) ->
+      let h = Aingworth.run g in
+      let s = Stretch.additive ~base:g ~spanner:h () in
+      Fmt.pr "%-16s %-6d %-7d %-8d %-9.0f@." name (Graph.n g) (Graph.num_edges g)
+        (Graph.num_edges h) s.Stretch.max;
+      Gc.compact ())
+    [
+      ("gnp-dense", Gen.connected_gnp (Prng.create 2) ~n:192 ~p:0.35);
+      ("clique", Gen.complete 128);
+    ];
+  Fmt.pr "expected: +2 surplus at ~n^1.5 size -- stronger distortion, offline-only,@.";
+  Fmt.pr "which is the gap Theorem 3's single-pass algorithm fills.@."
+
+(* ------------------------------------------------------------------ *)
+(* E5: Theorem 4 — the INDEX lower-bound game                          *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  header "E5" "Theorem 4: Omega(nd) lower bound -- success of the INDEX game vs space budget";
+  (* Blocks must be denser than the algorithm's low-degree threshold at the
+     starved end of the sweep, otherwise the neighbourhood sketches decode
+     every block exactly and space never binds. *)
+  let n = 64 and d = 32 in
+  Fmt.pr "instance: %d blocks of G(%d, 1/2); nd = %d@." (3 * n / d) d (n * d);
+  Fmt.pr "%-8s %-14s %-12s %-12s@." "budget" "space(words)" "success" "distortion";
+  line ();
+  List.iter
+    (fun budget ->
+      let o =
+        Ind_game.play
+          (Prng.create (master_seed + budget))
+          ~n ~d ~algo_budget:budget ~trials:20 ()
+      in
+      Fmt.pr "%-8d %-14.0f %-12.2f %-12.1f@." budget o.Ind_game.mean_space_words
+        (Ind_game.success_rate o) o.Ind_game.mean_distortion;
+      Gc.compact ())
+    [ 1; 2; 3; 4; 6 ];
+  Fmt.pr "expected: success rises from coin-flipping toward 1 as the algorithm's space@.";
+  Fmt.pr "crosses Theta(nd) -- the information-theoretic wall of Theorem 4.@."
+
+(* ------------------------------------------------------------------ *)
+(* E6: Corollary 2 — two-pass spectral sparsifier                      *)
+(* ------------------------------------------------------------------ *)
+
+let pencil g h = Ds_linalg.Spectral.pencil_bounds ~base:(Weighted_graph.of_graph g) ~candidate:h
+
+let e6 () =
+  header "E6" "Corollary 2: two-pass spectral sparsifier -- quality vs rounds Z (fixed graph)";
+  let n = 64 in
+  let rng = Prng.create (master_seed + 6) in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.3 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:500 g in
+  Fmt.pr "graph: n=%d |E|=%d; oracle stretch 2^2, shift 2@." n (Graph.num_edges g);
+  Fmt.pr "%-5s %-8s %-12s %-12s %-12s@." "Z" "|H|" "lambda_min" "lambda_max" "space(w)";
+  line ();
+  List.iter
+    (fun z ->
+      let prm = { (Sparsify.default_params ~k:2 ~eps:0.5 ~n) with Sparsify.z_rounds = z } in
+      let r = Sparsify.run (Prng.split rng) ~n ~params:prm stream in
+      let b = pencil g r.Sparsify.sparsifier in
+      Fmt.pr "%-5d %-8d %-12.3f %-12.3f %-12d@." z
+        (Weighted_graph.num_edges r.Sparsify.sparsifier)
+        b.Ds_linalg.Spectral.lambda_min b.Ds_linalg.Spectral.lambda_max r.Sparsify.space_words;
+      Gc.compact ())
+    [ 4; 8; 16; 32 ];
+  Fmt.pr "space bound (Cor 2, eps=0.5): %.0f words-order@." (Sparsify.space_bound ~n ~eps:0.5);
+  Fmt.pr "expected: pencil bounds tighten toward [1-eps, 1+eps] as Z grows like@.";
+  Fmt.pr "the paper's Z = O(alpha^2 log n / eps^3) -- convergence, not free lunch.@."
+
+(* ------------------------------------------------------------------ *)
+(* E7: sparsifier baselines/ablation                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  header "E7" "Theorem 7 baseline + oracle ablation: who pays what for streaming";
+  let n = 64 in
+  let rng = Prng.create (master_seed + 7) in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.3 in
+  let stream = Stream_gen.insert_only (Prng.split rng) g in
+  let wg = Weighted_graph.of_graph g in
+  Fmt.pr "%-34s %-8s %-12s %-12s@." "algorithm" "|H|" "lambda_min" "lambda_max";
+  line ();
+  let base_prm = { (Sparsify.default_params ~k:2 ~eps:0.5 ~n) with Sparsify.z_rounds = 16 } in
+  let r1 = Sparsify.run (Prng.split rng) ~n ~params:base_prm stream in
+  let b1 = pencil g r1.Sparsify.sparsifier in
+  Fmt.pr "%-34s %-8d %-12.3f %-12.3f@." "two-pass, spanner oracle (Cor 2)"
+    (Weighted_graph.num_edges r1.Sparsify.sparsifier)
+    b1.Ds_linalg.Spectral.lambda_min b1.Ds_linalg.Spectral.lambda_max;
+  Gc.compact ();
+  let exact_prm =
+    {
+      base_prm with
+      Sparsify.estimate =
+        { base_prm.Sparsify.estimate with Estimate.mode = Estimate.Exact_resistance };
+    }
+  in
+  let r2 = Sparsify.run (Prng.split rng) ~n ~params:exact_prm stream in
+  let b2 = pencil g r2.Sparsify.sparsifier in
+  Fmt.pr "%-34s %-8d %-12.3f %-12.3f@." "two-pass, exact-R oracle (ablation)"
+    (Weighted_graph.num_edges r2.Sparsify.sparsifier)
+    b2.Ds_linalg.Spectral.lambda_min b2.Ds_linalg.Spectral.lambda_max;
+  Gc.compact ();
+  let h = Ss_sparsifier.run (Prng.split rng) ~eps:0.5 wg in
+  let b3 = Ds_linalg.Spectral.pencil_bounds ~base:wg ~candidate:h in
+  Fmt.pr "%-34s %-8d %-12.3f %-12.3f@." "offline SS08 (Theorem 7)"
+    (Weighted_graph.num_edges h) b3.Ds_linalg.Spectral.lambda_min
+    b3.Ds_linalg.Spectral.lambda_max;
+  let p = Uniform_sparsifier.matching_p ~target_edges:(Weighted_graph.num_edges h) wg in
+  let hu = Uniform_sparsifier.run (Prng.split rng) ~p wg in
+  let b4 = Ds_linalg.Spectral.pencil_bounds ~base:wg ~candidate:hu in
+  Fmt.pr "%-34s %-8d %-12.3f %-12.3f@." "uniform sampling (naive)"
+    (Weighted_graph.num_edges hu) b4.Ds_linalg.Spectral.lambda_min
+    b4.Ds_linalg.Spectral.lambda_max;
+  Fmt.pr "expected: SS08 (sees everything, exact R_e) is tightest; the exact-R ablation@.";
+  Fmt.pr "isolates the oracle's share of the streaming pipeline's looseness. Uniform@.";
+  Fmt.pr "sampling holds on this expander but catastrophically loses sparse cuts@.";
+  Fmt.pr "(see the barbell test in test/test_sparsifier.ml) -- why importance matters.@."
+
+(* ------------------------------------------------------------------ *)
+(* E8: Theorem 10 — AGM spanning forest under deletions                *)
+(* ------------------------------------------------------------------ *)
+
+let e8 () =
+  header "E8" "Theorem 10: AGM spanning forest correctness/space under adversarial deletions";
+  Fmt.pr "%-10s %-16s %-10s %-12s %-12s@." "n" "stream" "del-frac" "success" "space(w)";
+  line ();
+  let forest_correct g forest =
+    let n = Graph.n g in
+    List.for_all (fun (u, v) -> Graph.mem_edge g u v) forest
+    && begin
+      let fg = Graph.create n in
+      List.iter (fun (u, v) -> if not (Graph.mem_edge fg u v) then Graph.add_edge fg u v) forest;
+      Components.count fg = Components.count g
+      && List.length forest = n - Components.count g
+    end
+  in
+  let run_case n mk_stream label =
+    let trials = 10 in
+    let ok = ref 0 and words = ref 0 and delfrac = ref 0.0 in
+    for t = 1 to trials do
+      let rng = Prng.create (master_seed + (1000 * n) + t) in
+      let g, stream = mk_stream rng in
+      let sk =
+        Ds_agm.Agm_sketch.create (Prng.split rng) ~n
+          ~params:(Ds_agm.Agm_sketch.default_params ~n)
+      in
+      Array.iter
+        (fun u ->
+          Ds_agm.Agm_sketch.update sk ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+        stream;
+      if forest_correct g (Ds_agm.Agm_sketch.spanning_forest sk) then incr ok;
+      words := Ds_agm.Agm_sketch.space_in_words sk;
+      let dels =
+        Array.fold_left (fun a u -> if u.Update.sign = Update.Delete then a + 1 else a) 0 stream
+      in
+      delfrac := float_of_int dels /. float_of_int (max 1 (Array.length stream))
+    done;
+    Fmt.pr "%-10d %-16s %-10.2f %-12s %-12d@." n label !delfrac
+      (Printf.sprintf "%d/%d" !ok trials)
+      !words;
+    Gc.compact ()
+  in
+  List.iter
+    (fun n ->
+      run_case n
+        (fun rng ->
+          let g = Gen.gnp (Prng.split rng) ~n ~p:(8.0 /. float_of_int n) in
+          (g, Stream_gen.insert_only (Prng.split rng) g))
+        "insert-only";
+      run_case n
+        (fun rng ->
+          let g = Gen.gnp (Prng.split rng) ~n ~p:(8.0 /. float_of_int n) in
+          (g, Stream_gen.with_churn (Prng.split rng) ~decoys:(4 * Graph.num_edges g) g))
+        "churn-4x")
+    [ 64; 128; 256 ];
+  run_case 96
+    (fun rng ->
+      let target = Gen.cycle 96 in
+      (target, Stream_gen.delete_down_to (Prng.split rng) ~from:(Gen.complete 96) target))
+    "delete-98%";
+  Fmt.pr "expected: correctness independent of deletion fraction (linearity), space ~ n polylog.@."
+
+(* ------------------------------------------------------------------ *)
+(* E9: sketch primitives                                               *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  header "E9" "Theorems 8/9 stand-ins: recovery success, F0 accuracy, L0 uniformity";
+  let open Ds_sketch in
+  Fmt.pr "-- s-sparse recovery: success vs load (budget s = 8, 200 trials/row)@.";
+  Fmt.pr "%-12s %-10s %-12s@." "support/s" "success" "wrong";
+  line ();
+  List.iter
+    (fun frac ->
+      let s = 8 in
+      let support = max 1 (int_of_float (frac *. float_of_int s)) in
+      let ok = ref 0 and wrong = ref 0 in
+      let rng = Prng.create (master_seed + support) in
+      for t = 1 to 200 do
+        let sk =
+          Sparse_recovery.create
+            (Prng.create (master_seed + (1000 * support) + t))
+            ~dim:50000
+            ~params:(Sparse_recovery.default_params ~sparsity:s)
+        in
+        let truth = Hashtbl.create support in
+        while Hashtbl.length truth < support do
+          let i = Prng.int rng 50000 in
+          if not (Hashtbl.mem truth i) then Hashtbl.add truth i (1 + Prng.int rng 9)
+        done;
+        Hashtbl.iter (fun i w -> Sparse_recovery.update sk ~index:i ~delta:w) truth;
+        match Sparse_recovery.decode sk with
+        | Some assoc ->
+            let sorted = List.sort compare assoc in
+            let expected =
+              List.sort compare (Hashtbl.fold (fun i w acc -> (i, w) :: acc) truth [])
+            in
+            if sorted = expected then incr ok else incr wrong
+        | None -> ()
+      done;
+      Fmt.pr "%-12.2f %-10.2f %-12d@." frac (float_of_int !ok /. 200.0) !wrong)
+    [ 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 4.0 ];
+  Fmt.pr "expected: ~1.0 success up to load 1.0, detected (never wrong) failures beyond.@.";
+  Fmt.pr "@.-- F0 estimation (Theorem 9 stand-in): relative error vs true support@.";
+  Fmt.pr "%-10s %-12s %-10s@." "F0" "estimate" "rel-err";
+  line ();
+  List.iter
+    (fun f0 ->
+      let sk =
+        F0.create (Prng.create (master_seed + f0)) ~dim:100000 ~params:F0.default_params
+      in
+      for i = 0 to f0 - 1 do
+        F0.update sk ~index:(i * 7) ~delta:1
+      done;
+      let e = F0.estimate sk in
+      Fmt.pr "%-10d %-12d %-10.2f@." f0 e
+        (abs_float (float_of_int e -. float_of_int f0) /. float_of_int (max 1 f0)))
+    [ 4; 32; 256; 2048; 14000 ];
+  Fmt.pr "expected: exact below the level-0 budget, constant-factor above (gate quality).@.";
+  Fmt.pr "@.-- L0 sampler uniformity: TV distance from uniform over a 16-element support@.";
+  let support = Array.init 16 (fun i -> (i * 61) + 7) in
+  let counts = Array.make 16 0 in
+  let trials = 2000 in
+  let failures = ref 0 in
+  for t = 0 to trials - 1 do
+    let sk =
+      L0_sampler.create
+        (Prng.create (master_seed + t))
+        ~dim:1024 ~params:L0_sampler.default_params
+    in
+    Array.iter (fun i -> L0_sampler.update sk ~index:i ~delta:1) support;
+    match L0_sampler.sample sk with
+    | Some (i, _) -> Array.iteri (fun j v -> if v = i then counts.(j) <- counts.(j) + 1) support
+    | None -> incr failures
+  done;
+  let tv = Stats.total_variation (Array.map float_of_int counts) (Array.make 16 1.0) in
+  Fmt.pr "trials=%d failures=%d TV=%.3f (perfectly uniform = 0)@." trials !failures tv;
+  Fmt.pr "expected: small TV, sub-1%% failures -- the AGM substrate's contract.@."
+
+(* ------------------------------------------------------------------ *)
+(* E11: ablations of the engineering knobs                             *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  header "E11" "Ablations: sketch budget, table capacity, payload reps; weight classes";
+  let n = 128 in
+  let k = 3 in
+  let rng = Prng.create (master_seed + 11) in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.08 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:1500 g in
+  Fmt.pr "%-34s %-8s %-9s %-9s %-12s %-10s@." "variant" "|H|" "stretch" "viol" "decode-fails"
+    "space(w)";
+  line ();
+  let base = Two_pass_spanner.default_params ~k in
+  let try_variant name prm =
+    let r = Two_pass_spanner.run (Prng.split rng) ~n ~params:prm stream in
+    let s = Stretch.multiplicative ~base:g ~spanner:r.Two_pass_spanner.spanner in
+    let d = r.Two_pass_spanner.diagnostics in
+    let fails =
+      d.Two_pass_spanner.pass1_decode_failures + d.Two_pass_spanner.table_decode_failures
+      + d.Two_pass_spanner.payload_decode_failures
+    in
+    Fmt.pr "%-34s %-8d %-9.1f %-9d %-12d %-10d@." name
+      (Graph.num_edges r.Two_pass_spanner.spanner)
+      s.Stretch.max s.Stretch.violations fails r.Two_pass_spanner.space_words;
+    Gc.compact ()
+  in
+  try_variant "default (B=8, cap=3.0, reps=2)" base;
+  try_variant "sketch budget B=4" { base with Two_pass_spanner.sketch_sparsity = 4 };
+  try_variant "sketch budget B=16" { base with Two_pass_spanner.sketch_sparsity = 16 };
+  try_variant "table capacity factor 1.0" { base with Two_pass_spanner.capacity_factor = 1.0 };
+  try_variant "payload reps=1 (cheaper, riskier)"
+    { base with Two_pass_spanner.payload = { Ds_sketch.Packed_l0.default_params with reps = 1 } };
+  try_variant "payload sparsity=1"
+    {
+      base with
+      Two_pass_spanner.payload = { Ds_sketch.Packed_l0.default_params with sparsity = 1 };
+    };
+  Fmt.pr "@.-- Remark 14: weighted graphs via weight classes (gamma sweep)@.";
+  Fmt.pr "%-8s %-9s %-8s %-10s %-12s@." "gamma" "classes" "|H|" "stretch" "bound";
+  line ();
+  let wrng = Prng.create (master_seed + 111) in
+  let g0 = Gen.connected_gnp wrng ~n:96 ~p:0.1 in
+  let wg = Weighted_graph.create 96 in
+  Graph.iter_edges g0 (fun u v ->
+      Weighted_graph.add_edge wg u v (2.0 ** float_of_int (Prng.int wrng 6)));
+  let wstream =
+    Array.of_list
+      (List.map
+         (fun (u, v, w) -> { Update.wu = u; wv = v; weight = w; wsign = Update.Insert })
+         (Weighted_graph.edges wg))
+  in
+  List.iter
+    (fun gamma ->
+      let r =
+        Weighted_spanner.run (Prng.split wrng) ~n:96
+          ~params:(Two_pass_spanner.default_params ~k:2)
+          ~gamma ~w_min:1.0 ~w_max:32.0 wstream
+      in
+      let s = Stretch.multiplicative_weighted ~base:wg ~spanner:r.Weighted_spanner.spanner in
+      Fmt.pr "%-8.2f %-9d %-8d %-10.2f %-12.2f@." gamma r.Weighted_spanner.classes
+        (Weighted_graph.num_edges r.Weighted_spanner.spanner)
+        s.Stretch.max
+        (Weighted_spanner.stretch_bound ~k:2 ~gamma);
+      Gc.compact ())
+    [ 0.25; 0.5; 1.0 ];
+  Fmt.pr "expected: smaller gamma = more classes = more space but tighter weighted stretch.@."
+
+(* ------------------------------------------------------------------ *)
+(* E12: the AGM12a substrate extensions (k-connectivity, bipartiteness, *)
+(* approximate MST) — the toolbox the paper's Section 1-2 builds on     *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  header "E12" "[AGM12a] substrate: k-connectivity, bipartiteness, (1+g)-MST from sketches";
+  let open Ds_agm in
+  Fmt.pr "-- k-edge-connectivity certificates (10 random graphs per row)@.";
+  Fmt.pr "%-6s %-3s %-22s %-12s@." "n" "k" "verdict-agrees-exact" "space(w)";
+  line ();
+  List.iter
+    (fun (n, k) ->
+      let agree = ref 0 and words = ref 0 in
+      for t = 1 to 10 do
+        let rng = Prng.create (master_seed + (100 * n) + k + t) in
+        let g = Gen.gnp (Prng.split rng) ~n ~p:(6.0 /. float_of_int n) in
+        let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:200 g in
+        let kc =
+          K_connectivity.create (Prng.split rng) ~n ~k ~params:(Agm_sketch.default_params ~n)
+        in
+        Array.iter
+          (fun u -> K_connectivity.update kc ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+          stream;
+        let verdict = K_connectivity.is_k_connected kc in
+        let exact = Min_cut.edge_connectivity g >= k in
+        if verdict = exact then incr agree;
+        words := K_connectivity.space_in_words kc
+      done;
+      Fmt.pr "%-6d %-3d %-22s %-12d@." n k (Printf.sprintf "%d/10" !agree) !words;
+      Gc.compact ())
+    [ (48, 2); (48, 3); (96, 2) ];
+  Fmt.pr "@.-- bipartiteness via the double cover (20 random graphs per row)@.";
+  Fmt.pr "%-10s %-22s@." "n" "verdict-agrees-exact";
+  line ();
+  List.iter
+    (fun n ->
+      let agree = ref 0 in
+      for t = 1 to 20 do
+        let rng = Prng.create (master_seed + (7 * n) + t) in
+        (* Half the trials bipartite by construction. *)
+        let g =
+          if t mod 2 = 0 then Gen.random_bipartite (Prng.split rng) ~left:(n / 2) ~right:(n - (n / 2)) ~p:0.15
+          else Gen.gnp (Prng.split rng) ~n ~p:0.15
+        in
+        let exact =
+          (* 2-colourability by BFS *)
+          let color = Array.make n (-1) in
+          let ok = ref true in
+          for s = 0 to n - 1 do
+            if color.(s) = -1 then begin
+              color.(s) <- 0;
+              let q = Queue.create () in
+              Queue.add s q;
+              while not (Queue.is_empty q) do
+                let u = Queue.take q in
+                Graph.iter_neighbors g u (fun v ->
+                    if color.(v) = -1 then begin
+                      color.(v) <- 1 - color.(u);
+                      Queue.add v q
+                    end
+                    else if color.(v) = color.(u) then ok := false)
+              done
+            end
+          done;
+          !ok
+        in
+        let b = Bipartiteness.create (Prng.split rng) ~n ~params:(Agm_sketch.default_params ~n) in
+        let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:100 g in
+        Array.iter
+          (fun u -> Bipartiteness.update b ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+          stream;
+        if (Bipartiteness.test b).Bipartiteness.is_bipartite = exact then incr agree
+      done;
+      Fmt.pr "%-10d %-22s@." n (Printf.sprintf "%d/20" !agree);
+      Gc.compact ())
+    [ 32; 64 ];
+  Fmt.pr "@.-- (1+gamma)-approximate MST (weight ratio vs exact Kruskal, 5 graphs per row)@.";
+  Fmt.pr "%-8s %-6s %-14s %-14s@." "gamma" "n" "mean ratio" "guarantee";
+  line ();
+  List.iter
+    (fun gamma ->
+      let n = 64 in
+      let ratios = ref [] in
+      for t = 1 to 5 do
+        let rng = Prng.create (master_seed + t + int_of_float (100.0 *. gamma)) in
+        let g0 = Gen.connected_gnp (Prng.split rng) ~n ~p:0.1 in
+        let wg = Weighted_graph.create n in
+        Graph.iter_edges g0 (fun u v ->
+            Weighted_graph.add_edge wg u v (1.0 +. Prng.float (Prng.copy rng) 31.0));
+        let t_mst =
+          Mst.create (Prng.split rng) ~n
+            ~params:{ Mst.gamma; w_min = 1.0; w_max = 32.0; sketch = Agm_sketch.default_params ~n }
+        in
+        Weighted_graph.iter_edges wg (fun u v w -> Mst.update t_mst ~u ~v ~weight:w ~delta:1);
+        let forest = Mst.extract t_mst in
+        let true_cost =
+          List.fold_left
+            (fun acc (u, v, _) ->
+              acc +. Option.value ~default:0.0 (Weighted_graph.weight wg u v))
+            0.0 forest
+        in
+        let exact = Mst_offline.forest_weight (Mst_offline.kruskal wg) in
+        ratios := (true_cost /. exact) :: !ratios
+      done;
+      Fmt.pr "%-8.2f %-6d %-14.3f %-14.2f@." gamma n
+        (Stats.mean (Array.of_list !ratios))
+        (1.0 +. gamma);
+      Gc.compact ())
+    [ 0.1; 0.25; 0.5; 1.0 ];
+  Fmt.pr "expected: all verdicts agree with exact offline computation; MST ratio within 1+gamma.@."
+
+(* ------------------------------------------------------------------ *)
+(* E13: the distributed setting — communication vs number of servers    *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  header "E13" "Distributed setting (Sec 1): per-server state & wire bytes vs server count";
+  let n = 192 in
+  let rng = Prng.create (master_seed + 13) in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.06 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:(2 * Graph.num_edges g) g in
+  Fmt.pr "graph: n=%d |E|=%d, stream %d updates (raw stream ~ %d bytes/server if re-shipped)@."
+    n (Graph.num_edges g) (Array.length stream) (Array.length stream * 8);
+  Fmt.pr "%-9s %-12s %-16s %-14s %-10s@." "servers" "upd/server" "state(w)/server" "bytes total"
+    "correct";
+  line ();
+  List.iter
+    (fun servers ->
+      let r =
+        Ds_sim.Cluster_sim.run (Prng.split rng) ~n ~servers
+          ~partition:Ds_sim.Cluster_sim.Round_robin stream
+      in
+      Fmt.pr "%-9d %-12d %-16d %-14d %-10b@." servers
+        (Array.length stream / servers)
+        r.Ds_sim.Cluster_sim.words_per_server r.Ds_sim.Cluster_sim.bytes_total
+        r.Ds_sim.Cluster_sim.forest_correct;
+      Gc.compact ())
+    [ 1; 2; 4; 8; 16 ];
+  Fmt.pr "expected: correctness at every partition; total communication grows ~linearly@.";
+  Fmt.pr "with servers (one fixed-size message each) while per-server load drops -- the@.";
+  Fmt.pr "mergeability dividend of linear sketches.@."
+
+(* ------------------------------------------------------------------ *)
+(* E10: throughput (Bechamel)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  header "E10" "Throughput: ns per operation for each sketch primitive and full passes";
+  let open Bechamel in
+  let open Bechamel.Toolkit in
+  let open Ds_sketch in
+  let n = 256 in
+  let dim = Edge_index.dim n in
+  let rng = Prng.create (master_seed + 10) in
+  let updates =
+    Array.init 4096 (fun _ -> (Prng.int rng dim, if Prng.bool rng then 1 else -1))
+  in
+  let cursor = ref 0 in
+  let next () =
+    let u = updates.(!cursor land 4095) in
+    incr cursor;
+    u
+  in
+  let one_sparse = One_sparse.create (Prng.split rng) ~dim in
+  let sr =
+    Sparse_recovery.create (Prng.split rng) ~dim
+      ~params:(Sparse_recovery.default_params ~sparsity:8)
+  in
+  let l0 = L0_sampler.create (Prng.split rng) ~dim ~params:L0_sampler.default_params in
+  let f0 = F0.create (Prng.split rng) ~dim ~params:F0.default_params in
+  let agm =
+    Ds_agm.Agm_sketch.create (Prng.split rng) ~n ~params:(Ds_agm.Agm_sketch.default_params ~n)
+  in
+  let tests =
+    [
+      Test.make ~name:"one_sparse.update"
+        (Staged.stage (fun () ->
+             let i, d = next () in
+             One_sparse.update one_sparse ~index:i ~delta:d));
+      Test.make ~name:"sparse_recovery.update(s=8)"
+        (Staged.stage (fun () ->
+             let i, d = next () in
+             Sparse_recovery.update sr ~index:i ~delta:d));
+      Test.make ~name:"l0_sampler.update"
+        (Staged.stage (fun () ->
+             let i, d = next () in
+             L0_sampler.update l0 ~index:i ~delta:d));
+      Test.make ~name:"f0.update"
+        (Staged.stage (fun () ->
+             let i, d = next () in
+             F0.update f0 ~index:i ~delta:d));
+      Test.make ~name:"agm.update(n=256)"
+        (Staged.stage (fun () ->
+             let i, _ = next () in
+             let u, v = Edge_index.decode ~n i in
+             Ds_agm.Agm_sketch.update agm ~u ~v ~delta:1));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  Fmt.pr "%-30s %-14s@." "operation" "ns/op";
+  line ();
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Fmt.pr "%-30s %-14.1f@." name t
+          | Some _ | None -> Fmt.pr "%-30s (no estimate)@." name)
+        results)
+    tests;
+  (* Full-pass wall-clock rates (dominated by structure building, so timed
+     end-to-end rather than with bechamel). *)
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.05 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:2000 g in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let t_spanner =
+    time (fun () ->
+        ignore
+          (Two_pass_spanner.run (Prng.split rng) ~n
+             ~params:(Two_pass_spanner.default_params ~k:3)
+             stream))
+  in
+  let t_additive =
+    time (fun () ->
+        ignore
+          (Additive_spanner.run (Prng.split rng) ~n
+             ~params:(Additive_spanner.default_params ~n ~d:4)
+             stream))
+  in
+  Fmt.pr "%-30s %-14.0f (end-to-end, n=%d, %d updates x 2 passes)@." "two_pass_spanner/update"
+    (1e9 *. t_spanner /. float_of_int (2 * Array.length stream))
+    n (Array.length stream);
+  Fmt.pr "%-30s %-14.0f (end-to-end, single pass)@." "additive_spanner/update"
+    (1e9 *. t_additive /. float_of_int (Array.length stream))
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("e10", e10);
+    ("e11", e11);
+    ("e12", e12);
+    ("e13", e13);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
+    | _ -> List.map fst experiments
+  in
+  Fmt.pr "Spanners and Sparsifiers in Dynamic Streams (Kapralov-Woodruff, PODC 2014)@.";
+  Fmt.pr "experiment harness -- see DESIGN.md section 2 for the index@.";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+          f ();
+          Gc.compact ()
+      | None -> Fmt.epr "unknown experiment %S (known: e1..e13)@." name)
+    requested

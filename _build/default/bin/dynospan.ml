@@ -1,0 +1,310 @@
+(* dynospan: command-line driver for the dynamic-stream spanner/sparsifier
+   library. Generates a seeded workload graph, turns it into a dynamic
+   stream (with optional churn), runs the chosen algorithm, and prints a
+   verification report against the offline ground truth. *)
+
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_core
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Workload construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_graph rng ~family ~n ~p =
+  match family with
+  | "gnp" -> Gen.connected_gnp rng ~n ~p
+  | "path" -> Gen.path n
+  | "cycle" -> Gen.cycle n
+  | "grid" ->
+      let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+      Gen.grid side side
+  | "clique" -> Gen.complete n
+  | "barbell" -> Gen.barbell (max 2 (n / 2))
+  | "pa" -> Gen.preferential_attachment rng ~n ~m:(max 1 (int_of_float (p *. float_of_int n)))
+  | other -> invalid_arg (Printf.sprintf "unknown graph family %S" other)
+
+let make_stream rng ~decoys g =
+  if decoys = 0 then Stream_gen.insert_only rng g
+  else Stream_gen.with_churn rng ~decoys g
+
+(* Shared command-line arguments. *)
+let n_arg =
+  Arg.(value & opt int 128 & info [ "n" ] ~docv:"N" ~doc:"Number of vertices.")
+
+let family_arg =
+  Arg.(
+    value
+    & opt string "gnp"
+    & info [ "graph" ] ~docv:"FAMILY"
+        ~doc:"Graph family: gnp, path, cycle, grid, clique, barbell, pa.")
+
+let p_arg =
+  Arg.(value & opt float 0.05 & info [ "p" ] ~docv:"P" ~doc:"Edge density (gnp) or m/n (pa).")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Master PRNG seed.")
+
+let decoys_arg =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "decoys" ] ~docv:"D"
+        ~doc:"Decoy edges inserted and later deleted (stream churn). 0 = insert-only.")
+
+let setup ~family ~n ~p ~seed ~decoys =
+  let rng = Prng.create seed in
+  let g = make_graph (Prng.split rng) ~family ~n ~p in
+  let stream = make_stream (Prng.split rng) ~decoys g in
+  let stats = Stream_stats.create (Prng.split rng) ~n:(Graph.n g) in
+  Array.iter (Stream_stats.update stats) stream;
+  Fmt.pr "stream: %a@." Stream_stats.pp_summary (Stream_stats.summary stats);
+  (rng, g, stream)
+
+let report_spanner ~name ~g ~spanner ~space_words ~bound =
+  let s = Stretch.multiplicative ~base:g ~spanner in
+  Fmt.pr "== %s ==@." name;
+  Fmt.pr "graph: n=%d edges=%d@." (Graph.n g) (Graph.num_edges g);
+  Fmt.pr "spanner: edges=%d (%.1f%% of input)@." (Graph.num_edges spanner)
+    (100.0 *. float_of_int (Graph.num_edges spanner) /. float_of_int (max 1 (Graph.num_edges g)));
+  Fmt.pr "stretch: max=%.2f mean=%.2f p95=%.2f (bound %.0f, violations %d)@." s.Stretch.max
+    s.Stretch.mean s.Stretch.p95 bound s.Stretch.violations;
+  Fmt.pr "space: %a (%d words)@." Ds_util.Space.pp_words space_words space_words;
+  Fmt.pr "subgraph-of-input: %b@." (Graph.is_subgraph ~sub:spanner ~super:g)
+
+(* ------------------------------------------------------------------ *)
+(* Sub-commands                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let spanner_cmd =
+  let run family n p seed decoys k =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let r =
+      Two_pass_spanner.run (Prng.split rng) ~n:(Graph.n g)
+        ~params:(Two_pass_spanner.default_params ~k)
+        stream
+    in
+    report_spanner
+      ~name:(Printf.sprintf "two-pass 2^%d-spanner (Theorem 1)" k)
+      ~g ~spanner:r.Two_pass_spanner.spanner ~space_words:r.Two_pass_spanner.space_words
+      ~bound:(float_of_int (1 lsl k));
+    let d = r.Two_pass_spanner.diagnostics in
+    Fmt.pr "diagnostics: terminals/level=%a p1-fails=%d table-fails=%d payload-fails=%d@."
+      Fmt.(Dump.array int)
+      d.Two_pass_spanner.terminals_per_level d.Two_pass_spanner.pass1_decode_failures
+      d.Two_pass_spanner.table_decode_failures d.Two_pass_spanner.payload_decode_failures
+  in
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch exponent (2^k).") in
+  Cmd.v
+    (Cmd.info "spanner" ~doc:"Two-pass 2^k multiplicative spanner (Theorem 1).")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg)
+
+let additive_cmd =
+  let run family n p seed decoys d =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let r =
+      Additive_spanner.run (Prng.split rng) ~n:(Graph.n g)
+        ~params:(Additive_spanner.default_params ~n:(Graph.n g) ~d)
+        stream
+    in
+    let s = Stretch.additive ~base:g ~spanner:r.Additive_spanner.spanner () in
+    Fmt.pr "== single-pass n/d-additive spanner (Theorem 3), d=%d ==@." d;
+    Fmt.pr "graph: n=%d edges=%d@." (Graph.n g) (Graph.num_edges g);
+    Fmt.pr "spanner: edges=%d@." (Graph.num_edges r.Additive_spanner.spanner);
+    Fmt.pr "additive surplus: max=%.0f mean=%.2f (bound %.0f, violations %d)@." s.Stretch.max
+      s.Stretch.mean
+      (Additive_spanner.distortion_bound ~n:(Graph.n g) ~d)
+      s.Stretch.violations;
+    Fmt.pr "space: %a@." Ds_util.Space.pp_words r.Additive_spanner.space_words;
+    let dg = r.Additive_spanner.diagnostics in
+    Fmt.pr "diagnostics: centers=%d low=%d high=%d misclassified=%d orphan=%d@."
+      dg.Additive_spanner.centers dg.Additive_spanner.low_degree dg.Additive_spanner.high_degree
+      dg.Additive_spanner.degree_misclassified dg.Additive_spanner.orphan_high
+  in
+  let d_arg = Arg.(value & opt int 4 & info [ "d" ] ~docv:"D" ~doc:"Space/distortion knob.") in
+  Cmd.v
+    (Cmd.info "additive" ~doc:"Single-pass n/d-additive spanner (Theorem 3).")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ d_arg)
+
+let sparsify_cmd =
+  let run family n p seed decoys k eps rounds =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let n = Graph.n g in
+    let prm = Sparsify.default_params ~k ~eps ~n in
+    let prm = if rounds = 0 then prm else { prm with Sparsify.z_rounds = rounds } in
+    let r = Sparsify.run (Prng.split rng) ~n ~params:prm stream in
+    let wg = Weighted_graph.of_graph g in
+    let b = Ds_linalg.Spectral.pencil_bounds ~base:wg ~candidate:r.Sparsify.sparsifier in
+    Fmt.pr "== two-pass spectral sparsifier (Corollary 2), eps=%.2f Z=%d ==@." eps
+      r.Sparsify.rounds;
+    Fmt.pr "graph: n=%d edges=%d@." n (Graph.num_edges g);
+    Fmt.pr "sparsifier: edges=%d@." (Weighted_graph.num_edges r.Sparsify.sparsifier);
+    Fmt.pr "pencil eigenvalue bounds: [%.3f, %.3f] (target [%.2f, %.2f])@."
+      b.Ds_linalg.Spectral.lambda_min b.Ds_linalg.Spectral.lambda_max (1.0 -. eps) (1.0 +. eps);
+    Fmt.pr "kernel leak: %.2g@." b.Ds_linalg.Spectral.kernel_leak;
+    Fmt.pr "space: %a@." Ds_util.Space.pp_words r.Sparsify.space_words
+  in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Oracle stretch exponent.") in
+  let eps_arg = Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc:"Target accuracy.") in
+  let rounds_arg =
+    Arg.(value & opt int 0 & info [ "rounds" ] ~docv:"Z" ~doc:"SAMPLE rounds (0 = default).")
+  in
+  Cmd.v
+    (Cmd.info "sparsify" ~doc:"Two-pass spectral sparsifier (Corollary 2).")
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg $ eps_arg
+      $ rounds_arg)
+
+let forest_cmd =
+  let run family n p seed decoys =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let n = Graph.n g in
+    let t =
+      Ds_agm.Agm_sketch.create (Prng.split rng) ~n ~params:(Ds_agm.Agm_sketch.default_params ~n)
+    in
+    Array.iter
+      (fun u -> Ds_agm.Agm_sketch.update t ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+      stream;
+    let forest = Ds_agm.Agm_sketch.spanning_forest t in
+    Fmt.pr "== AGM spanning forest (Theorem 10) ==@.";
+    Fmt.pr "graph: n=%d edges=%d components=%d@." n (Graph.num_edges g) (Components.count g);
+    Fmt.pr "forest: %d edges (expected %d)@." (List.length forest) (n - Components.count g);
+    Fmt.pr "space: %a@." Ds_util.Space.pp_words (Ds_agm.Agm_sketch.space_in_words t);
+    let all_real = List.for_all (fun (u, v) -> Graph.mem_edge g u v) forest in
+    Fmt.pr "all forest edges real: %b@." all_real
+  in
+  Cmd.v
+    (Cmd.info "forest" ~doc:"AGM spanning forest from linear sketches.")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg)
+
+let kconn_cmd =
+  let run family n p seed decoys k =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let n = Graph.n g in
+    let t =
+      Ds_agm.K_connectivity.create (Prng.split rng) ~n ~k
+        ~params:(Ds_agm.Agm_sketch.default_params ~n)
+    in
+    Array.iter
+      (fun u ->
+        Ds_agm.K_connectivity.update t ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+      stream;
+    let cert = Ds_agm.K_connectivity.certificate t in
+    Fmt.pr "== k-edge-connectivity certificate ([AGM12a]), k=%d ==@." k;
+    Fmt.pr "graph: n=%d edges=%d exact-connectivity=%d@." n (Graph.num_edges g)
+      (Min_cut.edge_connectivity g);
+    Fmt.pr "certificate: %d edges, connectivity %d@." (Graph.num_edges cert)
+      (Min_cut.edge_connectivity cert);
+    Fmt.pr "k-connected (sketch verdict): %b@." (Min_cut.edge_connectivity cert >= k);
+    Fmt.pr "space: %a@." Ds_util.Space.pp_words (Ds_agm.K_connectivity.space_in_words t)
+  in
+  let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Connectivity to certify.") in
+  Cmd.v
+    (Cmd.info "kconn" ~doc:"k-edge-connectivity certificate from sketches.")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg)
+
+let mst_cmd =
+  let run family n p seed gamma =
+    let rng = Prng.create seed in
+    let g = make_graph (Prng.split rng) ~family ~n ~p in
+    let n = Graph.n g in
+    let wrng = Prng.split rng in
+    let wg = Weighted_graph.create n in
+    Graph.iter_edges g (fun u v -> Weighted_graph.add_edge wg u v (1.0 +. Prng.float wrng 31.0));
+    let t =
+      Ds_agm.Mst.create (Prng.split rng) ~n
+        ~params:
+          {
+            Ds_agm.Mst.gamma;
+            w_min = 1.0;
+            w_max = 32.0;
+            sketch = Ds_agm.Agm_sketch.default_params ~n;
+          }
+    in
+    Weighted_graph.iter_edges wg (fun u v w -> Ds_agm.Mst.update t ~u ~v ~weight:w ~delta:1);
+    let forest = Ds_agm.Mst.extract t in
+    let exact = Mst_offline.kruskal wg in
+    Fmt.pr "== (1+gamma)-approximate MST from sketches ([AGM12a]), gamma=%.2f ==@." gamma;
+    Fmt.pr "graph: n=%d edges=%d@." n (Weighted_graph.num_edges wg);
+    Fmt.pr "sketch forest: %d edges, rounded weight %.1f@." (List.length forest)
+      (Ds_agm.Mst.forest_weight forest);
+    Fmt.pr "exact MST: %d edges, weight %.1f@." (List.length exact)
+      (Mst_offline.forest_weight exact);
+    Fmt.pr "space: %a@." Ds_util.Space.pp_words (Ds_agm.Mst.space_in_words t)
+  in
+  let gamma_arg =
+    Arg.(value & opt float 0.25 & info [ "gamma" ] ~docv:"G" ~doc:"Weight-class rounding.")
+  in
+  Cmd.v
+    (Cmd.info "mst" ~doc:"Approximate minimum spanning forest from sketches.")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ gamma_arg)
+
+let bipartite_cmd =
+  let run family n p seed decoys =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let n = Graph.n g in
+    let t =
+      Ds_agm.Bipartiteness.create (Prng.split rng) ~n ~params:(Ds_agm.Agm_sketch.default_params ~n)
+    in
+    Array.iter
+      (fun u ->
+        Ds_agm.Bipartiteness.update t ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+      stream;
+    let v = Ds_agm.Bipartiteness.test t in
+    Fmt.pr "== bipartiteness via double cover ([AGM12a]) ==@.";
+    Fmt.pr "graph: n=%d edges=%d@." n (Graph.num_edges g);
+    Fmt.pr "components=%d bipartite-components=%d is-bipartite=%b@." v.Ds_agm.Bipartiteness.components
+      v.Ds_agm.Bipartiteness.bipartite_components v.Ds_agm.Bipartiteness.is_bipartite;
+    Fmt.pr "space: %a@." Ds_util.Space.pp_words (Ds_agm.Bipartiteness.space_in_words t)
+  in
+  Cmd.v
+    (Cmd.info "bipartite" ~doc:"Bipartiteness test from sketches.")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg)
+
+let offline_cmd =
+  let run family n p seed algo k =
+    let rng = Prng.create seed in
+    let g = make_graph (Prng.split rng) ~family ~n ~p in
+    let spanner, name, bound =
+      match algo with
+      | "basic" ->
+          ( (Basic_spanner.run (Prng.split rng) ~k g).Basic_spanner.spanner,
+            Printf.sprintf "offline basic 2^%d-spanner (Section 3.1)" k,
+            float_of_int (1 lsl k) )
+      | "bs" ->
+          ( Baswana_sen.run (Prng.split rng) ~k g,
+            Printf.sprintf "Baswana-Sen (2k-1)-spanner, k=%d" k,
+            float_of_int ((2 * k) - 1) )
+      | "greedy" ->
+          ( Greedy_spanner.run ~k g,
+            Printf.sprintf "greedy (2k-1)-spanner, k=%d" k,
+            float_of_int ((2 * k) - 1) )
+      | other -> invalid_arg (Printf.sprintf "unknown offline algorithm %S" other)
+    in
+    report_spanner ~name ~g ~spanner ~space_words:0 ~bound
+  in
+  let algo_arg =
+    Arg.(value & opt string "basic" & info [ "algo" ] ~docv:"A" ~doc:"basic, bs, or greedy.")
+  in
+  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch parameter.") in
+  Cmd.v
+    (Cmd.info "offline" ~doc:"Offline reference spanners (baselines).")
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ algo_arg $ k_arg)
+
+let () =
+  let doc = "spanners and sparsifiers in dynamic streams (Kapralov-Woodruff, PODC 2014)" in
+  let info = Cmd.info "dynospan" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            spanner_cmd;
+            additive_cmd;
+            sparsify_cmd;
+            forest_cmd;
+            kconn_cmd;
+            mst_cmd;
+            bipartite_cmd;
+            offline_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/distributed_sketch.ml: Agm_sketch Array Components Ds_agm Ds_graph Ds_stream Ds_util Fmt Gen Graph List Prng Space Stream_gen String Update

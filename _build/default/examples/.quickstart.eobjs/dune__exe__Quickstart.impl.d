@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ds_core Ds_graph Ds_stream Ds_util Fmt Gen Graph Prng Space Stream_gen Stretch Two_pass_spanner

@@ -1,0 +1,1 @@
+examples/replay_trace.ml: Array Bfs Distance_oracle Ds_core Ds_graph Ds_stream Ds_util Filename Fmt Gen Prng Space Stream_gen Sys Trace

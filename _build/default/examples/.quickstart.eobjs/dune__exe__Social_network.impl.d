@@ -1,0 +1,1 @@
+examples/social_network.ml: Array Bfs Ds_core Ds_graph Ds_stream Ds_util Fmt Gen Graph Prng Space Stream_gen Two_pass_spanner Update

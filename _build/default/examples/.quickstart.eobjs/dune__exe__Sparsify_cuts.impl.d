@@ -1,0 +1,1 @@
+examples/sparsify_cuts.ml: Ds_core Ds_graph Ds_linalg Ds_stream Ds_util Fmt Gen Graph Laplacian List Printf Prng Space Sparsify Spectral Stream_gen Weighted_graph

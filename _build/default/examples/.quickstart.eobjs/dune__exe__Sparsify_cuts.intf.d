@@ -1,0 +1,1 @@
+examples/sparsify_cuts.mli:

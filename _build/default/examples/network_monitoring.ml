@@ -1,0 +1,99 @@
+(* Monitoring a dynamic network from sketches only: the [AGM12a] toolkit the
+   paper builds on, all answered from one pass of linear sketches while
+   links come and go.
+
+   - is the network still 2-edge-connected (no single point of failure)?
+   - what does a cheapest backbone (approximate MST) cost?
+   - did the topology stay bipartite (e.g. host/switch layers)?
+
+       dune exec examples/network_monitoring.exe *)
+
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_agm
+
+let () =
+  let n = 120 in
+  let rng = Prng.create 31 in
+
+  (* The network: a ring backbone (2-edge-connected) plus random shortcuts,
+     with link weights = latencies. *)
+  let ring = Gen.cycle n in
+  let shortcuts =
+    Graph.subgraph
+      (Gen.gnm (Prng.split rng) ~n ~m:80)
+      ~keep:(fun u v -> not (Graph.mem_edge ring u v))
+  in
+  let net = Graph.union ring shortcuts in
+  let latency = Hashtbl.create 256 in
+  Graph.iter_edges net (fun u v ->
+      Hashtbl.replace latency (u, v) (1.0 +. Prng.float (Prng.copy rng) 30.0));
+  Fmt.pr "network: %d nodes, %d links@." n (Graph.num_edges net);
+
+  (* One pass: three sketch families fed by the same update stream. *)
+  let kconn =
+    K_connectivity.create (Prng.split rng) ~n ~k:2 ~params:(Agm_sketch.default_params ~n)
+  in
+  let mst =
+    Mst.create (Prng.split rng) ~n
+      ~params:
+        { Mst.gamma = 0.25; w_min = 1.0; w_max = 32.0; sketch = Agm_sketch.default_params ~n }
+  in
+  let bip = Bipartiteness.create (Prng.split rng) ~n ~params:(Agm_sketch.default_params ~n) in
+  let feed u v delta =
+    let w = Hashtbl.find latency (min u v, max u v) in
+    K_connectivity.update kconn ~u ~v ~delta;
+    Mst.update mst ~u ~v ~weight:w ~delta;
+    Bipartiteness.update bip ~u ~v ~delta
+  in
+  (* Stream with churn: links flap (insert + delete) before settling. *)
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:0 net in
+  Array.iter (fun u -> feed u.Update.u u.Update.v (Update.delta u)) stream;
+  (* Flap 40 existing links: delete and re-insert. *)
+  let links = Array.of_list (Graph.edges net) in
+  Prng.shuffle (Prng.copy rng) links;
+  for i = 0 to 39 do
+    let u, v = links.(i) in
+    feed u v (-1);
+    feed u v 1
+  done;
+
+  (* Decode the monitors. *)
+  Fmt.pr "@.-- resilience --@.";
+  let resilient = K_connectivity.is_k_connected kconn in
+  Fmt.pr "2-edge-connected (sketch): %b@." resilient;
+  Fmt.pr "2-edge-connected (exact):  %b@." (Min_cut.edge_connectivity net >= 2);
+  assert (resilient = (Min_cut.edge_connectivity net >= 2));
+
+  Fmt.pr "@.-- backbone cost --@.";
+  let forest = Mst.extract mst in
+  let wnet = Weighted_graph.create n in
+  Graph.iter_edges net (fun u v -> Weighted_graph.add_edge wnet u v (Hashtbl.find latency (u, v)));
+  let exact = Mst_offline.kruskal wnet in
+  (* The sketch reports class-rounded weights; price its chosen links at
+     their true latencies for an apples-to-apples comparison. *)
+  let true_cost =
+    List.fold_left
+      (fun acc (u, v, _) -> acc +. Hashtbl.find latency (min u v, max u v))
+      0.0 forest
+  in
+  let exact_cost = Mst_offline.forest_weight exact in
+  Fmt.pr "approx MST: %d links, true cost %.1f@." (List.length forest) true_cost;
+  Fmt.pr "exact  MST: %d links, cost %.1f (ratio %.3f, guarantee <= 1.25)@."
+    (List.length exact) exact_cost (true_cost /. exact_cost);
+  assert (List.length forest = List.length exact);
+  assert (true_cost >= exact_cost -. 1e-6);
+  assert (true_cost <= 1.25 *. exact_cost +. 1e-6);
+
+  Fmt.pr "@.-- layering --@.";
+  let v = Bipartiteness.test bip in
+  Fmt.pr "components=%d bipartite=%b (ring of even length + odd shortcuts)@."
+    v.Bipartiteness.components v.Bipartiteness.is_bipartite;
+
+  let space =
+    K_connectivity.space_in_words kconn + Mst.space_in_words mst + Bipartiteness.space_in_words bip
+  in
+  Fmt.pr "@.total monitor state: %a (network itself: %d links)@." Space.pp_words space
+    (Graph.num_edges net);
+  Fmt.pr "OK: resilience, backbone and layering monitored from linear sketches.@."

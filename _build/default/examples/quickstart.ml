@@ -1,0 +1,46 @@
+(* Quickstart: sketch a dynamic edge stream (insertions AND deletions) in
+   two passes and extract a multiplicative spanner from the sketches alone.
+
+       dune exec examples/quickstart.exe
+
+   The three steps below are the whole public API surface needed:
+   1. build a stream of signed edge updates,
+   2. run [Two_pass_spanner.run] over it (it reads the stream twice),
+   3. verify the result against the offline graph. *)
+
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_core
+
+let () =
+  let n = 200 in
+  let rng = Prng.create 2014 in
+
+  (* A connected random graph, streamed with churn: 1500 decoy edges are
+     inserted and later deleted, so any algorithm that "just samples what it
+     sees" would keep edges that no longer exist. *)
+  let graph = Gen.connected_gnp (Prng.split rng) ~n ~p:0.04 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:1500 graph in
+  Fmt.pr "stream: %d updates ending at a graph with %d edges@." (Array.length stream)
+    (Graph.num_edges graph);
+
+  (* Two passes, ~O(n^{1+1/k}) space, stretch <= 2^k (Theorem 1). *)
+  let k = 3 in
+  let result =
+    Two_pass_spanner.run (Prng.split rng) ~n ~params:(Two_pass_spanner.default_params ~k) stream
+  in
+  let spanner = result.Two_pass_spanner.spanner in
+  Fmt.pr "spanner: %d edges, sketch state %a@." (Graph.num_edges spanner) Space.pp_words
+    result.Two_pass_spanner.space_words;
+
+  (* Verify: the spanner is a subgraph and every distance is stretched by at
+     most 2^k. (The verification uses the offline graph; the algorithm never
+     saw it.) *)
+  let s = Stretch.multiplicative ~base:graph ~spanner in
+  Fmt.pr "stretch: max=%.1f (bound %d), mean=%.2f, violations=%d@." s.Stretch.max (1 lsl k)
+    s.Stretch.mean s.Stretch.violations;
+  assert (Graph.is_subgraph ~sub:spanner ~super:graph);
+  assert (s.Stretch.violations = 0);
+  assert (s.Stretch.max <= float_of_int (1 lsl k));
+  Fmt.pr "OK: a 2^%d-spanner from linear sketches in two passes.@." k

@@ -1,0 +1,54 @@
+(* A dynamic "social network" with churn: a preferential-attachment graph
+   (heavy-tailed degrees, like real friendship graphs) in which a fraction
+   of friendships are later unfriended. The paper's motivating query is
+   approximate distance between users without storing the graph; this
+   example serves those queries from the streamed spanner and compares
+   against exact distances.
+
+       dune exec examples/social_network.exe *)
+
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_core
+
+let () =
+  let n = 300 in
+  let rng = Prng.create 7 in
+
+  (* Final friendship graph. *)
+  let graph = Gen.preferential_attachment (Prng.split rng) ~n ~m:3 in
+  Fmt.pr "social graph: %d users, %d friendships@." n (Graph.num_edges graph);
+
+  (* The stream adds ~40%% extra friendships that are later removed
+     (unfriending), interleaved with the real ones. *)
+  let decoys = 2 * Graph.num_edges graph / 5 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys graph in
+  Fmt.pr "stream: %d updates (%d of them deletions)@." (Array.length stream)
+    (Array.fold_left (fun acc u -> if u.Update.sign = Update.Delete then acc + 1 else acc) 0 stream);
+
+  (* Build the distance oracle: a 2^k-spanner sketched in two passes. *)
+  let k = 3 in
+  let r =
+    Two_pass_spanner.run (Prng.split rng) ~n ~params:(Two_pass_spanner.default_params ~k) stream
+  in
+  let spanner = r.Two_pass_spanner.spanner in
+  Fmt.pr "distance oracle: %d edges kept of %d (state %a)@." (Graph.num_edges spanner)
+    (Graph.num_edges graph) Space.pp_words r.Two_pass_spanner.space_words;
+
+  (* Serve 12 random "how far apart are these users?" queries. *)
+  Fmt.pr "@.%-8s %-8s %-6s %-9s %-7s@." "user a" "user b" "exact" "estimate" "ratio";
+  let qrng = Prng.split rng in
+  let worst = ref 1.0 in
+  for _ = 1 to 12 do
+    let a = Prng.int qrng n and b = Prng.int qrng n in
+    if a <> b then begin
+      let exact = Bfs.distance graph a b in
+      let est = Bfs.distance spanner a b in
+      let ratio = float_of_int est /. float_of_int (max 1 exact) in
+      if ratio > !worst then worst := ratio;
+      Fmt.pr "%-8d %-8d %-6d %-9d %.2f@." a b exact est ratio
+    end
+  done;
+  Fmt.pr "@.worst observed ratio %.2f (guarantee: <= %d)@." !worst (1 lsl k);
+  assert (!worst <= float_of_int (1 lsl k))

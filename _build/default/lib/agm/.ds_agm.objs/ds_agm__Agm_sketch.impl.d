@@ -1,0 +1,1 @@
+lib/agm/agm_sketch.ml: Array Ds_graph Ds_sketch Ds_util Edge_index F0 Graph Hashtbl L0_sampler List Printf Prng Union_find

@@ -1,0 +1,1 @@
+lib/agm/agm_sketch.mli: Ds_graph Ds_sketch Ds_util

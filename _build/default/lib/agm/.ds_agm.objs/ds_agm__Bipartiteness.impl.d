@@ -1,0 +1,1 @@
+lib/agm/bipartiteness.ml: Agm_sketch Ds_graph Ds_util List Union_find

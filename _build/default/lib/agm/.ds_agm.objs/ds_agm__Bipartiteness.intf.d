@@ -1,0 +1,1 @@
+lib/agm/bipartiteness.mli: Agm_sketch Ds_util

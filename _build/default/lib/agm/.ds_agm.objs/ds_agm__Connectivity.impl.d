@@ -1,0 +1,1 @@
+lib/agm/connectivity.ml: Agm_sketch Array Ds_graph List Union_find

@@ -1,0 +1,1 @@
+lib/agm/connectivity.mli: Agm_sketch Ds_util

@@ -1,0 +1,1 @@
+lib/agm/k_connectivity.ml: Agm_sketch Array Ds_graph Ds_util Graph List Min_cut Printf

@@ -1,0 +1,1 @@
+lib/agm/k_connectivity.mli: Agm_sketch Ds_graph Ds_util

@@ -1,0 +1,1 @@
+lib/agm/mst.ml: Agm_sketch Array Ds_graph Ds_stream Ds_util List Printf Union_find Weight_class

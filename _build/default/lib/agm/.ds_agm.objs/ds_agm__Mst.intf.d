@@ -1,0 +1,1 @@
+lib/agm/mst.mli: Agm_sketch Ds_util

@@ -1,0 +1,128 @@
+open Ds_util
+open Ds_sketch
+open Ds_graph
+
+type params = { copies : int; sampler : L0_sampler.params }
+
+type t = {
+  n : int;
+  prm : params;
+  (* samplers.(c).(u): copy c of vertex u's incidence sampler. *)
+  samplers : L0_sampler.t array array;
+}
+
+let default_params ~n =
+  { copies = F0.levels_for n + 3; sampler = L0_sampler.default_params }
+
+let create rng ~n ~params:prm =
+  if n < 2 then invalid_arg "Agm_sketch.create: need at least two vertices";
+  let dim = Edge_index.dim n in
+  let samplers =
+    Array.init prm.copies (fun c ->
+        (* Within one copy all vertices share hash functions so that their
+           sketches are compatible (mergeable); copies are independent. *)
+        let copy_rng = Prng.split_named rng (Printf.sprintf "copy%d" c) in
+        Array.init n (fun _ ->
+            L0_sampler.create (Prng.copy copy_rng) ~dim ~params:prm.sampler))
+  in
+  { n; prm; samplers }
+
+let n t = t.n
+
+let signed_delta ~u ~v delta = if u < v then delta else -delta
+
+let update t ~u ~v ~delta =
+  if u = v then invalid_arg "Agm_sketch.update: self-loop";
+  let idx = Edge_index.encode ~n:t.n u v in
+  for c = 0 to t.prm.copies - 1 do
+    L0_sampler.update t.samplers.(c).(u) ~index:idx ~delta:(signed_delta ~u ~v delta);
+    L0_sampler.update t.samplers.(c).(v) ~index:idx ~delta:(signed_delta ~u:v ~v:u delta)
+  done
+
+let subtract_graph t g =
+  if Graph.n g <> t.n then invalid_arg "Agm_sketch.subtract_graph: size mismatch";
+  Graph.iter_edges g (fun u v -> update t ~u ~v ~delta:(-1))
+
+let add t s =
+  if t.n <> s.n || t.prm <> s.prm then invalid_arg "Agm_sketch.add: incompatible";
+  Array.iteri
+    (fun c row -> Array.iteri (fun u sk -> L0_sampler.add sk s.samplers.(c).(u)) row)
+    t.samplers
+
+let spanning_forest ?labels t =
+  let uf = Union_find.create t.n in
+  (match labels with
+  | None -> ()
+  | Some l ->
+      if Array.length l <> t.n then invalid_arg "Agm_sketch.spanning_forest: bad labels";
+      (* Pre-merge supernodes: vertices with equal labels are one node. *)
+      let seen = Hashtbl.create 16 in
+      Array.iteri
+        (fun v lab ->
+          match Hashtbl.find_opt seen lab with
+          | None -> Hashtbl.add seen lab v
+          | Some first -> ignore (Union_find.union uf first v))
+        l);
+  let forest = ref [] in
+  let round = ref 0 in
+  let exhausted = ref false in
+  (* A round with no unions is NOT termination: all vertices of one copy
+     share hash functions (they must, to be mergeable), so decode failures
+     are correlated across components within a round — the next copy is
+     independent. Termination is certified only when every component's
+     merged sketch is provably empty (no outgoing edges anywhere). *)
+  while (not !exhausted) && !round < t.prm.copies && Union_find.num_classes uf > 1 do
+    let members = Union_find.class_members uf in
+    (* One fresh sampler copy per Boruvka round. *)
+    let copy = t.samplers.(!round) in
+    incr round;
+    (* Candidate outgoing edge per component, from the merged sketch. *)
+    let candidates = ref [] in
+    let all_empty = ref true in
+    Array.iteri
+      (fun rep mem ->
+        match mem with
+        | [] -> ()
+        | first :: rest -> (
+            let merged = L0_sampler.copy copy.(first) in
+            List.iter (fun v -> L0_sampler.add merged copy.(v)) rest;
+            match L0_sampler.classify merged with
+            | `Empty -> ()
+            | `Fail -> all_empty := false
+            | `Sample (idx, _) ->
+                all_empty := false;
+                let a, b = Edge_index.decode ~n:t.n idx in
+                (* Internal edges cancel, so exactly one endpoint should be
+                   inside; anything else is a (detectable) decode artefact. *)
+                let ina = Union_find.find uf a = rep and inb = Union_find.find uf b = rep in
+                if ina <> inb then candidates := (a, b) :: !candidates))
+      members;
+    if !all_empty then exhausted := true
+    else
+      List.iter
+        (fun (a, b) -> if Union_find.union uf a b then forest := (a, b) :: !forest)
+        !candidates
+  done;
+  !forest
+
+let space_in_words t =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a sk -> a + L0_sampler.space_in_words sk) acc row)
+    0 t.samplers
+
+let serialize t =
+  let sink = Ds_util.Wire.sink () in
+  Ds_util.Wire.write_tag sink "agm";
+  Ds_util.Wire.write_int sink t.n;
+  Ds_util.Wire.write_int sink t.prm.copies;
+  Array.iter (Array.iter (fun s -> L0_sampler.write s sink)) t.samplers;
+  Ds_util.Wire.contents sink
+
+let deserialize_into t data =
+  let src = Ds_util.Wire.source data in
+  Ds_util.Wire.expect_tag src "agm";
+  if Ds_util.Wire.read_int src <> t.n || Ds_util.Wire.read_int src <> t.prm.copies then
+    failwith "Agm_sketch.deserialize_into: shape mismatch";
+  Array.iter (Array.iter (fun s -> L0_sampler.read_into s src)) t.samplers;
+  if Ds_util.Wire.remaining src <> 0 then
+    failwith "Agm_sketch.deserialize_into: trailing bytes"

@@ -1,0 +1,60 @@
+(** AGM graph-connectivity sketches (Theorem 10, [AGM12a]).
+
+    Every vertex [u] carries L0-samplers of its {e signed incidence vector}:
+    the vector over edge space with entry [+m] at [idx(u,v)] if [u < v] and
+    [-m] if [u > v], where [m] is the multiplicity of [{u,v}]. Summing these
+    vectors over a vertex set [S] cancels the edges inside [S] exactly, so a
+    sample from the merged sketch is an edge leaving [S] — which is what a
+    Boruvka round needs. One independent sampler copy is consumed per round
+    (re-using a copy would condition on its own output).
+
+    Beyond Theorem 10 the paper relies on two structural properties that this
+    module exposes directly (both are consequences of linearity):
+    - {!subtract_graph}: remove an explicitly known edge set (Algorithm 3
+      subtracts [E_low] before computing its spanning forest);
+    - supernode contraction: {!spanning_forest} takes an optional vertex
+      labelling and computes a forest of the contracted multigraph by merging
+      member sketches. *)
+
+type t
+
+type params = {
+  copies : int;  (** independent sampler copies = Boruvka round budget *)
+  sampler : Ds_sketch.L0_sampler.params;
+}
+
+val default_params : n:int -> params
+(** [copies = ceil(log2 n) + 3] with the default L0 parameters. *)
+
+val create : Ds_util.Prng.t -> n:int -> params:params -> t
+
+val n : t -> int
+
+val update : t -> u:int -> v:int -> delta:int -> unit
+(** Stream an edge-multiplicity update into both endpoints' sketches. *)
+
+val subtract_graph : t -> Ds_graph.Graph.t -> unit
+(** Remove every distinct edge of the given graph (with its multiplicity 1)
+    from the sketched multigraph. The caller must know these edges exist;
+    over-subtraction makes multiplicities negative and voids the model. *)
+
+val add : t -> t -> unit
+(** Merge the sketch of another update stream (distributed setting). *)
+
+val spanning_forest : ?labels:int array -> t -> (int * int) list
+(** Extract a spanning forest of the sketched multigraph with high
+    probability. [labels] (optional) assigns every vertex a supernode; the
+    forest then spans the contracted multigraph, with each returned edge
+    being an original graph edge whose endpoints lie in different supernodes.
+    Non-destructive. *)
+
+val space_in_words : t -> int
+
+val serialize : t -> string
+(** Wire form of the counters only — what a server ships to the coordinator
+    (the structure is rebuilt from the shared seed on the other side). *)
+
+val deserialize_into : t -> string -> unit
+(** Overwrite [t]'s counters with a serialised sketch. [t] must have been
+    created from the same seed and parameters as the sender's sketch.
+    @raise Failure on shape mismatch or corrupt input. *)

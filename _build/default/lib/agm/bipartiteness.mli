@@ -1,0 +1,30 @@
+(** Bipartiteness testing from linear sketches ([AGM12a]).
+
+    The {e double cover} [D(G)] has two copies [v0, v1] of every vertex and,
+    for each edge [{u, v}], the two edges [{u0, v1}] and [{u1, v0}]. A
+    connected component of [G] lifts to one component of [D] if it contains
+    an odd cycle and to two if it is bipartite, so
+
+      [#bipartite components = #components(D) - #components(G)].
+
+    Both counts come from AGM spanning forests, i.e. from linear sketches of
+    the stream — a single pass, insertions and deletions included. *)
+
+type t
+
+val create : Ds_util.Prng.t -> n:int -> params:Agm_sketch.params -> t
+(** The [params] are for the base-graph sketch; the double-cover sketch is
+    sized for [2n] internally. *)
+
+val update : t -> u:int -> v:int -> delta:int -> unit
+
+type verdict = {
+  components : int;  (** components of the streamed graph *)
+  bipartite_components : int;  (** how many of them are bipartite *)
+  is_bipartite : bool;  (** every component bipartite *)
+}
+
+val test : t -> verdict
+(** Non-destructive. *)
+
+val space_in_words : t -> int

@@ -1,0 +1,22 @@
+(** Connectivity queries from AGM sketches — the simplest consumer of
+    {!Agm_sketch} (the [AGM12a] headline result) packaged as an oracle:
+    stream once, then ask component counts and u~v connectivity. *)
+
+type t
+
+val create : Ds_util.Prng.t -> n:int -> params:Agm_sketch.params -> t
+val update : t -> u:int -> v:int -> delta:int -> unit
+
+type answers
+
+val freeze : t -> answers
+(** Extract the spanning forest once; queries are O(alpha(n)) afterwards.
+    The sketch can keep receiving updates; [freeze] again for fresh
+    answers. *)
+
+val components : answers -> int
+val connected : answers -> int -> int -> bool
+val component_of : answers -> int -> int
+(** Smallest vertex id in the component. *)
+
+val space_in_words : t -> int

@@ -1,0 +1,39 @@
+open Ds_graph
+
+type t = { n : int; k : int; sketches : Agm_sketch.t array }
+
+let create rng ~n ~k ~params =
+  if k < 1 then invalid_arg "K_connectivity.create: k must be >= 1";
+  let sketches =
+    Array.init k (fun i ->
+        Agm_sketch.create (Ds_util.Prng.split_named rng (Printf.sprintf "kc%d" i)) ~n ~params)
+  in
+  { n; k; sketches }
+
+let update t ~u ~v ~delta =
+  Array.iter (fun s -> Agm_sketch.update s ~u ~v ~delta) t.sketches
+
+let certificate t =
+  let acc = Graph.create t.n in
+  (* Peel forests: each round's forest is removed from all later sketches so
+     the next forest finds k-edge-connectivity witnesses beyond it. *)
+  for i = 0 to t.k - 1 do
+    let forest = Agm_sketch.spanning_forest t.sketches.(i) in
+    let layer = Graph.create t.n in
+    List.iter
+      (fun (u, v) ->
+        if not (Graph.mem_edge layer u v) then begin
+          Graph.add_edge layer u v;
+          if not (Graph.mem_edge acc u v) then Graph.add_edge acc u v
+        end)
+      forest;
+    for j = i + 1 to t.k - 1 do
+      Agm_sketch.subtract_graph t.sketches.(j) layer
+    done
+  done;
+  acc
+
+let is_k_connected t = Min_cut.edge_connectivity (certificate t) >= t.k
+
+let space_in_words t =
+  Array.fold_left (fun acc s -> acc + Agm_sketch.space_in_words s) 0 t.sketches

@@ -1,0 +1,26 @@
+(** k-edge-connectivity certificates from linear sketches ([AGM12a], the
+    substrate results the paper's Section 2 builds on).
+
+    Maintain [k] independent {!Agm_sketch} instances of the same stream.
+    After the stream, extract a spanning forest from the first, subtract its
+    edges from the second (linearity), extract again, and so on. The union
+    [F_1 ∪ ... ∪ F_k] has [O(kn)] edges and preserves every cut value up to
+    [k]: the graph is k-edge-connected iff the certificate is. *)
+
+type t
+
+val create : Ds_util.Prng.t -> n:int -> k:int -> params:Agm_sketch.params -> t
+(** [k >= 1] independent sketch instances. *)
+
+val update : t -> u:int -> v:int -> delta:int -> unit
+
+val certificate : t -> Ds_graph.Graph.t
+(** The union of the [k] successively-peeled forests. Non-destructive on the
+    first sketch; consumes (by subtraction) the later ones, so call it
+    once. *)
+
+val is_k_connected : t -> bool
+(** [edge_connectivity (certificate t) >= k] — the sketch-side answer; the
+    certificate theorem makes it agree with the input graph whp. *)
+
+val space_in_words : t -> int

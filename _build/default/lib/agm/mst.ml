@@ -1,0 +1,47 @@
+open Ds_graph
+open Ds_stream
+
+type params = { gamma : float; w_min : float; w_max : float; sketch : Agm_sketch.params }
+
+type t = {
+  n : int;
+  classes : Weight_class.t;
+  sketches : Agm_sketch.t array; (* one per weight class *)
+}
+
+let create rng ~n ~params =
+  let classes =
+    Weight_class.create ~gamma:params.gamma ~w_min:params.w_min ~w_max:params.w_max
+  in
+  let sketches =
+    Array.init (Weight_class.num_classes classes) (fun c ->
+        Agm_sketch.create
+          (Ds_util.Prng.split_named rng (Printf.sprintf "mst%d" c))
+          ~n ~params:params.sketch)
+  in
+  { n; classes; sketches }
+
+let update t ~u ~v ~weight ~delta =
+  let c = Weight_class.class_of t.classes weight in
+  Agm_sketch.update t.sketches.(c) ~u ~v ~delta
+
+let extract t =
+  let uf = Union_find.create t.n in
+  let edges = ref [] in
+  Array.iteri
+    (fun c sketch ->
+      if Union_find.num_classes uf > 1 then begin
+        let labels = Array.init t.n (fun v -> Union_find.find uf v) in
+        let forest = Agm_sketch.spanning_forest ~labels sketch in
+        let w = Weight_class.representative t.classes c in
+        List.iter
+          (fun (a, b) -> if Union_find.union uf a b then edges := (a, b, w) :: !edges)
+          forest
+      end)
+    t.sketches;
+  !edges
+
+let forest_weight edges = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 edges
+
+let space_in_words t =
+  Array.fold_left (fun acc s -> acc + Agm_sketch.space_in_words s) 0 t.sketches

@@ -1,0 +1,33 @@
+(** Approximate minimum spanning forests from linear sketches ([AGM12a]).
+
+    Weights are rounded into geometric classes (rate [1 + gamma], exactly
+    Remark 14's trick); one {!Agm_sketch} per class sketches that class's
+    edges. Extraction is Kruskal-by-class: walk classes from light to heavy,
+    contract the components connected so far (sketch linearity again) and
+    take a spanning forest of the current class across them. The result is a
+    spanning forest whose weight is within [1 + gamma] of the true minimum
+    spanning forest. Single pass, insertions and deletions of weighted edges
+    (the paper's weighted model: weights fixed at insertion). *)
+
+type t
+
+type params = {
+  gamma : float;  (** weight-class rounding; approximation factor [1 + gamma] *)
+  w_min : float;
+  w_max : float;
+  sketch : Agm_sketch.params;
+}
+
+val create : Ds_util.Prng.t -> n:int -> params:params -> t
+
+val update : t -> u:int -> v:int -> weight:float -> delta:int -> unit
+(** [delta] is [+1]/[-1]; a deletion must carry the weight of the matching
+    insertion (model guarantee). *)
+
+val extract : t -> (int * int * float) list
+(** Spanning-forest edges with their class-representative weights.
+    Non-destructive. *)
+
+val forest_weight : (int * int * float) list -> float
+
+val space_in_words : t -> int

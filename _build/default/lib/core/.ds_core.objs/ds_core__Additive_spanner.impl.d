@@ -1,0 +1,1 @@
+lib/core/additive_spanner.ml: Agm_sketch Array Ds_agm Ds_graph Ds_sketch Ds_stream Ds_util F0 Graph L0_sampler List Prng Sparse_recovery Update

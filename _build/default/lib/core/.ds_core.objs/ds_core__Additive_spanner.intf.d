@@ -1,0 +1,1 @@
+lib/core/additive_spanner.mli: Ds_agm Ds_graph Ds_sketch Ds_stream Ds_util

@@ -1,0 +1,1 @@
+lib/core/aingworth.ml: Array Bfs Ds_graph Graph List

@@ -1,0 +1,1 @@
+lib/core/aingworth.mli: Ds_graph

@@ -1,0 +1,1 @@
+lib/core/basic_spanner.ml: Array Clustering Ds_graph Graph Hashtbl List

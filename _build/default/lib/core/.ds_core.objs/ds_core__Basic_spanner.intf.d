@@ -1,0 +1,1 @@
+lib/core/basic_spanner.mli: Clustering Ds_graph Ds_util

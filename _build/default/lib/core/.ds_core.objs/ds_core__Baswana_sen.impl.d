@@ -1,0 +1,1 @@
+lib/core/baswana_sen.ml: Array Ds_graph Ds_util Graph Hashtbl List Prng

@@ -1,0 +1,1 @@
+lib/core/baswana_sen.mli: Ds_graph Ds_util

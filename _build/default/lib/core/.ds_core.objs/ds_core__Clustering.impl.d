@@ -1,0 +1,1 @@
+lib/core/clustering.ml: Array Ds_util Hashtbl List Prng

@@ -1,0 +1,1 @@
+lib/core/distance_oracle.ml: Array Bfs Dijkstra Ds_graph Graph Hashtbl Two_pass_spanner Weighted_graph Weighted_spanner

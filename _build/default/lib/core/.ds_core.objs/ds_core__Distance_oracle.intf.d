@@ -1,0 +1,1 @@
+lib/core/distance_oracle.mli: Ds_stream Ds_util

@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Bfs Ds_graph Ds_linalg Ds_stream Ds_util Edge_index Float Graph Hashtbl Kwise List Printf Prng Resistance Two_pass_spanner Update Weighted_graph

@@ -1,0 +1,1 @@
+lib/core/greedy_spanner.ml: Array Bfs Dijkstra Ds_graph Graph List Weighted_graph

@@ -1,0 +1,1 @@
+lib/core/ind_game.ml: Additive_spanner Array Ds_graph Ds_stream Ds_util Edge_index Graph List Prng Stream_gen Stretch Update

@@ -1,0 +1,1 @@
+lib/core/ind_game.mli: Ds_util

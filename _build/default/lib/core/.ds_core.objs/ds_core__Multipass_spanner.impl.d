@@ -1,0 +1,1 @@
+lib/core/multipass_spanner.ml: Array Ds_graph Ds_sketch Ds_stream Ds_util F0 Graph L0_sampler List Packed_l0 Printf Prng Sketch_table Update

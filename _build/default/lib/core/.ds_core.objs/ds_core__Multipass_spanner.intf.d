@@ -1,0 +1,1 @@
+lib/core/multipass_spanner.mli: Ds_graph Ds_sketch Ds_stream Ds_util

@@ -1,0 +1,1 @@
+lib/core/sample_spanner.ml: Array Ds_stream Ds_util Hashtbl Kwise List Printf Prng Two_pass_spanner Update

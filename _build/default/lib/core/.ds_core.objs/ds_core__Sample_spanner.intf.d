@@ -1,0 +1,1 @@
+lib/core/sample_spanner.mli: Ds_stream Ds_util Two_pass_spanner

@@ -1,0 +1,1 @@
+lib/core/sparsify.ml: Ds_graph Ds_sketch Ds_util Estimate Hashtbl List Printf Prng Sample_spanner Two_pass_spanner Weighted_graph

@@ -1,0 +1,1 @@
+lib/core/sparsify.mli: Ds_graph Ds_stream Ds_util Estimate Two_pass_spanner

@@ -1,0 +1,1 @@
+lib/core/ss_sparsifier.ml: Ds_graph Ds_linalg Ds_util List Prng Resistance Weighted_graph

@@ -1,0 +1,1 @@
+lib/core/ss_sparsifier.mli: Ds_graph Ds_util

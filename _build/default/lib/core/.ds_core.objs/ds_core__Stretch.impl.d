@@ -1,0 +1,1 @@
+lib/core/stretch.ml: Array Bfs Dijkstra Ds_graph Ds_util Graph List Prng Stats Weighted_graph

@@ -1,0 +1,1 @@
+lib/core/stretch.mli: Ds_graph Ds_util

@@ -1,0 +1,1 @@
+lib/core/two_pass_spanner.ml: Array Clustering Ds_graph Ds_sketch Ds_stream Ds_util Edge_index F0 Graph Hashtbl Kwise List Packed_l0 Printf Prng Sketch_table Sparse_recovery Update

@@ -1,0 +1,1 @@
+lib/core/two_pass_spanner.mli: Clustering Ds_graph Ds_sketch Ds_stream Ds_util

@@ -1,0 +1,1 @@
+lib/core/uniform_sparsifier.ml: Ds_graph Ds_util Prng Weighted_graph

@@ -1,0 +1,1 @@
+lib/core/uniform_sparsifier.mli: Ds_graph Ds_util

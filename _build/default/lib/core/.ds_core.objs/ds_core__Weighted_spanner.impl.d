@@ -1,0 +1,1 @@
+lib/core/weighted_spanner.ml: Array Ds_graph Ds_stream Ds_util Graph Printf Prng Two_pass_spanner Weight_class Weighted_graph

@@ -1,0 +1,1 @@
+lib/core/weighted_spanner.mli: Ds_graph Ds_stream Ds_util Two_pass_spanner

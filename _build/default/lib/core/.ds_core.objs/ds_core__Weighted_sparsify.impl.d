@@ -1,0 +1,1 @@
+lib/core/weighted_sparsify.ml: Array Ds_graph Ds_stream Ds_util Printf Prng Sparsify Weight_class Weighted_graph

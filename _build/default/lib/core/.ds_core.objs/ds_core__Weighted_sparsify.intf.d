@@ -1,0 +1,1 @@
+lib/core/weighted_sparsify.mli: Ds_graph Ds_stream Ds_util Sparsify

@@ -1,0 +1,57 @@
+(** Theorem 3 / Algorithm 3: the single-pass [O(n/d)]-additive spanner in
+    [~O(nd)] space.
+
+    One pass maintains, per vertex [u]:
+    - [S(u)]: a sparse-recovery sketch of [N(u)] with budget [~O(d)], so a
+      low-degree vertex's whole neighbourhood can be read out ([E_low]);
+    - a degree sketch (Theorem 9 stand-in) to decide low vs high;
+    - [A(u)]: an L0-sampler of [N(u) ∩ C] (the sets [Z_r] are the sampler's
+      internal levels) to pick a parent center for high-degree vertices;
+    - AGM connectivity sketches of the whole graph.
+
+    Post-processing subtracts [E_low] from the AGM sketches by linearity,
+    contracts the center stars [T_w] into supernodes, extracts a spanning
+    forest [F'] of the contraction, and outputs [E_low ∪ F ∪ F'].
+
+    The distortion argument (Theorem 19) needs a path to cross each star at
+    most once and pay [O(1)] per star, giving surplus [O(#centers) =
+    O(n/d)]. *)
+
+type params = {
+  d : int;  (** space/distortion knob: space [~O(nd)], distortion [O(n/d)] *)
+  degree_factor : float;
+      (** low-degree threshold = [factor * d * log2 n]; recovery budget is
+          twice the threshold *)
+  center_rate_factor : float;  (** centers sampled at [factor / d] *)
+  sampler : Ds_sketch.L0_sampler.params;
+  f0 : Ds_sketch.F0.params;
+  agm : Ds_agm.Agm_sketch.params;
+  hash_degree : int;
+}
+
+val default_params : n:int -> d:int -> params
+
+type diagnostics = {
+  centers : int;
+  low_degree : int;
+  high_degree : int;
+  degree_misclassified : int;  (** low-degree decodes that failed *)
+  orphan_high : int;  (** high-degree vertices with no recoverable center *)
+}
+
+type result = {
+  spanner : Ds_graph.Graph.t;
+  space_words : int;
+  diagnostics : diagnostics;
+}
+
+val run : Ds_util.Prng.t -> n:int -> params:params -> Ds_stream.Update.t array -> result
+(** Single pass over the stream. *)
+
+val distortion_bound : n:int -> d:int -> float
+(** [2 + 8 * (#expected centers)] — the Theorem 19 surplus with the
+    constants of our proof-following implementation, for experiment
+    tables. *)
+
+val space_bound : n:int -> d:int -> float
+(** [~O(nd)] with unit constant and one log factor, in words. *)

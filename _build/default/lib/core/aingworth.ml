@@ -1,0 +1,50 @@
+open Ds_graph
+
+let size_bound ~n =
+  let nf = float_of_int n in
+  (nf ** 1.5) *. log (max 2.0 nf)
+
+let run g =
+  let n = Graph.n g in
+  let threshold = max 1 (int_of_float (sqrt (float_of_int n))) in
+  let spanner = Graph.create n in
+  let add u v = if not (Graph.mem_edge spanner u v) then Graph.add_edge spanner u v in
+  (* All edges incident on low-degree vertices. *)
+  let high = Array.init n (fun v -> Graph.degree g v > threshold) in
+  Graph.iter_edges g (fun u v -> if (not high.(u)) || not high.(v) then add u v);
+  (* Greedy dominating set of the high-degree vertices: every high-degree
+     vertex has > sqrt(n) neighbours, so picking undominated high vertices
+     greedily (covering their closed neighbourhoods) selects
+     O(sqrt n log n) centers. *)
+  let dominated = Array.make n false in
+  let dominators = ref [] in
+  for v = 0 to n - 1 do
+    if high.(v) && not dominated.(v) then begin
+      dominators := v :: !dominators;
+      dominated.(v) <- true;
+      Graph.iter_neighbors g v (fun w -> dominated.(w) <- true)
+    end
+  done;
+  (* A shortest-path (BFS) tree from every dominator. *)
+  List.iter
+    (fun root ->
+      let dist = Bfs.distances g ~source:root in
+      let chosen = Array.make n false in
+      for v = 0 to n - 1 do
+        if v <> root && dist.(v) <> max_int && not chosen.(v) then begin
+          (* parent: any neighbour one step closer *)
+          let parent = ref (-1) in
+          Graph.iter_neighbors g v (fun w ->
+              if !parent = -1 && dist.(w) = dist.(v) - 1 then parent := w);
+          if !parent >= 0 then begin
+            add v !parent;
+            chosen.(v) <- true
+          end
+        end
+      done;
+      (* Also connect each dominated high vertex to its dominator by the
+         covering edge (it is in the BFS tree already unless tie-broken
+         elsewhere; adding it is free for the bound). *)
+      Graph.iter_neighbors g root (fun w -> add root w))
+    !dominators;
+  spanner

@@ -1,0 +1,13 @@
+(** The Aingworth–Chekuri–Indyk–Motwani additive-2 spanner [ACIM99] — the
+    classical offline comparator for additive spanners that the paper's
+    introduction cites ("one can achieve ~O(n^{3/2}) space and O(1)
+    distortion"). Keep all edges of vertices with degree below [sqrt n];
+    cover the high-degree vertices by a greedy dominating set and add a full
+    BFS tree from each dominator. Size [O(n^{3/2} log n)], additive
+    distortion 2. Offline (needs the whole graph), which is exactly the gap
+    Theorem 3 addresses. *)
+
+val run : Ds_graph.Graph.t -> Ds_graph.Graph.t
+
+val size_bound : n:int -> float
+(** [n^{3/2} log n] with unit constant. *)

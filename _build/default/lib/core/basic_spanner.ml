@@ -1,0 +1,46 @@
+open Ds_graph
+
+type result = { spanner : Graph.t; clustering : Clustering.t }
+
+let attach_offline g centers ~level ~root:_ ~members =
+  let next = centers.(level + 1) in
+  let found = ref None in
+  List.iter
+    (fun v ->
+      if !found = None then
+        Graph.iter_neighbors g v (fun w -> if !found = None && next.(w) then found := Some (w, (v, w))))
+    members;
+  !found
+
+let run rng ~k g =
+  if k < 1 then invalid_arg "Basic_spanner.run: k must be >= 1";
+  let n = Graph.n g in
+  let centers = Clustering.sample_centers rng ~n ~k in
+  let clustering =
+    Clustering.build ~n ~k ~centers ~attach:(attach_offline g centers)
+  in
+  let spanner = Graph.create n in
+  let add u v = if not (Graph.mem_edge spanner u v) then Graph.add_edge spanner u v in
+  (* Witness edges phi(F). *)
+  List.iter (fun (a, b) -> add a b) clustering.Clustering.witnesses;
+  (* For each terminal cluster S, one edge from every outside neighbour v of
+     S back into S. Membership is by terminal id (a vertex may root two
+     terminal clusters, so roots do not identify clusters). *)
+  let tid_of = clustering.Clustering.terminal_id_of in
+  Array.iteri
+    (fun tid { Clustering.members; _ } ->
+      let covered = Hashtbl.create 16 in
+      List.iter
+        (fun w ->
+          Graph.iter_neighbors g w (fun v ->
+              if tid_of.(v) <> tid && not (Hashtbl.mem covered v) then begin
+                Hashtbl.add covered v ();
+                add v w
+              end))
+        members)
+    clustering.Clustering.terminals;
+  { spanner; clustering }
+
+let size_bound ~n ~k =
+  let nf = float_of_int n and kf = float_of_int k in
+  kf *. (nf ** (1.0 +. (1.0 /. kf))) *. log (max 2.0 nf)

@@ -1,0 +1,16 @@
+(** The offline reference algorithm of Section 3.1: two-phase cluster
+    growing with stretch [2^k] and expected size [O(k n^{1+1/k} log n)]
+    (Lemmas 12 and 13). The streaming version (Algorithms 1 and 2) must
+    emulate this exactly; tests compare the two. *)
+
+type result = {
+  spanner : Ds_graph.Graph.t;
+  clustering : Clustering.t;
+}
+
+val run : Ds_util.Prng.t -> k:int -> Ds_graph.Graph.t -> result
+(** @raise Invalid_argument if [k < 1]. *)
+
+val size_bound : n:int -> k:int -> float
+(** The Lemma 12 bound [O(k n^{1+1/k} log n)] with unit constant, for
+    reporting measured size against the theory in experiment tables. *)

@@ -1,0 +1,81 @@
+open Ds_util
+open Ds_graph
+
+let stretch_bound ~k = (2 * k) - 1
+
+(* Phase 1 state: cluster.(v) is the id of v's cluster, or -1 once v has
+   fallen out of the clustering (it then keeps only its phase-1 edges).
+   Cluster ids are the original center vertices. *)
+
+let run rng ~k g =
+  if k < 1 then invalid_arg "Baswana_sen.run: k must be >= 1";
+  let n = Graph.n g in
+  if k = 1 then Graph.copy g
+  else begin
+    let spanner = Graph.create n in
+    let add u v = if not (Graph.mem_edge spanner u v) then Graph.add_edge spanner u v in
+    let sample_p = float_of_int n ** (-1.0 /. float_of_int k) in
+    (* Residual graph: edges still under consideration. *)
+    let residual = Graph.copy g in
+    let cluster = Array.init n (fun v -> v) in
+    let alive = Array.make n true (* still participating in clustering *) in
+    for _round = 1 to k - 1 do
+      (* Sample surviving clusters. *)
+      let ids = Hashtbl.create 16 in
+      for v = 0 to n - 1 do
+        if alive.(v) && cluster.(v) >= 0 then Hashtbl.replace ids cluster.(v) ()
+      done;
+      let sampled = Hashtbl.create 16 in
+      Hashtbl.iter (fun id () -> if Prng.bernoulli rng sample_p then Hashtbl.add sampled id ()) ids;
+      let new_cluster = Array.make n (-1) in
+      (* Vertices already in a sampled cluster stay. *)
+      for v = 0 to n - 1 do
+        if alive.(v) && cluster.(v) >= 0 && Hashtbl.mem sampled cluster.(v) then
+          new_cluster.(v) <- cluster.(v)
+      done;
+      let to_remove = ref [] in
+      for v = 0 to n - 1 do
+        if alive.(v) && new_cluster.(v) = -1 then begin
+          (* Neighbouring clusters of v in the residual graph. *)
+          let adjacent = Hashtbl.create 8 in
+          Graph.iter_neighbors residual v (fun w ->
+              if alive.(w) && cluster.(w) >= 0 && not (Hashtbl.mem adjacent cluster.(w)) then
+                Hashtbl.add adjacent cluster.(w) w);
+          (* Find a sampled neighbour cluster. *)
+          let joined = ref None in
+          Hashtbl.iter
+            (fun id w -> if !joined = None && Hashtbl.mem sampled id then joined := Some (id, w))
+            adjacent;
+          match !joined with
+          | Some (id, w) ->
+              (* Join: keep one connecting edge, drop edges to that cluster. *)
+              add v w;
+              new_cluster.(v) <- id;
+              Graph.iter_neighbors residual v (fun x ->
+                  if alive.(x) && cluster.(x) = id then to_remove := (v, x) :: !to_remove)
+          | None ->
+              (* No sampled neighbour: keep one edge per adjacent cluster and
+                 retire v from the clustering. *)
+              Hashtbl.iter (fun _ w -> add v w) adjacent;
+              alive.(v) <- false;
+              Graph.iter_neighbors residual v (fun x -> to_remove := (v, x) :: !to_remove)
+        end
+      done;
+      List.iter
+        (fun (a, b) -> if Graph.mem_edge residual a b then Graph.remove_edge residual a b)
+        !to_remove;
+      Array.blit new_cluster 0 cluster 0 n
+    done;
+    (* Phase 2: every surviving vertex keeps one edge to each adjacent
+       surviving cluster. *)
+    for v = 0 to n - 1 do
+      if alive.(v) then begin
+        let adjacent = Hashtbl.create 8 in
+        Graph.iter_neighbors residual v (fun w ->
+            if alive.(w) && cluster.(w) >= 0 && cluster.(w) <> cluster.(v) then
+              if not (Hashtbl.mem adjacent cluster.(w)) then Hashtbl.add adjacent cluster.(w) w);
+        Hashtbl.iter (fun _ w -> add v w) adjacent
+      end
+    done;
+    spanner
+  end

@@ -1,0 +1,11 @@
+(** The Baswana–Sen randomized (2k-1)-spanner [BS07] — the classical offline
+    comparator the paper discusses (its own algorithm is explicitly {e not} a
+    streaming port of this one). Expected size [O(k n^{1+1/k})], stretch
+    [2k - 1], linear time. Used as the baseline in experiment E2. *)
+
+val run : Ds_util.Prng.t -> k:int -> Ds_graph.Graph.t -> Ds_graph.Graph.t
+(** @raise Invalid_argument if [k < 1]. For [k = 1] returns the graph
+    itself (stretch 1). *)
+
+val stretch_bound : k:int -> int
+(** [2k - 1]. *)

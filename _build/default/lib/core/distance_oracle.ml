@@ -1,0 +1,59 @@
+open Ds_graph
+
+type backend =
+  | Unweighted of Graph.t
+  | Weighted of Weighted_graph.t
+
+type t = {
+  backend : backend;
+  stretch : float;
+  space_words : int;
+  cache : (int, float array) Hashtbl.t; (* source -> distances *)
+}
+
+let of_stream rng ~n ~k stream =
+  let r = Two_pass_spanner.run rng ~n ~params:(Two_pass_spanner.default_params ~k) stream in
+  {
+    backend = Unweighted r.Two_pass_spanner.spanner;
+    stretch = float_of_int (1 lsl k);
+    space_words = r.Two_pass_spanner.space_words;
+    cache = Hashtbl.create 16;
+  }
+
+let of_weighted_stream rng ~n ~k ~gamma ~w_min ~w_max stream =
+  let r =
+    Weighted_spanner.run rng ~n
+      ~params:(Two_pass_spanner.default_params ~k)
+      ~gamma ~w_min ~w_max stream
+  in
+  {
+    backend = Weighted r.Weighted_spanner.spanner;
+    stretch = Weighted_spanner.stretch_bound ~k ~gamma;
+    space_words = r.Weighted_spanner.space_words;
+    cache = Hashtbl.create 16;
+  }
+
+let distances_from t source =
+  match Hashtbl.find_opt t.cache source with
+  | Some d -> d
+  | None ->
+      let d =
+        match t.backend with
+        | Unweighted g ->
+            Array.map
+              (fun x -> if x = max_int then infinity else float_of_int x)
+              (Bfs.distances g ~source)
+        | Weighted g -> Dijkstra.distances g ~source
+      in
+      Hashtbl.replace t.cache source d;
+      d
+
+let query t u v = (distances_from t u).(v)
+let stretch t = t.stretch
+
+let spanner_edges t =
+  match t.backend with
+  | Unweighted g -> Graph.num_edges g
+  | Weighted g -> Weighted_graph.num_edges g
+
+let space_words t = t.space_words

@@ -1,0 +1,122 @@
+open Ds_util
+open Ds_graph
+open Ds_linalg
+open Ds_stream
+
+type mode = Spanner_oracle of Two_pass_spanner.params | Exact_resistance
+
+type params = {
+  j_reps : int;
+  t_levels : int;
+  lambda : float;
+  far_threshold : int;
+  mode : mode;
+}
+
+let default_params ~k =
+  let alpha = 1 lsl k in
+  {
+    j_reps = 5;
+    t_levels = 12;
+    lambda = 0.2;
+    far_threshold = alpha * alpha;
+    mode = Spanner_oracle (Two_pass_spanner.default_params ~k);
+  }
+
+type oracle = {
+  spanner : Graph.t;
+  dist_cache : (int, int array) Hashtbl.t; (* capped BFS per source *)
+}
+
+type t = {
+  n : int;
+  prm : params;
+  oracles : oracle array array; (* j_reps x t_levels *)
+  resistances : (int, float) Hashtbl.t; (* Exact_resistance mode *)
+  space : int;
+}
+
+let filter_stream hash ~t stream =
+  (* E^j_t: keep edges whose geometric level is >= t - 1 (rate 2^-(t-1));
+     the key is a symmetric encoding of the unordered pair. *)
+  Array.of_list
+    (List.filter
+       (fun (u : Update.t) ->
+         let key = min u.Update.u u.Update.v + (1_000_003 * max u.Update.u u.Update.v) in
+         Kwise.level hash key >= t - 1)
+       (Array.to_list stream))
+
+let build rng ~n ~params:prm stream =
+  match prm.mode with
+  | Exact_resistance ->
+      let g = Update.final_graph ~n stream in
+      let wg = Weighted_graph.of_graph g in
+      let resistances = Hashtbl.create (Graph.num_edges g) in
+      Graph.iter_edges g (fun u v ->
+          Hashtbl.replace resistances
+            (Edge_index.encode ~n u v)
+            (Resistance.effective wg u v));
+      { n; prm; oracles = [||]; resistances; space = 0 }
+  | Spanner_oracle sp ->
+      let space = ref 0 in
+      let oracles =
+        Array.init prm.j_reps (fun j ->
+            let jrng = Prng.split_named rng (Printf.sprintf "estimate.j%d" j) in
+            let hash = Kwise.create (Prng.split_named jrng "levels") ~k:6 in
+            Array.init prm.t_levels (fun ti ->
+                let t = ti + 1 in
+                let sub = filter_stream hash ~t stream in
+                let r =
+                  Two_pass_spanner.run
+                    (Prng.split_named jrng (Printf.sprintf "t%d" t))
+                    ~n ~params:sp sub
+                in
+                space := !space + r.Two_pass_spanner.space_words;
+                { spanner = r.Two_pass_spanner.spanner; dist_cache = Hashtbl.create 16 }))
+      in
+      { n; prm; oracles; resistances = Hashtbl.create 0; space = !space }
+
+let oracle_distance prm o u v =
+  let dist =
+    match Hashtbl.find_opt o.dist_cache u with
+    | Some d -> d
+    | None ->
+        let d = Bfs.distances_capped o.spanner ~source:u ~cap:(prm.far_threshold + 1) in
+        Hashtbl.replace o.dist_cache u d;
+        d
+  in
+  dist.(v)
+
+let query t u v =
+  match t.prm.mode with
+  | Exact_resistance ->
+      let r =
+        match Hashtbl.find_opt t.resistances (Edge_index.encode ~n:t.n u v) with
+        | Some r -> r
+        | None -> 1.0
+      in
+      (* q = clamp(R_e) to [2^-T, 1/2]; j = -log2 q (levels start at 1, as in
+         Algorithm 5 where the sampled classes are E_1, E_2, ...). *)
+      let q = max (min r 0.5) (2.0 ** -.float_of_int t.prm.t_levels) in
+      max 1 (int_of_float (Float.round (-.(log q /. log 2.0))))
+  | Spanner_oracle _ ->
+      let needed =
+        int_of_float (ceil ((1.0 -. t.prm.lambda) *. float_of_int t.prm.j_reps))
+      in
+      (* Index ti samples at rate 2^-ti; the paper's E^j_t uses t = ti + 1
+         and sets q_hat = 2^-t, so the returned level is ti + 1 >= 1. *)
+      let rec scan ti =
+        if ti >= t.prm.t_levels then t.prm.t_levels
+        else begin
+          let far = ref 0 in
+          Array.iter
+            (fun reps ->
+              let d = oracle_distance t.prm reps.(ti) u v in
+              if d > t.prm.far_threshold then incr far)
+            t.oracles;
+          if !far >= needed then ti + 1 else scan (ti + 1)
+        end
+      in
+      scan 0
+
+let space_words t = t.space

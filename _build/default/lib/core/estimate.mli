@@ -1,0 +1,42 @@
+(** Algorithm 4: the robust-connectivity oracle [q_hat].
+
+    Preprocessing builds [J x T] distance oracles, one per (repetition,
+    sampling rate): oracle [(j, t)] is a two-pass spanner (stretch
+    [alpha = 2^kappa]) of the edge set [E^j_t], where [E^j_1 = E] and each
+    subsequent level keeps edges at rate 1/2. A query for an edge [(u, v)]
+    declares the pair "far" at rate [t] in repetition [j] when the spanner
+    distance exceeds [alpha^2] (which certifies that the subsample has no
+    path of length [<= alpha] between them); [q_hat = 2^-t*] for the
+    smallest [t*] at which at least a [(1 - lambda)] fraction of the [J]
+    repetitions are far. By Lemma 19 of [KP12], [q_hat = Omega(R_e /
+    alpha^2)].
+
+    The [Exact_resistance] mode replaces the whole machinery by exact
+    effective resistances (ablation E7: isolates the error of the KP12
+    reduction from the error of the streaming oracle). *)
+
+type mode =
+  | Spanner_oracle of Two_pass_spanner.params
+  | Exact_resistance
+
+type params = {
+  j_reps : int;  (** J: independent repetitions (paper: [O(log n / lambda^2)]) *)
+  t_levels : int;  (** T: sampling rates [2^0 .. 2^-(T-1)] *)
+  lambda : float;  (** fraction of repetitions allowed to disagree *)
+  far_threshold : int;  (** spanner distance certifying "no short path" *)
+  mode : mode;
+}
+
+val default_params : k:int -> params
+(** [j_reps = 5], [t_levels] sized to the edge space, [lambda = 0.2],
+    [far_threshold = (2^k)^2], spanner oracles with stretch [2^k]. *)
+
+type t
+
+val build : Ds_util.Prng.t -> n:int -> params:params -> Ds_stream.Update.t array -> t
+(** Two passes over the stream (shared by all oracles). *)
+
+val query : t -> int -> int -> int
+(** [query t u v] is the level [j >= 0] such that [q_hat(u,v) = 2^-j]. *)
+
+val space_words : t -> int

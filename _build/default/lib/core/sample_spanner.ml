@@ -1,0 +1,36 @@
+open Ds_util
+open Ds_stream
+
+type result = { edges : (int * int * float) list; space_words : int }
+
+let run rng ~n ~spanner_params ~h_levels ~q stream =
+  let hash = Kwise.create (Prng.split_named rng "levels") ~k:6 in
+  let in_level (u : Update.t) j =
+    let key = min u.Update.u u.Update.v + (1_000_003 * max u.Update.u u.Update.v) in
+    Kwise.level hash key >= j
+  in
+  let edges = ref [] in
+  let space = ref 0 in
+  for j = 1 to h_levels do
+    let sub = Array.of_list (List.filter (fun u -> in_level u j) (Array.to_list stream)) in
+    if Array.length sub > 0 then begin
+      let r =
+        Two_pass_spanner.run
+          (Prng.split_named rng (Printf.sprintf "level%d" j))
+          ~n ~params:spanner_params sub
+      in
+      space := !space + r.Two_pass_spanner.space_words;
+      (* Augmented output: spanner plus accessed edges (deduplicated). *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (a, b) ->
+          let key = (min a b, max a b) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            if q a b = j then
+              edges := (min a b, max a b, float_of_int (1 lsl j)) :: !edges
+          end)
+        r.Two_pass_spanner.accessed_edges
+    end
+  done;
+  { edges = !edges; space_words = !space }

@@ -1,0 +1,26 @@
+(** Algorithm 5: SAMPLE-AUGMENTED-SPANNER.
+
+    One invocation samples nested edge sets [E_1 ⊇ E_2 ⊇ ... ⊇ E_H] at
+    rates [2^-j], builds the {e augmented} two-pass spanner of each (the
+    spanner plus every edge its execution path decoded, Claim 20), and
+    emits, for each edge [e] recovered at level [j] with [q_hat(e) = 2^-j],
+    the weight [2^j]. Averaged over [Z] independent invocations by
+    {!Sparsify}, the expectation of an edge's weight is
+    [~ q_hat(e) * 2^{j(e)} = 1], and Lemma 22 shows the matrix concentrates
+    to a spectral sparsifier. *)
+
+type result = {
+  edges : (int * int * float) list;  (** (u, v, weight [2^j]) for emitted edges *)
+  space_words : int;
+}
+
+val run :
+  Ds_util.Prng.t ->
+  n:int ->
+  spanner_params:Two_pass_spanner.params ->
+  h_levels:int ->
+  q:(int -> int -> int) ->
+  Ds_stream.Update.t array ->
+  result
+(** [q u v] must return the level [j] with [q_hat = 2^-j] (an {!Estimate}
+    query). Two passes over the stream per level. *)

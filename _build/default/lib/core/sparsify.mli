@@ -1,0 +1,42 @@
+(** Algorithm 6 / Corollary 2: AUGMENTED-SPANNER-SPARSIFY — the two-pass
+    spectral sparsifier.
+
+    Pipeline: {!Estimate} builds the robust-connectivity oracle (two passes,
+    shared with everything else since all structures are sketched from the
+    same stream); then [Z] independent invocations of {!Sample_spanner} are
+    averaged, so edge [e] receives weight
+    [ (1/Z) * sum_s 2^{j(e)} * X^s_e ] with [X^s_e = 1] iff [e] survived
+    level [j(e)] of invocation [s] and was output by the augmented spanner.
+    Lemma 22: the result is a [(1 ± O(eps))]-spectral sparsifier whp when
+    [Z = O(alpha^2 log n / eps^3)].
+
+    All sampling decisions are made by seed-derived hash functions, which is
+    how Section 6.3 de-randomises the [Omega(n^2)] ideal random bits (our
+    stand-in for Nisan's generator; see DESIGN.md). *)
+
+type params = {
+  z_rounds : int;  (** Z: invocations of SAMPLE-AUGMENTED-SPANNER *)
+  h_levels : int;  (** H: sampling levels inside each invocation *)
+  oversample_shift : int;
+      (** sample each edge [shift] levels denser than its [q_hat] level —
+          unbiased, cuts variance by [2^-shift], grows size by [2^shift]
+          (a laptop-scale substitute for very large [Z]) *)
+  estimate : Estimate.params;
+  spanner : Two_pass_spanner.params;  (** stretch of the sampling spanners *)
+}
+
+val default_params : k:int -> eps:float -> n:int -> params
+(** Scales [z_rounds] like [log n / eps] (scaled-down from the paper's
+    [alpha^2 log n / eps^3], which is far beyond laptop scale; the
+    experiment tables report the measured quality next to the budget). *)
+
+type result = {
+  sparsifier : Ds_graph.Weighted_graph.t;
+  space_words : int;
+  rounds : int;
+}
+
+val run : Ds_util.Prng.t -> n:int -> params:params -> Ds_stream.Update.t array -> result
+
+val space_bound : n:int -> eps:float -> float
+(** Corollary 2's [n * 2^O(sqrt(log n)) / eps^4] in words (unit constant). *)

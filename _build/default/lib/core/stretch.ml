@@ -1,0 +1,95 @@
+open Ds_util
+open Ds_graph
+
+type summary = {
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  samples : int;
+  violations : int;
+}
+
+let summarise values violations =
+  let finite = Array.of_list (List.filter (fun x -> x <> infinity) values) in
+  let max_v =
+    if violations > 0 then infinity
+    else if Array.length finite = 0 then 0.0
+    else Stats.max_arr finite
+  in
+  {
+    max = max_v;
+    mean = Stats.mean finite;
+    p50 = Stats.percentile finite 50.0;
+    p95 = Stats.percentile finite 95.0;
+    samples = List.length values;
+    violations;
+  }
+
+let multiplicative ~base ~spanner =
+  if Graph.n base <> Graph.n spanner then invalid_arg "Stretch.multiplicative: size mismatch";
+  let values = ref [] and violations = ref 0 in
+  for u = 0 to Graph.n base - 1 do
+    if Graph.degree base u > 0 then begin
+      let dh = Bfs.distances spanner ~source:u in
+      Graph.iter_neighbors base u (fun v ->
+          if u < v then
+            if dh.(v) = max_int then begin
+              incr violations;
+              values := infinity :: !values
+            end
+            else values := float_of_int dh.(v) :: !values)
+    end
+  done;
+  summarise !values !violations
+
+let multiplicative_weighted ~base ~spanner =
+  if Weighted_graph.n base <> Weighted_graph.n spanner then
+    invalid_arg "Stretch.multiplicative_weighted: size mismatch";
+  let values = ref [] and violations = ref 0 in
+  for u = 0 to Weighted_graph.n base - 1 do
+    if Weighted_graph.degree base u > 0 then begin
+      let dh = Dijkstra.distances spanner ~source:u in
+      Weighted_graph.iter_neighbors base u (fun v w ->
+          if u < v then
+            if dh.(v) = infinity then begin
+              incr violations;
+              values := infinity :: !values
+            end
+            else values := (dh.(v) /. w) :: !values)
+    end
+  done;
+  summarise !values !violations
+
+let additive ?(pairs = `All) ~base ~spanner () =
+  let n = Graph.n base in
+  if Graph.n spanner <> n then invalid_arg "Stretch.additive: size mismatch";
+  let values = ref [] and violations = ref 0 in
+  let record dg dh =
+    if dg <> max_int then
+      if dh = max_int then begin
+        incr violations;
+        values := infinity :: !values
+      end
+      else values := float_of_int (dh - dg) :: !values
+  in
+  (match pairs with
+  | `All ->
+      for u = 0 to n - 1 do
+        let dg = Bfs.distances base ~source:u in
+        let dh = Bfs.distances spanner ~source:u in
+        for v = u + 1 to n - 1 do
+          record dg.(v) dh.(v)
+        done
+      done
+  | `Sample (rng, count) ->
+      for _ = 1 to count do
+        let u = Prng.int rng n in
+        let v = Prng.int rng n in
+        if u <> v then begin
+          let dg = Bfs.distances base ~source:u in
+          let dh = Bfs.distances spanner ~source:u in
+          record dg.(v) dh.(v)
+        end
+      done);
+  summarise !values !violations

@@ -1,0 +1,34 @@
+(** Exact distortion measurement of a spanner against its base graph.
+
+    For a subgraph [H ⊆ G] the multiplicative stretch
+    [max_{u,v} d_H(u,v) / d_G(u,v)] is attained on an {e edge} of [G]
+    (sub-paths of shortest paths are shortest paths), so the exact stretch
+    needs only one BFS in [H] per vertex — that is what {!multiplicative}
+    computes. Additive distortion has no such reduction, so {!additive}
+    measures all pairs (or a sample) directly. *)
+
+type summary = {
+  max : float;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  samples : int;
+  violations : int;  (** pairs/edges with infinite spanner distance *)
+}
+
+val multiplicative : base:Ds_graph.Graph.t -> spanner:Ds_graph.Graph.t -> summary
+(** Exact stretch over all edges of [base]. A disconnected pair in the
+    spanner counts as a violation and contributes [infinity] to [max]. *)
+
+val multiplicative_weighted :
+  base:Ds_graph.Weighted_graph.t -> spanner:Ds_graph.Weighted_graph.t -> summary
+(** Weighted counterpart (Dijkstra per vertex). *)
+
+val additive :
+  ?pairs:[ `All | `Sample of Ds_util.Prng.t * int ] ->
+  base:Ds_graph.Graph.t ->
+  spanner:Ds_graph.Graph.t ->
+  unit ->
+  summary
+(** Surplus [d_H(u,v) - d_G(u,v)] over vertex pairs (default all pairs,
+    connected in base). *)

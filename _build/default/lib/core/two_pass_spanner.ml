@@ -1,0 +1,312 @@
+open Ds_util
+open Ds_sketch
+open Ds_graph
+open Ds_stream
+
+type params = {
+  k : int;
+  sketch_sparsity : int;
+  sketch_rows : int;
+  table_rows : int;
+  capacity_factor : float;
+  payload : Packed_l0.params;
+  hash_degree : int;
+}
+
+let default_params ~k =
+  {
+    k;
+    sketch_sparsity = 8;
+    sketch_rows = 3;
+    table_rows = 3;
+    capacity_factor = 3.0;
+    payload = Packed_l0.default_params;
+    hash_degree = 6;
+  }
+
+type diagnostics = {
+  terminals_per_level : int array;
+  pass1_decode_failures : int;
+  table_decode_failures : int;
+  payload_decode_failures : int;
+  recovered_edges : int;
+}
+
+type result = {
+  spanner : Graph.t;
+  accessed_edges : (int * int) list;
+  clustering : Clustering.t;
+  space_words : int;
+  diagnostics : diagnostics;
+}
+
+let space_bound ~n ~k =
+  let nf = float_of_int n and kf = float_of_int k in
+  kf *. (nf ** (1.0 +. (1.0 /. kf))) *. log (max 2.0 nf) /. log 2.0
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: the S^r_j sketches and the cluster forest.                   *)
+(* ------------------------------------------------------------------ *)
+
+type pass1 = {
+  n : int;
+  prm : params;
+  edge_dim : int;
+  levels : int; (* number of sampling levels J *)
+  level_hash : Kwise.t; (* nested E_j membership: e in E_j iff level(e) >= j *)
+  centers : Clustering.centers;
+  (* sketches.(u).(r-1).(j) = S^r_j(u), r in [1, k-1]. *)
+  sketches : Sparse_recovery.t array array array;
+  accessed : (int, unit) Hashtbl.t; (* edge indices revealed by any decode *)
+  mutable decode_failures : int;
+}
+
+let make_pass1 rng ~n ~prm =
+  let edge_dim = Edge_index.dim n in
+  let levels = F0.levels_for edge_dim in
+  let centers = Clustering.sample_centers (Prng.split_named rng "centers") ~n ~k:prm.k in
+  let sr_params =
+    {
+      Sparse_recovery.sparsity = prm.sketch_sparsity;
+      rows = prm.sketch_rows;
+      hash_degree = prm.hash_degree;
+    }
+  in
+  (* One prototype per (r, j): all vertices share its hashes (mergeable). *)
+  let protos =
+    Array.init (max 0 (prm.k - 1)) (fun ri ->
+        Array.init levels (fun j ->
+            Sparse_recovery.create
+              (Prng.split_named rng (Printf.sprintf "s.%d.%d" ri j))
+              ~dim:edge_dim ~params:sr_params))
+  in
+  let sketches =
+    Array.init n (fun _ ->
+        Array.map (Array.map Sparse_recovery.clone_zero) protos)
+  in
+  {
+    n;
+    prm;
+    edge_dim;
+    levels;
+    level_hash = Kwise.create (Prng.split_named rng "elevels") ~k:prm.hash_degree;
+    centers;
+    sketches;
+    accessed = Hashtbl.create 1024;
+    decode_failures = 0;
+  }
+
+let pass1_update p (u : Update.t) =
+  let delta = Update.delta u in
+  let idx = Edge_index.encode ~n:p.n u.Update.u u.Update.v in
+  let lvl = min (Kwise.level p.level_hash idx) (p.levels - 1) in
+  for r = 1 to p.prm.k - 1 do
+    if p.centers.(r).(u.Update.v) then
+      for j = 0 to lvl do
+        Sparse_recovery.update p.sketches.(u.Update.u).(r - 1).(j) ~index:idx ~delta
+      done;
+    if p.centers.(r).(u.Update.u) then
+      for j = 0 to lvl do
+        Sparse_recovery.update p.sketches.(u.Update.v).(r - 1).(j) ~index:idx ~delta
+      done
+  done
+
+(* Attach callback: sum member sketches for target level r = level+1, then
+   scan sampling levels from sparsest down; the first non-empty decodable
+   window yields the parent and witness. *)
+let attach p ~level ~root:_ ~members =
+  let r = level + 1 in
+  let member_set = Hashtbl.create (List.length members) in
+  List.iter (fun v -> Hashtbl.replace member_set v ()) members;
+  let record assoc = List.iter (fun (idx, _) -> Hashtbl.replace p.accessed idx ()) assoc in
+  let pick assoc =
+    (* Choose any decoded edge; identify which endpoint is the C_r parent. *)
+    let best = ref None in
+    List.iter
+      (fun (idx, _) ->
+        let a, b = Edge_index.decode ~n:p.n idx in
+        let a_in = Hashtbl.mem member_set a and b_in = Hashtbl.mem member_set b in
+        let candidate =
+          (* witness = (inside endpoint, parent); parent must be in C_r. *)
+          if p.centers.(r).(b) && a_in && not b_in then Some (b, (a, b))
+          else if p.centers.(r).(a) && b_in && not a_in then Some (a, (b, a))
+          else if p.centers.(r).(b) && a_in then Some (b, (a, b))
+          else if p.centers.(r).(a) && b_in then Some (a, (b, a))
+          else None
+        in
+        match (!best, candidate) with
+        | None, Some _ -> best := candidate
+        | _ -> ())
+      assoc;
+    !best
+  in
+  let merged j =
+    match members with
+    | [] -> invalid_arg "Two_pass_spanner.attach: empty cluster"
+    | first :: rest ->
+        let acc = Sparse_recovery.copy p.sketches.(first).(r - 1).(j) in
+        List.iter (fun v -> Sparse_recovery.add acc p.sketches.(v).(r - 1).(j)) rest;
+        acc
+  in
+  let rec scan j =
+    if j < 0 then None
+    else
+      match Sparse_recovery.decode (merged j) with
+      | Some [] -> scan (j - 1)
+      | Some assoc -> (
+          record assoc;
+          match pick assoc with
+          | Some _ as res -> res
+          | None -> scan (j - 1) (* decoded only intra-cluster edges; go denser *))
+      | None ->
+          (* Window [1, B] skipped between levels: count and fall back to
+             terminal (costs table space, never correctness). *)
+          p.decode_failures <- p.decode_failures + 1;
+          None
+  in
+  scan (p.levels - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: terminal-cluster hash tables.                                *)
+(* ------------------------------------------------------------------ *)
+
+type terminal_table = {
+  members : int array;
+  table : Sketch_table.t;
+  payload_cfg : Packed_l0.config option; (* None for singleton clusters *)
+}
+
+type pass2 = {
+  terminal_id_of : int array;
+  rank_in_terminal : int array;
+  tables : terminal_table array; (* indexed by terminal id *)
+}
+
+let make_pass2 rng ~n ~prm (clustering : Clustering.t) =
+  let terminal_id_of = clustering.Clustering.terminal_id_of in
+  let rank_in_terminal = Array.make n (-1) in
+  let log2n = float_of_int (F0.levels_for n) in
+  let tables =
+    Array.mapi
+      (fun tid { Clustering.level; members; _ } ->
+        let members = Array.of_list members in
+        Array.iteri (fun i v -> rank_in_terminal.(v) <- i) members;
+        let trng = Prng.split_named rng (Printf.sprintf "table%d" tid) in
+        let nf = float_of_int n in
+        let expected_keys =
+          prm.capacity_factor *. log2n
+          *. (nf ** (float_of_int (level + 1) /. float_of_int prm.k))
+        in
+        let capacity = max 8 (min (2 * n) (int_of_float (ceil expected_keys))) in
+        let payload_cfg, payload_len =
+          if Array.length members <= 1 then (None, 0)
+          else begin
+            let cfg =
+              Packed_l0.make_config
+                (Prng.split_named trng "payload")
+                ~dim:(Array.length members) ~params:prm.payload
+            in
+            (Some cfg, Packed_l0.state_len cfg)
+          end
+        in
+        let table =
+          Sketch_table.create (Prng.split_named trng "cells") ~key_dim:n ~capacity
+            ~rows:prm.table_rows ~hash_degree:prm.hash_degree ~payload_len
+        in
+        { members; table; payload_cfg })
+      clustering.Clustering.terminals
+  in
+  { terminal_id_of; rank_in_terminal; tables }
+
+let pass2_update p2 (u : Update.t) =
+  let delta = Update.delta u in
+  let route a b =
+    let tid = p2.terminal_id_of.(a) in
+    if p2.terminal_id_of.(b) <> tid then begin
+      let tt = p2.tables.(tid) in
+      let rank = p2.rank_in_terminal.(a) in
+      let write =
+        match tt.payload_cfg with
+        | None -> fun _arr _off -> ()
+        | Some cfg -> fun arr off -> Packed_l0.update cfg arr ~off ~index:rank ~delta
+      in
+      Sketch_table.update tt.table ~key:b ~weight:delta ~write
+    end
+  in
+  route u.Update.u u.Update.v;
+  route u.Update.v u.Update.u
+
+(* ------------------------------------------------------------------ *)
+
+let run rng ~n ~params:prm stream =
+  if prm.k < 1 then invalid_arg "Two_pass_spanner.run: k must be >= 1";
+  let rng = Prng.split_named rng "two_pass_spanner" in
+  let p1 = make_pass1 (Prng.split_named rng "pass1") ~n ~prm in
+  Array.iter (pass1_update p1) stream;
+  let clustering =
+    Clustering.build ~n ~k:prm.k ~centers:p1.centers ~attach:(attach p1)
+  in
+  (* Space of pass 1: per-vertex cells plus one shared hash set per (r, j). *)
+  let pass1_space =
+    let per_sketch =
+      if prm.k > 1 then Sparse_recovery.space_in_words p1.sketches.(0).(0).(0) else 0
+    in
+    n * (prm.k - 1) * p1.levels * per_sketch
+  in
+  let p2 = make_pass2 (Prng.split_named rng "pass2") ~n ~prm clustering in
+  Array.iter (pass2_update p2) stream;
+  (* Assemble the spanner. *)
+  let spanner = Graph.create n in
+  let add a b = if a <> b && not (Graph.mem_edge spanner a b) then Graph.add_edge spanner a b in
+  List.iter (fun (a, b) -> add a b) clustering.Clustering.witnesses;
+  let table_failures = ref 0 and payload_failures = ref 0 and recovered = ref 0 in
+  Array.iter
+    (fun tt ->
+      match Sketch_table.decode tt.table with
+      | None -> incr table_failures
+      | Some entries ->
+          List.iter
+            (fun (key, weight, payload) ->
+              if weight > 0 then
+                match tt.payload_cfg with
+                | None ->
+                    incr recovered;
+                    add tt.members.(0) key
+                | Some cfg -> (
+                    match Packed_l0.decode cfg payload ~off:0 with
+                    | Some (rank, _) ->
+                        incr recovered;
+                        add tt.members.(rank) key
+                    | None -> incr payload_failures))
+            entries)
+    p2.tables;
+  let pass2_space =
+    Array.fold_left (fun acc tt -> acc + Sketch_table.space_in_words tt.table) 0 p2.tables
+  in
+  (* Augmented output: every edge revealed by a successful decode. *)
+  let accessed = ref [] in
+  Hashtbl.iter
+    (fun idx () ->
+      let a, b = Edge_index.decode ~n idx in
+      accessed := (a, b) :: !accessed)
+    p1.accessed;
+  Graph.iter_edges spanner (fun a b -> accessed := (a, b) :: !accessed);
+  let terminals_per_level = Array.make prm.k 0 in
+  Array.iter
+    (fun { Clustering.level; _ } ->
+      terminals_per_level.(level) <- terminals_per_level.(level) + 1)
+    clustering.Clustering.terminals;
+  {
+    spanner;
+    accessed_edges = !accessed;
+    clustering;
+    space_words = pass1_space + pass2_space;
+    diagnostics =
+      {
+        terminals_per_level;
+        pass1_decode_failures = p1.decode_failures;
+        table_decode_failures = !table_failures;
+        payload_decode_failures = !payload_failures;
+        recovered_edges = !recovered;
+      };
+  }

@@ -1,0 +1,55 @@
+(** Theorem 1: the two-pass, [~O(n^{1+1/k})]-space streaming construction of
+    a [2^k]-spanner (Algorithms 1 and 2).
+
+    Pass 1 maintains, for every vertex [u], sampling level [j] and center
+    level [r], the linear sketch [S^r_j(u)] of the edges from [u] into [C_r]
+    restricted to the sampled pair set [E_j]. After the pass, cluster trees
+    are grown bottom-up: summing member sketches (linearity!) yields a sketch
+    of the edges leaving a whole cluster towards [C_{i+1}], from which a
+    parent and a witness edge are decoded.
+
+    Pass 2 gives every terminal cluster [Tu] a linear hash table keyed by
+    outside vertices [v]; each key's payload sketches [N(v) ∩ Tu], so after
+    the pass one edge into the cluster is recovered for every outside
+    neighbour — exactly the edge set the offline algorithm adds.
+
+    The [accessed_edges] field implements the augmentation of Claims 16/18/20
+    used by the spectral sparsifier: every edge of [G] that any successful
+    sketch decode revealed is reported. *)
+
+type params = {
+  k : int;  (** stretch exponent: the spanner has stretch [<= 2^k] *)
+  sketch_sparsity : int;  (** recovery budget of each [S^r_j] (paper: [O(log n)]) *)
+  sketch_rows : int;
+  table_rows : int;
+  capacity_factor : float;
+      (** terminal-table cells = [factor * log2 n * n^((i+1)/k)], capped at [2n] *)
+  payload : Ds_sketch.Packed_l0.params;  (** per-key neighbourhood sampler *)
+  hash_degree : int;
+}
+
+val default_params : k:int -> params
+
+type diagnostics = {
+  terminals_per_level : int array;
+  pass1_decode_failures : int;  (** cluster attach scans that hit an undecodable window *)
+  table_decode_failures : int;  (** terminal tables that failed to decode *)
+  payload_decode_failures : int;  (** keys whose neighbourhood sampler failed *)
+  recovered_edges : int;  (** pass-2 edges added to the spanner *)
+}
+
+type result = {
+  spanner : Ds_graph.Graph.t;
+  accessed_edges : (int * int) list;
+  clustering : Clustering.t;
+  space_words : int;  (** total words of sketch state across both passes *)
+  diagnostics : diagnostics;
+}
+
+val run : Ds_util.Prng.t -> n:int -> params:params -> Ds_stream.Update.t array -> result
+(** Processes the stream twice (the two passes); the stream array itself is
+    the only re-readable input, exactly as in the model. *)
+
+val space_bound : n:int -> k:int -> float
+(** The Theorem 1 bound [~O(n^{1+1/k})] (unit constant, one log factor) in
+    words, for experiment tables. *)

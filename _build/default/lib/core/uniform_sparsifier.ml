@@ -1,0 +1,13 @@
+open Ds_util
+open Ds_graph
+
+let run rng ~p g =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Uniform_sparsifier.run: p must be in (0, 1]";
+  let out = Weighted_graph.create (Weighted_graph.n g) in
+  Weighted_graph.iter_edges g (fun u v w ->
+      if Prng.bernoulli rng p then Weighted_graph.add_edge out u v (w /. p));
+  out
+
+let matching_p ~target_edges g =
+  let m = Weighted_graph.num_edges g in
+  if m = 0 then 1.0 else min 1.0 (float_of_int target_edges /. float_of_int m)

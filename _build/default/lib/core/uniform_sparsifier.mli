@@ -1,0 +1,13 @@
+(** Uniform edge sampling — the naive sparsifier every importance-aware
+    scheme is measured against. Samples each edge with the same probability
+    [p] and weight [1/p]. Unbiased for every cut in expectation, but a cut
+    crossed by few edges (a barbell bridge) is lost with probability
+    [1 - p]: the ablation that shows why Theorem 7's resistances / the
+    paper's robust connectivities are necessary. *)
+
+val run :
+  Ds_util.Prng.t -> p:float -> Ds_graph.Weighted_graph.t -> Ds_graph.Weighted_graph.t
+
+val matching_p : target_edges:int -> Ds_graph.Weighted_graph.t -> float
+(** The sampling rate giving [target_edges] in expectation (for same-size
+    comparisons against other sparsifiers). *)

@@ -1,0 +1,29 @@
+open Ds_util
+open Ds_graph
+open Ds_stream
+
+type result = { spanner : Weighted_graph.t; space_words : int; classes : int }
+
+let stretch_bound ~k ~gamma = float_of_int (1 lsl k) *. (1.0 +. gamma)
+
+let run rng ~n ~params ~gamma ~w_min ~w_max stream =
+  let wc = Weight_class.create ~gamma ~w_min ~w_max in
+  let class_streams = Weight_class.split wc stream in
+  let spanner = Weighted_graph.create n in
+  let space = ref 0 in
+  let non_empty = ref 0 in
+  Array.iteri
+    (fun c cstream ->
+      if Array.length cstream > 0 then begin
+        incr non_empty;
+        let crng = Prng.split_named rng (Printf.sprintf "class%d" c) in
+        let r = Two_pass_spanner.run crng ~n ~params cstream in
+        space := !space + r.Two_pass_spanner.space_words;
+        let w = Weight_class.representative wc c in
+        Graph.iter_edges r.Two_pass_spanner.spanner (fun u v ->
+            (* Classes partition the edges, but be safe about duplicates. *)
+            if not (Weighted_graph.mem_edge spanner u v) then
+              Weighted_graph.add_edge spanner u v w)
+      end)
+    class_streams;
+  { spanner; space_words = !space; classes = !non_empty }

@@ -1,0 +1,26 @@
+(** Remark 14: spanners of weighted graphs by geometric weight classes.
+
+    Weights are rounded to powers of [1 + gamma]; one unweighted two-pass
+    spanner runs per class on the class-filtered stream, and the union of
+    the per-class spanners (with class-representative weights) is a
+    [2^k (1 + gamma)]-spanner of the weighted graph, at a space cost of
+    [O(log(wmax/wmin) / gamma)] unweighted instances. *)
+
+type result = {
+  spanner : Ds_graph.Weighted_graph.t;
+  space_words : int;
+  classes : int;  (** number of (non-empty) weight classes processed *)
+}
+
+val run :
+  Ds_util.Prng.t ->
+  n:int ->
+  params:Two_pass_spanner.params ->
+  gamma:float ->
+  w_min:float ->
+  w_max:float ->
+  Ds_stream.Update.weighted array ->
+  result
+
+val stretch_bound : k:int -> gamma:float -> float
+(** [2^k * (1 + gamma)]. *)

@@ -1,0 +1,34 @@
+open Ds_util
+open Ds_graph
+open Ds_stream
+
+type result = { sparsifier : Weighted_graph.t; space_words : int; classes : int }
+
+let quality_bound ~eps ~gamma = ((1.0 -. eps) /. (1.0 +. gamma), (1.0 +. eps) *. (1.0 +. gamma))
+
+let run rng ~n ~params ~gamma ~w_min ~w_max stream =
+  let wc = Weight_class.create ~gamma ~w_min ~w_max in
+  let class_streams = Weight_class.split wc stream in
+  let sparsifier = Weighted_graph.create n in
+  let space = ref 0 and non_empty = ref 0 in
+  Array.iteri
+    (fun c cstream ->
+      if Array.length cstream > 0 then begin
+        incr non_empty;
+        let crng = Prng.split_named rng (Printf.sprintf "wclass%d" c) in
+        let r = Sparsify.run crng ~n ~params cstream in
+        space := !space + r.Sparsify.space_words;
+        let scale = Weight_class.representative wc c in
+        Weighted_graph.iter_edges r.Sparsify.sparsifier (fun u v w ->
+            let extra = scale *. w in
+            match Weighted_graph.weight sparsifier u v with
+            | None -> Weighted_graph.add_edge sparsifier u v extra
+            | Some prev ->
+                (* Classes partition edges, but sampled outputs of different
+                   classes may both name an edge after rounding collisions;
+                   accumulate. *)
+                Weighted_graph.remove_edge sparsifier u v;
+                Weighted_graph.add_edge sparsifier u v (prev +. extra))
+      end)
+    class_streams;
+  { sparsifier; space_words = !space; classes = !non_empty }

@@ -1,0 +1,27 @@
+(** Corollary 2 for weighted graphs: the paper's statement carries a
+    [log(wmax/wmin)] factor because the input is split into geometric weight
+    classes (Section 6: "first, we round all edge weights to the nearest
+    power of (1+gamma)") and one unweighted sparsifier runs per class. The
+    union, with each class's output weights scaled by the class
+    representative, is a [(1 + gamma)(1 ± eps)]-spectral sparsifier of the
+    weighted input. *)
+
+type result = {
+  sparsifier : Ds_graph.Weighted_graph.t;
+  space_words : int;
+  classes : int;  (** non-empty weight classes processed *)
+}
+
+val run :
+  Ds_util.Prng.t ->
+  n:int ->
+  params:Sparsify.params ->
+  gamma:float ->
+  w_min:float ->
+  w_max:float ->
+  Ds_stream.Update.weighted array ->
+  result
+
+val quality_bound : eps:float -> gamma:float -> float * float
+(** [(lo, hi)] multiplicative window the pencil eigenvalues must land in:
+    [((1-eps)/(1+gamma), (1+eps)(1+gamma))]. *)

@@ -1,0 +1,1 @@
+lib/graph/components.ml: Array Graph Hashtbl Queue Union_find

@@ -1,0 +1,1 @@
+lib/graph/diameter.ml: Array Bfs Components Graph Hashtbl Option

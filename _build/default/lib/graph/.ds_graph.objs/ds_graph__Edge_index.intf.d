@@ -1,0 +1,1 @@
+lib/graph/edge_index.mli:

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Ds_util Edge_index Graph Hashtbl Prng

@@ -1,0 +1,1 @@
+lib/graph/graphviz.ml: Buffer Fun Graph Printf Weighted_graph

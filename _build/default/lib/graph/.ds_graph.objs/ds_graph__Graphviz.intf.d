@@ -1,0 +1,1 @@
+lib/graph/graphviz.mli: Graph Weighted_graph

@@ -1,0 +1,1 @@
+lib/graph/min_cut.ml: Array Components Float Graph Weighted_graph

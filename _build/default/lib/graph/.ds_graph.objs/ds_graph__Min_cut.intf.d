@@ -1,0 +1,1 @@
+lib/graph/min_cut.mli: Graph Weighted_graph

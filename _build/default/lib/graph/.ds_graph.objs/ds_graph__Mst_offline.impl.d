@@ -1,0 +1,1 @@
+lib/graph/mst_offline.ml: List Union_find Weighted_graph

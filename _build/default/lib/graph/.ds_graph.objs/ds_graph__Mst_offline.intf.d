@@ -1,0 +1,1 @@
+lib/graph/mst_offline.mli: Weighted_graph

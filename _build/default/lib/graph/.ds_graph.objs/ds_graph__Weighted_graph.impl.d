@@ -1,0 +1,1 @@
+lib/graph/weighted_graph.ml: Array Graph Hashtbl List

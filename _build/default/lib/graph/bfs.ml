@@ -1,0 +1,26 @@
+let distances_capped g ~source ~cap =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  dist.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.take q in
+    if dist.(u) < cap then
+      Graph.iter_neighbors g u (fun v ->
+          if dist.(v) = max_int then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.add v q
+          end)
+  done;
+  dist
+
+let distances g ~source = distances_capped g ~source ~cap:max_int
+let distance g u v = (distances g ~source:u).(v)
+let all_pairs g = Array.init (Graph.n g) (fun source -> distances g ~source)
+
+let eccentricity g u =
+  Array.fold_left
+    (fun acc d -> if d <> max_int && d > acc then d else acc)
+    0
+    (distances g ~source:u)

@@ -1,0 +1,38 @@
+let labels g =
+  let n = Graph.n g in
+  let label = Array.make n (-1) in
+  for s = 0 to n - 1 do
+    if label.(s) = -1 then begin
+      let q = Queue.create () in
+      Queue.add s q;
+      label.(s) <- s;
+      while not (Queue.is_empty q) do
+        let u = Queue.take q in
+        Graph.iter_neighbors g u (fun v ->
+            if label.(v) = -1 then begin
+              label.(v) <- s;
+              Queue.add v q
+            end)
+      done
+    end
+  done;
+  label
+
+let count g =
+  let l = labels g in
+  let distinct = Hashtbl.create 16 in
+  Array.iter (fun x -> Hashtbl.replace distinct x ()) l;
+  Hashtbl.length distinct
+
+let same_component g u v =
+  let l = labels g in
+  l.(u) = l.(v)
+
+let is_connected g = count g = 1
+
+let spanning_forest g =
+  let n = Graph.n g in
+  let uf = Union_find.create n in
+  let forest = ref [] in
+  Graph.iter_edges g (fun u v -> if Union_find.union uf u v then forest := (u, v) :: !forest);
+  !forest

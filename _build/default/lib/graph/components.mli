@@ -1,0 +1,12 @@
+(** Connected components of the reference graph. *)
+
+val labels : Graph.t -> int array
+(** [labels g] assigns every vertex the smallest vertex id in its component. *)
+
+val count : Graph.t -> int
+val same_component : Graph.t -> int -> int -> bool
+val is_connected : Graph.t -> bool
+
+val spanning_forest : Graph.t -> (int * int) list
+(** A spanning forest (one tree per component) computed offline; the ground
+    truth the AGM sketch output is checked against. *)

@@ -1,0 +1,60 @@
+let exact g =
+  let n = Graph.n g in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    let e = Bfs.eccentricity g v in
+    if e > !best then best := e
+  done;
+  !best
+
+let farthest g source =
+  let dist = Bfs.distances g ~source in
+  let best = ref source and bd = ref 0 in
+  Array.iteri
+    (fun v d ->
+      if d <> max_int && d > !bd then begin
+        bd := d;
+        best := v
+      end)
+    dist;
+  (!best, !bd)
+
+let double_sweep g =
+  let n = Graph.n g in
+  if n = 0 then 0
+  else begin
+    (* Start from a non-isolated vertex if one exists. *)
+    let start = ref 0 in
+    (try
+       for v = 0 to n - 1 do
+         if Graph.degree g v > 0 then begin
+           start := v;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let far, _ = farthest g !start in
+    let _, d = farthest g far in
+    d
+  end
+
+let radius g =
+  let n = Graph.n g in
+  (* Restrict to the largest component so the radius is finite. *)
+  let labels = Components.labels g in
+  let sizes = Hashtbl.create 8 in
+  Array.iter
+    (fun l ->
+      Hashtbl.replace sizes l (1 + Option.value ~default:0 (Hashtbl.find_opt sizes l)))
+    labels;
+  let big, _ =
+    Hashtbl.fold (fun l s (bl, bs) -> if s > bs then (l, s) else (bl, bs)) sizes (0, 0)
+  in
+  let best = ref max_int in
+  for v = 0 to n - 1 do
+    if labels.(v) = big then begin
+      let e = Bfs.eccentricity g v in
+      if e < !best then best := e
+    end
+  done;
+  if !best = max_int then 0 else !best

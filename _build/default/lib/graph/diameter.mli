@@ -1,0 +1,14 @@
+(** Graph diameter: exact (all BFS) and the classical 2-approximation
+    (one BFS from an arbitrary vertex). Used by the experiment harness to
+    report workload properties — stretch is only informative relative to the
+    diameter of the input. *)
+
+val exact : Graph.t -> int
+(** Largest finite pairwise distance; 0 for edgeless graphs. O(n * m). *)
+
+val double_sweep : Graph.t -> int
+(** Lower bound from two BFS sweeps (exact on trees, excellent in
+    practice). *)
+
+val radius : Graph.t -> int
+(** Minimum eccentricity over vertices of the largest component. *)

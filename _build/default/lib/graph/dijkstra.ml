@@ -1,0 +1,64 @@
+(* Minimal binary heap of (distance, vertex). *)
+module Heap = struct
+  type t = { mutable data : (float * int) array; mutable len : int }
+
+  let create () = { data = Array.make 16 (0.0, 0); len = 0 }
+  let is_empty h = h.len = 0
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h x =
+    if h.len = Array.length h.data then begin
+      let bigger = Array.make (2 * h.len) (0.0, 0) in
+      Array.blit h.data 0 bigger 0 h.len;
+      h.data <- bigger
+    end;
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then smallest := l;
+      if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+let distances g ~source =
+  let n = Weighted_graph.n g in
+  let dist = Array.make n infinity in
+  dist.(source) <- 0.0;
+  let h = Heap.create () in
+  Heap.push h (0.0, source);
+  while not (Heap.is_empty h) do
+    let d, u = Heap.pop h in
+    if d <= dist.(u) then
+      Weighted_graph.iter_neighbors g u (fun v w ->
+          let nd = d +. w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            Heap.push h (nd, v)
+          end)
+  done;
+  dist
+
+let distance g u v = (distances g ~source:u).(v)

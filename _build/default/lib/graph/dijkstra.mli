@@ -1,0 +1,7 @@
+(** Exact weighted shortest paths (binary-heap Dijkstra) — the verification
+    oracle for weighted spanners. *)
+
+val distances : Weighted_graph.t -> source:int -> float array
+(** Weighted distances from [source]; [infinity] for unreachable. *)
+
+val distance : Weighted_graph.t -> int -> int -> float

@@ -1,0 +1,27 @@
+let dim n = n * (n - 1) / 2
+
+let encode ~n u v =
+  if u = v then invalid_arg "Edge_index.encode: self-loop";
+  if u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Edge_index.encode: out of range";
+  let u, v = if u < v then (u, v) else (v, u) in
+  (* Row u starts after rows 0..u-1, which hold (n-1) + (n-2) + ... entries. *)
+  (u * (n - 1)) - (u * (u - 1) / 2) + (v - u - 1)
+
+let decode ~n idx =
+  if idx < 0 || idx >= dim n then invalid_arg "Edge_index.decode: out of range";
+  (* Find the row u by walking; rows shrink so this is O(n) worst case, but
+     callers on hot paths decode rarely (only after a successful sketch
+     decode). *)
+  let rec find_row u start =
+    let row_len = n - 1 - u in
+    if idx < start + row_len then (u, start) else find_row (u + 1) (start + row_len)
+  in
+  let u, start = find_row 0 0 in
+  (u, u + 1 + (idx - start))
+
+let iter_pairs ~n f =
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      f u v
+    done
+  done

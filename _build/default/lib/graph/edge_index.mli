@@ -1,0 +1,18 @@
+(** Bijection between vertex pairs and the [binom(n,2)]-dimensional edge
+    space. The paper views a multigraph on [n] vertices as a vector indexed
+    by unordered pairs; every sketch in the system addresses edges through
+    this encoding. Pairs are canonicalised to [u < v]; the encoding is the
+    row-major upper triangle. *)
+
+val dim : int -> int
+(** [dim n] is [n * (n-1) / 2], the number of unordered pairs. *)
+
+val encode : n:int -> int -> int -> int
+(** [encode ~n u v] is the index of the unordered pair [{u, v}].
+    Requires [0 <= u, v < n] and [u <> v]. *)
+
+val decode : n:int -> int -> int * int
+(** Inverse of {!encode}; returns [(u, v)] with [u < v]. *)
+
+val iter_pairs : n:int -> (int -> int -> unit) -> unit
+(** Iterate all unordered pairs [(u, v)], [u < v], in encoding order. *)

@@ -1,0 +1,26 @@
+let to_dot ?highlight ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  Graph.iter_edges g (fun u v ->
+      let bold =
+        match highlight with
+        | Some h -> u < Graph.n h && v < Graph.n h && Graph.mem_edge h u v
+        | None -> false
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d%s;\n" u v
+           (if bold then " [penwidth=2.5, color=black]" else " [color=gray60]")));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let weighted_to_dot ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [shape=circle];\n" name);
+  Weighted_graph.iter_edges g (fun u v w ->
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d [label=\"%.2g\"];\n" u v w));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save path dot =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc dot)

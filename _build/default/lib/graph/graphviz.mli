@@ -1,0 +1,12 @@
+(** Graphviz (dot) export for eyeballing graphs, spanners, and certificates.
+    Optional edge highlighting renders a subgraph (e.g. a spanner) in bold
+    over its base graph. *)
+
+val to_dot : ?highlight:Graph.t -> ?name:string -> Graph.t -> string
+(** Undirected dot source. Edges also present in [highlight] are bold. *)
+
+val weighted_to_dot : ?name:string -> Weighted_graph.t -> string
+(** Edges labelled with their weights. *)
+
+val save : string -> string -> unit
+(** [save path dot_source]. *)

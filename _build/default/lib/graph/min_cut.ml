@@ -1,0 +1,59 @@
+(* Stoer–Wagner minimum cut: repeated maximum-adjacency orderings; after
+   each ordering the cut-of-the-phase (last vertex vs the rest) is a
+   candidate, and the last two vertices are merged. *)
+
+let stoer_wagner g =
+  let n = Weighted_graph.n g in
+  if n < 2 then infinity
+  else begin
+    (* Dense working copy of edge weights between supernodes. *)
+    let w = Array.make_matrix n n 0.0 in
+    Weighted_graph.iter_edges g (fun u v x ->
+        w.(u).(v) <- w.(u).(v) +. x;
+        w.(v).(u) <- w.(v).(u) +. x);
+    let alive = Array.make n true in
+    let best = ref infinity in
+    let remaining = ref n in
+    while !remaining > 1 do
+      (* Maximum-adjacency order over alive supernodes. *)
+      let in_a = Array.make n false in
+      let key = Array.make n 0.0 in
+      let prev = ref (-1) and last = ref (-1) in
+      for _ = 1 to !remaining do
+        (* pick alive, not yet added, with max key *)
+        let sel = ref (-1) in
+        for v = 0 to n - 1 do
+          if alive.(v) && not in_a.(v) && (!sel = -1 || key.(v) > key.(!sel)) then sel := v
+        done;
+        let v = !sel in
+        in_a.(v) <- true;
+        prev := !last;
+        last := v;
+        for u = 0 to n - 1 do
+          if alive.(u) && not in_a.(u) then key.(u) <- key.(u) +. w.(v).(u)
+        done
+      done;
+      (* Cut of the phase: last vertex alone. *)
+      best := min !best key.(!last);
+      (* Merge last into prev. *)
+      let s = !last and t = !prev in
+      alive.(s) <- false;
+      for u = 0 to n - 1 do
+        if alive.(u) && u <> t then begin
+          w.(t).(u) <- w.(t).(u) +. w.(s).(u);
+          w.(u).(t) <- w.(u).(t) +. w.(u).(s)
+        end
+      done;
+      decr remaining
+    done;
+    !best
+  end
+
+let edge_connectivity g =
+  let n = Graph.n g in
+  if n < 2 then max_int
+  else if not (Components.is_connected g) then 0
+  else begin
+    let wg = Weighted_graph.of_graph g in
+    int_of_float (Float.round (stoer_wagner wg))
+  end

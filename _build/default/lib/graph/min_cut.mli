@@ -1,0 +1,10 @@
+(** Global minimum cut (Stoer–Wagner), O(n^3) — the offline verifier for the
+    k-edge-connectivity certificates extracted from AGM sketches. *)
+
+val stoer_wagner : Weighted_graph.t -> float
+(** Weight of a global minimum cut. [infinity] for graphs with fewer than
+    two vertices; [0.0] if disconnected. *)
+
+val edge_connectivity : Graph.t -> int
+(** Unweighted edge connectivity (minimum number of edges whose removal
+    disconnects the graph); [max_int] on a single vertex. *)

@@ -1,0 +1,9 @@
+let kruskal g =
+  let n = Weighted_graph.n g in
+  let edges =
+    List.sort (fun (_, _, w1) (_, _, w2) -> compare w1 w2) (Weighted_graph.edges g)
+  in
+  let uf = Union_find.create n in
+  List.filter (fun (u, v, _) -> Union_find.union uf u v) edges
+
+let forest_weight edges = List.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 edges

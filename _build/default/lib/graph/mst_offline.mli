@@ -1,0 +1,7 @@
+(** Exact minimum spanning forest (Kruskal) — the verifier for the sketched
+    (1+gamma)-MST. *)
+
+val kruskal : Weighted_graph.t -> (int * int * float) list
+(** Minimum spanning forest edges (one tree per component). *)
+
+val forest_weight : (int * int * float) list -> float

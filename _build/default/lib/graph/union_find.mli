@@ -1,0 +1,17 @@
+(** Disjoint sets with path compression and union by rank; used by the
+    Boruvka rounds of the AGM spanning-forest extraction and by the
+    reference connectivity checks. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the classes of [a] and [b]; returns [false] when
+    they were already equal. *)
+
+val same : t -> int -> int -> bool
+val num_classes : t -> int
+val class_members : t -> int list array
+(** Members of each class, indexed by class representative (empty lists at
+    non-representative indices). *)

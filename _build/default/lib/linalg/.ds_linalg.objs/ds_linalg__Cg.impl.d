@@ -1,0 +1,1 @@
+lib/linalg/cg.ml: Array Ds_graph Laplacian Vec

@@ -1,0 +1,1 @@
+lib/linalg/laplacian.ml: Array Ds_graph List Matrix Weighted_graph

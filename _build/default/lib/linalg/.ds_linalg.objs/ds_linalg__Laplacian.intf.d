@@ -1,0 +1,1 @@
+lib/linalg/laplacian.mli: Ds_graph Matrix

@@ -1,0 +1,1 @@
+lib/linalg/power_iteration.ml: Cg Ds_graph Ds_util Laplacian Prng Vec Weighted_graph

@@ -1,0 +1,1 @@
+lib/linalg/power_iteration.mli: Ds_graph

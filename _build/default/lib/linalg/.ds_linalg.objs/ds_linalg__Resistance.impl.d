@@ -1,0 +1,1 @@
+lib/linalg/resistance.ml: Array Cg Components Ds_graph List Weighted_graph

@@ -1,0 +1,1 @@
+lib/linalg/resistance.mli: Ds_graph

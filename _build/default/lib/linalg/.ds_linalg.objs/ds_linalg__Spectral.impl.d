@@ -1,0 +1,1 @@
+lib/linalg/spectral.ml: Array Ds_graph Ds_util Jacobi Laplacian List Matrix Prng Vec Weighted_graph

@@ -1,0 +1,1 @@
+lib/linalg/spectral.mli: Ds_graph Ds_util

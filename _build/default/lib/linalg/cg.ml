@@ -1,0 +1,38 @@
+type result = { x : float array; iterations : int; residual : float }
+
+let solve g ~b ?(tol = 1e-9) ?(max_iter = 0) () =
+  let n = Ds_graph.Weighted_graph.n g in
+  if Array.length b <> n then invalid_arg "Cg.solve: size mismatch";
+  let max_iter = if max_iter = 0 then 20 * n else max_iter in
+  let b = Array.copy b in
+  Vec.project_off_ones b;
+  let x = Array.make n 0.0 in
+  let r = Array.copy b in
+  let p = Array.copy r in
+  let rs = ref (Vec.dot r r) in
+  let bnorm = max (sqrt !rs) 1e-30 in
+  let iters = ref 0 in
+  while sqrt !rs /. bnorm > tol && !iters < max_iter do
+    incr iters;
+    let lp = Laplacian.apply g p in
+    let denom = Vec.dot p lp in
+    if denom <= 0.0 then
+      (* Hit the kernel (disconnected graph or numerical trouble): stop. *)
+      rs := 0.0
+    else begin
+      let alpha = !rs /. denom in
+      Vec.axpy alpha p x;
+      Vec.axpy (-.alpha) lp r;
+      (* CG drifts into the kernel over many iterations; re-project. *)
+      Vec.project_off_ones r;
+      let rs' = Vec.dot r r in
+      let beta = rs' /. !rs in
+      for i = 0 to n - 1 do
+        p.(i) <- r.(i) +. (beta *. p.(i))
+      done;
+      rs := rs'
+    end
+  done;
+  Vec.project_off_ones x;
+  let residual = Vec.norm (Vec.sub (Laplacian.apply g x) b) /. bnorm in
+  { x; iterations = !iters; residual }

@@ -1,0 +1,12 @@
+(** Conjugate gradients for Laplacian systems. Solves [L x = b] on the
+    subspace orthogonal to the all-ones vector (the solvable subspace of a
+    connected graph's Laplacian); this is how effective resistances are
+    computed without densifying. *)
+
+type result = { x : float array; iterations : int; residual : float }
+
+val solve :
+  Ds_graph.Weighted_graph.t -> b:float array -> ?tol:float -> ?max_iter:int -> unit -> result
+(** [b] is projected off the ones vector first. @raise Invalid_argument when
+    [b]'s length differs from the vertex count. The solution is the
+    minimum-norm one (mean zero). *)

@@ -1,0 +1,93 @@
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows + 1 *)
+  col_idx : int array;
+  values : float array;
+}
+
+let of_triplets ~rows ~cols triplets =
+  if rows < 1 || cols < 1 then invalid_arg "Csr.of_triplets: bad shape";
+  List.iter
+    (fun (r, c, _) ->
+      if r < 0 || r >= rows || c < 0 || c >= cols then
+        invalid_arg "Csr.of_triplets: index out of range")
+    triplets;
+  (* Sort by (row, col) and fuse duplicates. *)
+  let sorted = List.sort compare triplets in
+  let fused = ref [] in
+  List.iter
+    (fun (r, c, v) ->
+      match !fused with
+      | (r', c', v') :: rest when r' = r && c' = c -> fused := (r, c, v +. v') :: rest
+      | _ -> fused := (r, c, v) :: !fused)
+    sorted;
+  let entries = Array.of_list (List.rev !fused) in
+  let nnz = Array.length entries in
+  let row_ptr = Array.make (rows + 1) 0 in
+  Array.iter (fun (r, _, _) -> row_ptr.(r + 1) <- row_ptr.(r + 1) + 1) entries;
+  for r = 0 to rows - 1 do
+    row_ptr.(r + 1) <- row_ptr.(r + 1) + row_ptr.(r)
+  done;
+  let col_idx = Array.make nnz 0 and values = Array.make nnz 0.0 in
+  Array.iteri
+    (fun i (_, c, v) ->
+      col_idx.(i) <- c;
+      values.(i) <- v)
+    entries;
+  { rows; cols; row_ptr; col_idx; values }
+
+let of_laplacian g =
+  let n = Ds_graph.Weighted_graph.n g in
+  let triplets = ref [] in
+  Ds_graph.Weighted_graph.iter_edges g (fun u v w ->
+      triplets :=
+        (u, v, -.w) :: (v, u, -.w) :: (u, u, w) :: (v, v, w) :: !triplets);
+  of_triplets ~rows:n ~cols:n !triplets
+
+let rows t = t.rows
+let cols t = t.cols
+let nnz t = Array.length t.values
+
+let get t r c =
+  if r < 0 || r >= t.rows || c < 0 || c >= t.cols then invalid_arg "Csr.get: out of range";
+  let lo = ref t.row_ptr.(r) and hi = ref (t.row_ptr.(r + 1) - 1) in
+  let result = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.col_idx.(mid) = c then begin
+      result := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if t.col_idx.(mid) < c then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !result
+
+let mul_vec t x =
+  if Array.length x <> t.cols then invalid_arg "Csr.mul_vec: size mismatch";
+  Array.init t.rows (fun r ->
+      let acc = ref 0.0 in
+      for i = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+        acc := !acc +. (t.values.(i) *. x.(t.col_idx.(i)))
+      done;
+      !acc)
+
+let transpose t =
+  let triplets = ref [] in
+  for r = 0 to t.rows - 1 do
+    for i = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+      triplets := (t.col_idx.(i), r, t.values.(i)) :: !triplets
+    done
+  done;
+  of_triplets ~rows:t.cols ~cols:t.rows !triplets
+
+let to_dense t =
+  if t.rows <> t.cols then invalid_arg "Csr.to_dense: only square supported";
+  let m = Matrix.create t.rows in
+  for r = 0 to t.rows - 1 do
+    for i = t.row_ptr.(r) to t.row_ptr.(r + 1) - 1 do
+      Matrix.set m r t.col_idx.(i) t.values.(i)
+    done
+  done;
+  m

@@ -1,0 +1,23 @@
+(** Compressed sparse row matrices — O(nnz) storage and matrix–vector
+    products, so verification-side iterative methods (CG, power iteration)
+    scale past the dense [Matrix] limit. Rows are built once from triplets
+    and immutable afterwards. *)
+
+type t
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+(** Duplicate entries are summed. @raise Invalid_argument on out-of-range
+    indices. *)
+
+val of_laplacian : Ds_graph.Weighted_graph.t -> t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+val get : t -> int -> int -> float
+(** O(log row-length) lookup. *)
+
+val mul_vec : t -> float array -> float array
+val transpose : t -> t
+val to_dense : t -> Matrix.t
+(** For tests; O(rows * cols) memory. *)

@@ -1,0 +1,41 @@
+open Ds_graph
+
+let dense g =
+  let n = Weighted_graph.n g in
+  let m = Matrix.create n in
+  Weighted_graph.iter_edges g (fun u v w ->
+      Matrix.add_to m u v (-.w);
+      Matrix.add_to m v u (-.w);
+      Matrix.add_to m u u w;
+      Matrix.add_to m v v w);
+  m
+
+let apply g x =
+  let n = Weighted_graph.n g in
+  if Array.length x <> n then invalid_arg "Laplacian.apply: size mismatch";
+  let y = Array.make n 0.0 in
+  Weighted_graph.iter_edges g (fun u v w ->
+      let d = x.(u) -. x.(v) in
+      y.(u) <- y.(u) +. (w *. d);
+      y.(v) <- y.(v) -. (w *. d));
+  y
+
+let quadratic_form g x =
+  let acc = ref 0.0 in
+  Weighted_graph.iter_edges g (fun u v w ->
+      let d = x.(u) -. x.(v) in
+      acc := !acc +. (w *. d *. d));
+  !acc
+
+let cut_weight g members =
+  let n = Weighted_graph.n g in
+  let inside = Array.make n false in
+  List.iter (fun i -> inside.(i) <- true) members;
+  let acc = ref 0.0 in
+  Weighted_graph.iter_edges g (fun u v w -> if inside.(u) <> inside.(v) then acc := !acc +. w);
+  !acc
+
+let degree_weighted g u =
+  let acc = ref 0.0 in
+  Weighted_graph.iter_neighbors g u (fun _ w -> acc := !acc +. w);
+  !acc

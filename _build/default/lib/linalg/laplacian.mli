@@ -1,0 +1,18 @@
+(** Graph Laplacians (Section 2): [L(i,j) = -w(i,j)], [L(i,i) = sum_j w_ij].
+    Provides both a dense materialisation (verification) and matrix-free
+    application/quadratic forms (cheap enough for CG). *)
+
+val dense : Ds_graph.Weighted_graph.t -> Matrix.t
+
+val apply : Ds_graph.Weighted_graph.t -> float array -> float array
+(** [L x] in O(m) without materialising [L]. *)
+
+val quadratic_form : Ds_graph.Weighted_graph.t -> float array -> float
+(** [x^T L x = sum_e w_e (x_u - x_v)^2], computed edge-wise (exact,
+    numerically stable, O(m)). *)
+
+val cut_weight : Ds_graph.Weighted_graph.t -> int list -> float
+(** Total weight crossing the cut [(S, V \ S)]; equals the quadratic form of
+    the indicator vector of [S]. *)
+
+val degree_weighted : Ds_graph.Weighted_graph.t -> int -> float

@@ -1,0 +1,21 @@
+(** Power iteration on Laplacian pencils — a cheap, matrix-free alternative
+    to the dense Jacobi route in {!Spectral} for larger verification graphs.
+
+    [lambda_max_pencil] estimates [max_x x^T L_H x / x^T L_G x] by iterating
+    [x <- L_G^+ L_H x] (each application is one CG solve), deflating the
+    all-ones kernel. Converges linearly in the eigogap; intended for
+    sanity-scale checks, with {!Spectral} remaining the exact oracle. *)
+
+val lambda_max :
+  Ds_graph.Weighted_graph.t -> ?iters:int -> ?seed:int -> unit -> float
+(** Largest Laplacian eigenvalue of a graph (ordinary power iteration). *)
+
+val lambda_max_pencil :
+  base:Ds_graph.Weighted_graph.t ->
+  candidate:Ds_graph.Weighted_graph.t ->
+  ?iters:int ->
+  ?seed:int ->
+  unit ->
+  float
+(** Largest generalized eigenvalue of [(L_candidate, L_base)] on the range
+    of [L_base]. Requires the base graph to be connected. *)

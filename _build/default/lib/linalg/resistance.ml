@@ -1,0 +1,19 @@
+open Ds_graph
+
+let effective g u v =
+  if u = v then invalid_arg "Resistance.effective: self-pair";
+  let n = Weighted_graph.n g in
+  if not (Components.same_component (Weighted_graph.unweighted g) u v) then infinity
+  else begin
+    let b = Array.make n 0.0 in
+    b.(u) <- 1.0;
+    b.(v) <- -1.0;
+    let { Cg.x; _ } = Cg.solve g ~b ~tol:1e-10 () in
+    x.(u) -. x.(v)
+  end
+
+let all_edges g =
+  List.map (fun (u, v, w) -> (u, v, w, effective g u v)) (Weighted_graph.edges g)
+
+let total g =
+  List.fold_left (fun acc (_, _, w, r) -> acc +. (w *. r)) 0.0 (all_edges g)

@@ -1,0 +1,17 @@
+(** Effective resistances (Section 2): the potential difference across
+    [{u, v}] when a unit current is injected at [u] and extracted at [v],
+    with every edge [e] a conductor of conductance [w_e]. Computed by
+    conjugate gradients, [R_uv = (e_u - e_v)^T L^+ (e_u - e_v)]. These are
+    the sampling probabilities of the [SS08] baseline (Theorem 7) and the
+    quantity the KP12 robust connectivities approximate. *)
+
+val effective : Ds_graph.Weighted_graph.t -> int -> int -> float
+(** @raise Invalid_argument on a self-pair. Returns [infinity] when [u] and
+    [v] are in different components. *)
+
+val all_edges : Ds_graph.Weighted_graph.t -> (int * int * float * float) list
+(** [(u, v, w_e, R_e)] for every edge. One CG solve per edge. *)
+
+val total : Ds_graph.Weighted_graph.t -> float
+(** [sum_e w_e R_e]; equals [n - #components] exactly (Foster's theorem) —
+    used as a self-check in tests. *)

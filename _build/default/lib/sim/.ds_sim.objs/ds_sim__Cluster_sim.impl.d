@@ -1,0 +1,1 @@
+lib/sim/cluster_sim.ml: Agm_sketch Array Components Ds_agm Ds_graph Ds_stream Ds_util Format Graph List Prng String Update

@@ -1,0 +1,1 @@
+lib/sim/cluster_sim.mli: Ds_stream Ds_util Format

@@ -1,0 +1,83 @@
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_agm
+
+type partition = Round_robin | By_vertex | Random of int
+
+type report = {
+  servers : int;
+  updates_total : int;
+  updates_per_server : int array;
+  bytes_per_server : int array;
+  bytes_total : int;
+  words_per_server : int;
+  forest_edges : int;
+  forest_correct : bool;
+}
+
+let assign partition ~servers =
+  match partition with
+  | Round_robin -> fun i _u -> i mod servers
+  | By_vertex -> fun _i (u : Update.t) -> min u.Update.u u.Update.v mod servers
+  | Random seed ->
+      let rng = Prng.create seed in
+      fun _i _u -> Prng.int rng servers
+
+let run rng ~n ~servers ~partition stream =
+  if servers < 1 then invalid_arg "Cluster_sim.run: need at least one server";
+  let params = Agm_sketch.default_params ~n in
+  (* Shared randomness: all servers and the coordinator derive identical
+     sketch structure from the same seed. *)
+  let shared = Prng.split_named rng "shared-sketch-seed" in
+  let fresh () = Agm_sketch.create (Prng.copy shared) ~n ~params in
+  let shards = Array.init servers (fun _ -> fresh ()) in
+  let counts = Array.make servers 0 in
+  let route = assign partition ~servers in
+  Array.iteri
+    (fun i u ->
+      let s = route i u in
+      counts.(s) <- counts.(s) + 1;
+      Agm_sketch.update shards.(s) ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+    stream;
+  (* Ship: serialize every shard (the communication the paper counts). *)
+  let messages = Array.map Agm_sketch.serialize shards in
+  let bytes_per_server = Array.map String.length messages in
+  (* Coordinator: absorb and sum. *)
+  let coordinator = fresh () in
+  let scratch = fresh () in
+  Array.iter
+    (fun m ->
+      Agm_sketch.deserialize_into scratch m;
+      Agm_sketch.add coordinator scratch)
+    messages;
+  let forest = Agm_sketch.spanning_forest coordinator in
+  (* Verification against offline ground truth. *)
+  let g = Update.final_graph ~n stream in
+  let forest_correct =
+    List.for_all (fun (u, v) -> Graph.mem_edge g u v) forest
+    &&
+    let fg = Graph.create n in
+    List.iter (fun (u, v) -> if not (Graph.mem_edge fg u v) then Graph.add_edge fg u v) forest;
+    Components.count fg = Components.count g
+    && List.length forest = n - Components.count g
+  in
+  {
+    servers;
+    updates_total = Array.length stream;
+    updates_per_server = counts;
+    bytes_per_server;
+    bytes_total = Array.fold_left ( + ) 0 bytes_per_server;
+    words_per_server = Agm_sketch.space_in_words shards.(0);
+    forest_edges = List.length forest;
+    forest_correct;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "servers=%d updates=%d (per server: min %d, max %d)@." r.servers
+    r.updates_total
+    (Array.fold_left min max_int r.updates_per_server)
+    (Array.fold_left max 0 r.updates_per_server);
+  Format.fprintf ppf "state per server: %d words; messages: %d bytes total@." r.words_per_server
+    r.bytes_total;
+  Format.fprintf ppf "forest: %d edges, correct=%b@." r.forest_edges r.forest_correct

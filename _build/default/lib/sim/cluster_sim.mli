@@ -1,0 +1,40 @@
+(** A simulation of the paper's distributed setting (Section 1): the update
+    stream is partitioned across [s] servers; each server sketches its shard
+    locally using shared seed-derived randomness; at query time the servers
+    ship their {e serialized} sketches to a coordinator, which sums them and
+    decodes global structure. The simulator accounts bytes on the wire and
+    words of state per server, which is the tradeoff (communication vs
+    re-streaming) the paper's introduction argues for.
+
+    The simulated primitive is the AGM connectivity stack (the one whose
+    serialization is wired end-to-end); the measured quantities generalize
+    to every linear sketch in the library. *)
+
+type partition =
+  | Round_robin  (** update [i] goes to server [i mod s] *)
+  | By_vertex  (** updates go to the server owning [min u v] (locality) *)
+  | Random of int  (** seeded random assignment *)
+
+type report = {
+  servers : int;
+  updates_total : int;
+  updates_per_server : int array;
+  bytes_per_server : int array;  (** serialized sketch sizes *)
+  bytes_total : int;
+  words_per_server : int;  (** in-memory sketch state per server *)
+  forest_edges : int;
+  forest_correct : bool;  (** verified against the offline ground truth *)
+}
+
+val run :
+  Ds_util.Prng.t ->
+  n:int ->
+  servers:int ->
+  partition:partition ->
+  Ds_stream.Update.t array ->
+  report
+(** Shards the stream, sketches per server, serializes, merges at the
+    coordinator, extracts the spanning forest and verifies it against the
+    offline final graph of the stream. *)
+
+val pp_report : Format.formatter -> report -> unit

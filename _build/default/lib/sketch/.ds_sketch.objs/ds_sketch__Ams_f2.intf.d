@@ -1,0 +1,1 @@
+lib/sketch/ams_f2.mli: Ds_util

@@ -1,0 +1,1 @@
+lib/sketch/count_sketch.ml: Array Ds_util Kwise List Printf Prng Stats

@@ -1,0 +1,1 @@
+lib/sketch/count_sketch.mli: Ds_util

@@ -1,0 +1,1 @@
+lib/sketch/f0.ml: Array Ds_util Kwise List Printf Prng Sparse_recovery Stats

@@ -1,0 +1,1 @@
+lib/sketch/f0.mli: Ds_util

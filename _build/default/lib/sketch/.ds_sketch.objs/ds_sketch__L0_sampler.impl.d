@@ -1,0 +1,1 @@
+lib/sketch/l0_sampler.ml: Array Ds_util F0 Kwise List Printf Prng Sparse_recovery Wire

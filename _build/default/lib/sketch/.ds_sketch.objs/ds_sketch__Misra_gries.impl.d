@@ -1,0 +1,1 @@
+lib/sketch/misra_gries.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/sketch/one_sparse.ml: Ds_util Field Prng Wire

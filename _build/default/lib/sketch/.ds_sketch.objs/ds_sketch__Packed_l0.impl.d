@@ -1,0 +1,1 @@
+lib/sketch/packed_l0.ml: Array Ds_util F0 Field Kwise List Printf Prng

@@ -1,0 +1,1 @@
+lib/sketch/packed_l0.mli: Ds_util

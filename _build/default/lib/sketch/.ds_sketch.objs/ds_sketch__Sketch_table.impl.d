@@ -1,0 +1,1 @@
+lib/sketch/sketch_table.ml: Array Ds_util Field Kwise Printf Prng

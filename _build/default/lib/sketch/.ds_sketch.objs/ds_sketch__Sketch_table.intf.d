@@ -1,0 +1,1 @@
+lib/sketch/sketch_table.mli: Ds_util

@@ -1,0 +1,1 @@
+lib/sketch/sparse_recovery.ml: Array Ds_util Kwise List One_sparse Printf Prng Wire

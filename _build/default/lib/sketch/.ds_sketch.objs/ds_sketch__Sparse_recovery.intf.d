@@ -1,0 +1,1 @@
+lib/sketch/sparse_recovery.mli: Ds_util

@@ -1,0 +1,66 @@
+open Ds_util
+
+type params = { rows : int; reps : int; hash_degree : int }
+
+type t = {
+  dim : int;
+  prm : params;
+  signs : Kwise.t array array; (* reps x rows *)
+  counters : int array array; (* reps x rows : sum_i s(i) x_i *)
+}
+
+let default_params = { rows = 16; reps = 5; hash_degree = 4 }
+
+let create rng ~dim ~params:prm =
+  if prm.rows < 1 || prm.reps < 1 then invalid_arg "Ams_f2.create: bad params";
+  if prm.hash_degree < 4 then invalid_arg "Ams_f2.create: need 4-wise independence";
+  {
+    dim;
+    prm;
+    signs =
+      Array.init prm.reps (fun r ->
+          Array.init prm.rows (fun j ->
+              Kwise.create
+                (Prng.split_named rng (Printf.sprintf "s%d.%d" r j))
+                ~k:prm.hash_degree));
+    counters = Array.init prm.reps (fun _ -> Array.make prm.rows 0);
+  }
+
+let sign h index = if Kwise.eval h index land 1 = 0 then 1 else -1
+
+let update t ~index ~delta =
+  if index < 0 || index >= t.dim then invalid_arg "Ams_f2.update: index out of range";
+  for r = 0 to t.prm.reps - 1 do
+    for j = 0 to t.prm.rows - 1 do
+      t.counters.(r).(j) <- t.counters.(r).(j) + (delta * sign t.signs.(r).(j) index)
+    done
+  done
+
+let estimate t =
+  let group r =
+    let acc = ref 0.0 in
+    for j = 0 to t.prm.rows - 1 do
+      let c = float_of_int t.counters.(r).(j) in
+      acc := !acc +. (c *. c)
+    done;
+    !acc /. float_of_int t.prm.rows
+  in
+  Stats.median (Array.init t.prm.reps group)
+
+let iter2 t s f =
+  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "Ams_f2: incompatible sketches";
+  for r = 0 to t.prm.reps - 1 do
+    for j = 0 to t.prm.rows - 1 do
+      f r j s.counters.(r).(j)
+    done
+  done
+
+let add t s = iter2 t s (fun r j v -> t.counters.(r).(j) <- t.counters.(r).(j) + v)
+let sub t s = iter2 t s (fun r j v -> t.counters.(r).(j) <- t.counters.(r).(j) - v)
+let copy t = { t with counters = Array.map Array.copy t.counters }
+
+let space_in_words t =
+  (t.prm.reps * t.prm.rows)
+  + Array.fold_left
+      (fun acc row -> Array.fold_left (fun a h -> a + Kwise.space_in_words h) acc row)
+      0 t.signs

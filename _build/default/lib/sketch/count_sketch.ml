@@ -1,0 +1,65 @@
+open Ds_util
+
+type params = { rows : int; cols : int; hash_degree : int }
+
+type t = {
+  dim : int;
+  prm : params;
+  bucket_hash : Kwise.t array;
+  sign_hash : Kwise.t array;
+  table : int array array;
+}
+
+let default_params = { rows = 5; cols = 256; hash_degree = 6 }
+
+let create rng ~dim ~params:prm =
+  if prm.rows < 1 || prm.cols < 1 then invalid_arg "Count_sketch.create: bad params";
+  let mk tag i = Kwise.create (Prng.split_named rng (Printf.sprintf "%s%d" tag i)) ~k:prm.hash_degree in
+  {
+    dim;
+    prm;
+    bucket_hash = Array.init prm.rows (mk "bucket");
+    sign_hash = Array.init prm.rows (mk "sign");
+    table = Array.init prm.rows (fun _ -> Array.make prm.cols 0);
+  }
+
+let sign t r index = if Kwise.eval t.sign_hash.(r) index land 1 = 0 then 1 else -1
+
+let update t ~index ~delta =
+  if index < 0 || index >= t.dim then invalid_arg "Count_sketch.update: index out of range";
+  for r = 0 to t.prm.rows - 1 do
+    let c = Kwise.to_range t.bucket_hash.(r) index ~bound:t.prm.cols in
+    t.table.(r).(c) <- t.table.(r).(c) + (delta * sign t r index)
+  done
+
+let estimate t index =
+  let ests =
+    Array.init t.prm.rows (fun r ->
+        let c = Kwise.to_range t.bucket_hash.(r) index ~bound:t.prm.cols in
+        float_of_int (t.table.(r).(c) * sign t r index))
+  in
+  int_of_float (Stats.median ests)
+
+let heavy_hitters t ~candidates ~threshold =
+  List.filter_map
+    (fun i ->
+      let e = estimate t i in
+      if abs e >= threshold then Some (i, e) else None)
+    candidates
+
+let iter2 t s f =
+  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "Count_sketch: incompatible sketches";
+  for r = 0 to t.prm.rows - 1 do
+    for c = 0 to t.prm.cols - 1 do
+      f r c s.table.(r).(c)
+    done
+  done
+
+let add t s = iter2 t s (fun r c v -> t.table.(r).(c) <- t.table.(r).(c) + v)
+let sub t s = iter2 t s (fun r c v -> t.table.(r).(c) <- t.table.(r).(c) - v)
+let copy t = { t with table = Array.map Array.copy t.table }
+
+let space_in_words t =
+  (t.prm.rows * t.prm.cols)
+  + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 t.bucket_hash
+  + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 t.sign_hash

@@ -1,0 +1,29 @@
+(** CountSketch [CCF02]: linear frequency estimation with median-of-rows
+    decoding. The paper notes (after Theorem 8) that CountSketch can replace
+    the [CM06] recovery matrix at better log factors; we provide it both for
+    that ablation and as a general substrate. *)
+
+type t
+
+type params = {
+  rows : int;  (** independent rows (median taken across them) *)
+  cols : int;  (** buckets per row; estimation error is [||x||_2 / sqrt cols] *)
+  hash_degree : int;
+}
+
+val default_params : params
+(** [rows = 5], [cols = 256], [hash_degree = 6]. *)
+
+val create : Ds_util.Prng.t -> dim:int -> params:params -> t
+val update : t -> index:int -> delta:int -> unit
+
+val estimate : t -> int -> int
+(** [estimate t i] is the median-of-rows estimate of coordinate [i]. *)
+
+val heavy_hitters : t -> candidates:int list -> threshold:int -> (int * int) list
+(** Candidates whose estimated magnitude is at least [threshold]. *)
+
+val add : t -> t -> unit
+val sub : t -> t -> unit
+val copy : t -> t
+val space_in_words : t -> int

@@ -1,0 +1,83 @@
+open Ds_util
+
+type params = { sparsity : int; reps : int; hash_degree : int }
+
+type rep = {
+  level_hash : Kwise.t;
+  sketches : Sparse_recovery.t array; (* one per level *)
+}
+
+type t = { dim : int; prm : params; levels : int; instances : rep array }
+
+let default_params = { sparsity = 8; reps = 3; hash_degree = 6 }
+
+let levels_for dim =
+  let rec go l acc = if acc >= dim then l + 1 else go (l + 1) (acc * 2) in
+  go 0 1
+
+let create rng ~dim ~params:prm =
+  if prm.reps < 1 then invalid_arg "F0.create: reps < 1";
+  let levels = levels_for dim in
+  let sr_params =
+    { Sparse_recovery.sparsity = prm.sparsity; rows = 3; hash_degree = prm.hash_degree }
+  in
+  let make_rep i =
+    let r = Prng.split_named rng (Printf.sprintf "f0rep%d" i) in
+    let level_hash = Kwise.create (Prng.split_named r "levels") ~k:prm.hash_degree in
+    let sketches =
+      Array.init levels (fun j ->
+          Sparse_recovery.create
+            (Prng.split_named r (Printf.sprintf "lvl%d" j))
+            ~dim ~params:sr_params)
+    in
+    { level_hash; sketches }
+  in
+  { dim; prm; levels; instances = Array.init prm.reps make_rep }
+
+let update t ~index ~delta =
+  Array.iter
+    (fun rep ->
+      let lvl = min (Kwise.level rep.level_hash index) (t.levels - 1) in
+      for j = 0 to lvl do
+        Sparse_recovery.update rep.sketches.(j) ~index ~delta
+      done)
+    t.instances
+
+let estimate_rep t rep =
+  let rec go j =
+    if j >= t.levels then t.dim (* nothing decoded: support is essentially full *)
+    else
+      match Sparse_recovery.decode rep.sketches.(j) with
+      | Some assoc -> List.length assoc * (1 lsl j)
+      | None -> go (j + 1)
+  in
+  go 0
+
+let estimate t =
+  let es = Array.map (fun r -> float_of_int (estimate_rep t r)) t.instances in
+  int_of_float (Stats.median es)
+
+let iter2 t s f =
+  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "F0: incompatible sketches";
+  Array.iteri
+    (fun i rep -> Array.iteri (fun j sk -> f sk s.instances.(i).sketches.(j)) rep.sketches)
+    t.instances
+
+let add t s = iter2 t s Sparse_recovery.add
+let sub t s = iter2 t s Sparse_recovery.sub
+
+let copy t =
+  {
+    t with
+    instances =
+      Array.map
+        (fun r -> { r with sketches = Array.map Sparse_recovery.copy r.sketches })
+        t.instances;
+  }
+
+let space_in_words t =
+  Array.fold_left
+    (fun acc r ->
+      acc + Kwise.space_in_words r.level_hash
+      + Array.fold_left (fun a sk -> a + Sparse_recovery.space_in_words sk) 0 r.sketches)
+    0 t.instances

@@ -1,0 +1,105 @@
+open Ds_util
+
+type params = { sparsity : int; rows : int; hash_degree : int }
+
+type t = {
+  dim : int;
+  prm : params;
+  levels : int;
+  level_hash : Kwise.t;
+  tie_break : Kwise.t;
+  sketches : Sparse_recovery.t array;
+}
+
+let default_params = { sparsity = 2; rows = 3; hash_degree = 6 }
+
+let create rng ~dim ~params:prm =
+  let levels = F0.levels_for dim in
+  let sr_params =
+    { Sparse_recovery.sparsity = prm.sparsity; rows = prm.rows; hash_degree = prm.hash_degree }
+  in
+  {
+    dim;
+    prm;
+    levels;
+    level_hash = Kwise.create (Prng.split_named rng "levels") ~k:prm.hash_degree;
+    tie_break = Kwise.create (Prng.split_named rng "tiebreak") ~k:prm.hash_degree;
+    sketches =
+      Array.init levels (fun j ->
+          Sparse_recovery.create
+            (Prng.split_named rng (Printf.sprintf "lvl%d" j))
+            ~dim ~params:sr_params);
+  }
+
+let update t ~index ~delta =
+  let lvl = min (Kwise.level t.level_hash index) (t.levels - 1) in
+  for j = 0 to lvl do
+    Sparse_recovery.update t.sketches.(j) ~index ~delta
+  done
+
+let pick_min_tiebreak t assoc =
+  let best = ref None in
+  List.iter
+    (fun (i, w) ->
+      let h = Kwise.eval t.tie_break i in
+      match !best with
+      | Some (h0, _, _) when h0 <= h -> ()
+      | _ -> best := Some (h, i, w))
+    assoc;
+  match !best with None -> None | Some (_, i, w) -> Some (i, w)
+
+(* Scan from the sparsest level down: levels are nested, so the first level
+   (from the top) whose decoded support is non-empty holds a random small
+   subsample of the full support. Reaching below level 0 means every level
+   (including level 0 = the whole vector) decoded to the empty support, so
+   the vector is zero whp. *)
+let classify t =
+  let rec go j =
+    if j < 0 then `Empty
+    else
+      match Sparse_recovery.decode t.sketches.(j) with
+      | Some [] -> go (j - 1)
+      | Some assoc -> (
+          match pick_min_tiebreak t assoc with
+          | Some (i, w) -> `Sample (i, w)
+          | None -> `Fail)
+      | None -> (* support here already > sparsity: a denser level won't help *) `Fail
+  in
+  go (t.levels - 1)
+
+let sample t =
+  match classify t with `Sample (i, w) -> Some (i, w) | `Empty | `Fail -> None
+
+let support_hint t =
+  let rec go j =
+    if j >= t.levels then t.dim
+    else
+      match Sparse_recovery.decode t.sketches.(j) with
+      | Some assoc -> List.length assoc * (1 lsl j)
+      | None -> go (j + 1)
+  in
+  go 0
+
+let iter2 t s f =
+  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "L0_sampler: incompatible sketches";
+  Array.iteri (fun j sk -> f sk s.sketches.(j)) t.sketches
+
+let add t s = iter2 t s Sparse_recovery.add
+let sub t s = iter2 t s Sparse_recovery.sub
+let copy t = { t with sketches = Array.map Sparse_recovery.copy t.sketches }
+let reset t = Array.iter Sparse_recovery.reset t.sketches
+
+let space_in_words t =
+  Kwise.space_in_words t.level_hash
+  + Kwise.space_in_words t.tie_break
+  + Array.fold_left (fun a sk -> a + Sparse_recovery.space_in_words sk) 0 t.sketches
+
+let write t sink =
+  Wire.write_tag sink "l0";
+  Wire.write_int sink t.levels;
+  Array.iter (fun sk -> Sparse_recovery.write sk sink) t.sketches
+
+let read_into t src =
+  Wire.expect_tag src "l0";
+  if Wire.read_int src <> t.levels then failwith "L0_sampler.read_into: level mismatch";
+  Array.iter (fun sk -> Sparse_recovery.read_into sk src) t.sketches

@@ -1,0 +1,50 @@
+(** L0 sampling: draw a (near-)uniform non-zero coordinate of a dynamically
+    updated vector from a linear sketch.
+
+    One {!Sparse_recovery} instance per geometric sampling level; sampling
+    scans from the sparsest level downward, decodes the first level with a
+    non-empty support and returns the member minimising an independent
+    tie-break hash. This is the primitive [AGM12a] builds connectivity from,
+    and the structure the paper's [Y_j] sets emulate (Section 3.2 notes the
+    two are interchangeable). Uniformity is validated empirically in
+    experiment E9. *)
+
+type t
+
+type params = {
+  sparsity : int;  (** per-level recovery budget (>= 1) *)
+  rows : int;  (** hash rows per level sketch *)
+  hash_degree : int;
+}
+
+val default_params : params
+(** [sparsity = 2], [rows = 3], [hash_degree = 6]. *)
+
+val create : Ds_util.Prng.t -> dim:int -> params:params -> t
+
+val update : t -> index:int -> delta:int -> unit
+(** Expected O(rows) bucket updates (levels are nested, so a coordinate at
+    level [l] touches [l + 1] sketches; E[l] = 1). *)
+
+val sample : t -> (int * int) option
+(** [Some (index, value)] for a non-zero coordinate chosen near-uniformly,
+    or [None] when the vector is zero or sampling failed (detected). *)
+
+val classify : t -> [ `Empty | `Sample of int * int | `Fail ]
+(** Like {!sample} but separates the two [None] cases: [`Empty] certifies
+    (whp) that the vector is zero, [`Fail] is a detected decoding failure
+    (the support exists but no level isolated it). Boruvka loops need the
+    distinction to tell "done" from "retry with a fresh copy". *)
+
+val support_hint : t -> int
+(** Rough support-size estimate from the level structure (factor O(1)). *)
+
+val add : t -> t -> unit
+val sub : t -> t -> unit
+val copy : t -> t
+val reset : t -> unit
+val space_in_words : t -> int
+
+val write : t -> Ds_util.Wire.sink -> unit
+val read_into : t -> Ds_util.Wire.source -> unit
+(** Counter (de)serialisation; see {!Ds_sketch.One_sparse.write}. *)

@@ -1,0 +1,24 @@
+type t = { k : int; counters : (int, int) Hashtbl.t; mutable total : int }
+
+let create ~k =
+  if k < 1 then invalid_arg "Misra_gries.create: k must be >= 1";
+  { k; counters = Hashtbl.create k; total = 0 }
+
+let update t x =
+  t.total <- t.total + 1;
+  match Hashtbl.find_opt t.counters x with
+  | Some c -> Hashtbl.replace t.counters x (c + 1)
+  | None ->
+      if Hashtbl.length t.counters < t.k then Hashtbl.replace t.counters x 1
+      else begin
+        (* Decrement everyone; evict the zeros. *)
+        let dead = ref [] in
+        Hashtbl.iter
+          (fun y c -> if c = 1 then dead := y :: !dead else Hashtbl.replace t.counters y (c - 1))
+          t.counters;
+        List.iter (Hashtbl.remove t.counters) !dead
+      end
+
+let estimate t x = match Hashtbl.find_opt t.counters x with Some c -> c | None -> 0
+let candidates t = Hashtbl.fold (fun x c acc -> (x, c) :: acc) t.counters []
+let total t = t.total

@@ -1,0 +1,23 @@
+(** Misra–Gries heavy hitters: the classical {e deterministic} insert-only
+    summary, here as the non-linear contrast to {!Count_sketch}. With [k]
+    counters, every element of frequency above [m / (k+1)] is retained and
+    estimates undershoot by at most [m / (k+1)]. It cannot process
+    deletions — exactly the gap that motivates the paper's linear-sketch
+    world — and the test suite demonstrates that contrast directly. *)
+
+type t
+
+val create : k:int -> t
+(** [k] counters. *)
+
+val update : t -> int -> unit
+(** Process one insert-only occurrence. *)
+
+val estimate : t -> int -> int
+(** Lower bound on the true frequency, within [m / (k+1)]. *)
+
+val candidates : t -> (int * int) list
+(** Currently tracked (element, counter) pairs. *)
+
+val total : t -> int
+(** Number of occurrences processed. *)

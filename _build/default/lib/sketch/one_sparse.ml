@@ -1,0 +1,81 @@
+open Ds_util
+
+type t = {
+  dim : int;
+  base : int; (* fingerprint base r, shared by compatible sketches *)
+  mutable c0 : int;
+  mutable c1 : int;
+  mutable c2 : int;
+}
+
+type result = Zero | One of int * int | Many
+
+let create rng ~dim =
+  if dim <= 0 then invalid_arg "One_sparse.create: dim must be positive";
+  let base = 2 + Prng.int rng (Field.p - 2) in
+  { dim; base; c0 = 0; c1 = 0; c2 = 0 }
+
+let update t ~index ~delta =
+  if index < 0 || index >= t.dim then invalid_arg "One_sparse.update: index out of range";
+  t.c0 <- t.c0 + delta;
+  t.c1 <- t.c1 + (delta * index);
+  t.c2 <- Field.add t.c2 (Field.scale_int delta (Field.pow t.base (index + 1)))
+
+let decode t =
+  if t.c0 = 0 && t.c1 = 0 && t.c2 = 0 then Zero
+  else if t.c0 = 0 then Many
+  else if t.c1 mod t.c0 <> 0 then Many
+  else begin
+    let i = t.c1 / t.c0 in
+    if i < 0 || i >= t.dim then Many
+    else if Field.scale_int t.c0 (Field.pow t.base (i + 1)) = t.c2 then One (i, t.c0)
+    else Many
+  end
+
+let is_zero t = t.c0 = 0 && t.c1 = 0 && t.c2 = 0
+
+let check_compatible t s =
+  if t.dim <> s.dim || t.base <> s.base then
+    invalid_arg "One_sparse: incompatible sketches"
+
+let add t s =
+  check_compatible t s;
+  t.c0 <- t.c0 + s.c0;
+  t.c1 <- t.c1 + s.c1;
+  t.c2 <- Field.add t.c2 s.c2
+
+let sub t s =
+  check_compatible t s;
+  t.c0 <- t.c0 - s.c0;
+  t.c1 <- t.c1 - s.c1;
+  t.c2 <- Field.sub t.c2 s.c2
+
+let copy t = { t with c0 = t.c0 }
+
+let reset t =
+  t.c0 <- 0;
+  t.c1 <- 0;
+  t.c2 <- 0
+
+let space_in_words _ = 4
+
+let write_raw t sink =
+  Wire.write_int sink t.c0;
+  Wire.write_int sink t.c1;
+  Wire.write_int sink t.c2
+
+let read_raw t src =
+  t.c0 <- Wire.read_int src;
+  t.c1 <- Wire.read_int src;
+  t.c2 <- Wire.read_int src
+
+let write t sink =
+  Wire.write_tag sink "1sp";
+  Wire.write_int sink t.dim;
+  write_raw t sink
+
+let read_into t src =
+  Wire.expect_tag src "1sp";
+  let dim = Wire.read_int src in
+  if dim <> t.dim then failwith "One_sparse.read_into: dimension mismatch";
+  read_raw t src

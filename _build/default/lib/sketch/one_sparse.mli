@@ -1,0 +1,63 @@
+(** Exact recovery of 1-sparse vectors from a 3-word linear sketch.
+
+    This is the Ganguly decoder: for a vector [x] over index space
+    [0, dim) updated by signed increments, maintain
+
+    - [c0 = sum_i x_i] (exact integer),
+    - [c1 = sum_i x_i * i] (exact integer),
+    - [c2 = sum_i x_i * r^(i+1)] in [F_p] for a random [r].
+
+    If [x] has exactly one non-zero coordinate [i] with value [w], then
+    [c1 / c0 = i] and [c2 = w * r^(i+1)]; the fingerprint test makes a false
+    positive occur with probability at most [dim / p] per query. This is the
+    atom from which every other sketch in the library is built (Theorem 8's
+    recovery matrix is a hashed array of these). *)
+
+type t
+(** Mutable sketch state (3 words + the shared fingerprint base). *)
+
+type result =
+  | Zero  (** the sketched vector is (whp) identically zero *)
+  | One of int * int  (** [One (i, w)]: single non-zero coordinate [i] of value [w] *)
+  | Many  (** more than one non-zero coordinate (or fingerprint mismatch) *)
+
+val create : Ds_util.Prng.t -> dim:int -> t
+(** Fresh sketch of the zero vector over [0, dim). Two sketches built from
+    generators with equal state are {e compatible}: they use the same
+    fingerprint base and may be merged. *)
+
+val update : t -> index:int -> delta:int -> unit
+(** Add [delta] to coordinate [index]. O(log dim) field ops. *)
+
+val decode : t -> result
+(** Classify the current vector. *)
+
+val is_zero : t -> bool
+(** [decode t = Zero], cheaper to call. *)
+
+val add : t -> t -> unit
+(** [add dst src] sets [dst := dst + src] (compatible sketches only). *)
+
+val sub : t -> t -> unit
+(** [sub dst src] sets [dst := dst - src]. *)
+
+val copy : t -> t
+
+val reset : t -> unit
+(** Back to the zero vector. *)
+
+val space_in_words : t -> int
+
+val write : t -> Ds_util.Wire.sink -> unit
+(** Serialise the counters (structure is seed-derived and not shipped). *)
+
+val read_into : t -> Ds_util.Wire.source -> unit
+(** Overwrite [t]'s counters with serialised ones. [t] must have been built
+    from the same seed/dimension as the writer; the dimension is checked.
+    @raise Failure on tag/dimension mismatch or truncation. *)
+
+val write_raw : t -> Ds_util.Wire.sink -> unit
+(** The three counters only — no header. For containers that frame their
+    cells themselves (see {!Sparse_recovery.write}). *)
+
+val read_raw : t -> Ds_util.Wire.source -> unit

@@ -1,0 +1,152 @@
+open Ds_util
+
+type params = { reps : int; sparsity : int; hash_degree : int }
+
+type config = {
+  dim : int;
+  prm : params;
+  levels : int;
+  buckets : int;
+  base : int; (* fingerprint base, raw-integer accumulated *)
+  level_hashes : Kwise.t array; (* one per rep *)
+  bucket_hashes : Kwise.t array array; (* reps x 2 rows *)
+  tie_break : Kwise.t;
+}
+
+let default_params = { reps = 2; sparsity = 3; hash_degree = 6 }
+let rows = 2
+
+let make_config rng ~dim ~params:prm =
+  if dim <= 0 then invalid_arg "Packed_l0.make_config: dim must be positive";
+  let levels = F0.levels_for dim in
+  {
+    dim;
+    prm;
+    levels;
+    buckets = max 2 (2 * prm.sparsity);
+    base = 2 + Prng.int rng (Field.p - 2);
+    level_hashes =
+      Array.init prm.reps (fun r ->
+          Kwise.create (Prng.split_named rng (Printf.sprintf "lvl%d" r)) ~k:prm.hash_degree);
+    bucket_hashes =
+      Array.init prm.reps (fun r ->
+          Array.init rows (fun q ->
+              Kwise.create
+                (Prng.split_named rng (Printf.sprintf "bkt%d.%d" r q))
+                ~k:prm.hash_degree));
+    tie_break = Kwise.create (Prng.split_named rng "tiebreak") ~k:prm.hash_degree;
+  }
+
+let triple_words = 3
+let level_words c = rows * c.buckets * triple_words
+let rep_words c = c.levels * level_words c
+let state_len c = c.prm.reps * rep_words c
+
+let cell_off c ~rep ~level ~row ~bucket =
+  (rep * rep_words c) + (level * level_words c) + (((row * c.buckets) + bucket) * triple_words)
+
+let update c state ~off ~index ~delta =
+  if index < 0 || index >= c.dim then invalid_arg "Packed_l0.update: index out of range";
+  let fp = delta * Field.pow c.base (index + 1) in
+  for rep = 0 to c.prm.reps - 1 do
+    let lvl = min (Kwise.level c.level_hashes.(rep) index) (c.levels - 1) in
+    for level = 0 to lvl do
+      for row = 0 to rows - 1 do
+        let bucket = Kwise.to_range c.bucket_hashes.(rep).(row) index ~bound:c.buckets in
+        let o = off + cell_off c ~rep ~level ~row ~bucket in
+        state.(o) <- state.(o) + delta;
+        state.(o + 1) <- state.(o + 1) + (delta * index);
+        state.(o + 2) <- state.(o + 2) + fp
+      done
+    done
+  done
+
+(* Decode one (rep, level) grid by peeling, on a scratch copy.
+   Returns [Some assoc] iff the grid clears. *)
+let decode_level c state ~off ~rep ~level =
+  let scratch =
+    Array.init (level_words c) (fun i -> state.(off + cell_off c ~rep ~level ~row:0 ~bucket:0 + i))
+  in
+  let cell row bucket = (((row * c.buckets) + bucket) * triple_words) in
+  let decode_cell o =
+    let c0 = scratch.(o) and c1 = scratch.(o + 1) and c2 = scratch.(o + 2) in
+    if c0 = 0 && c1 = 0 && Field.of_int c2 = 0 then `Zero
+    else if c0 = 0 then `Many
+    else if c1 mod c0 <> 0 then `Many
+    else begin
+      let i = c1 / c0 in
+      if i < 0 || i >= c.dim then `Many
+      else if Field.of_int (c0 * Field.pow c.base (i + 1)) = Field.of_int c2 then `One (i, c0)
+      else `Many
+    end
+  in
+  let acc = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for row = 0 to rows - 1 do
+      for bucket = 0 to c.buckets - 1 do
+        match decode_cell (cell row bucket) with
+        | `One (i, w)
+          when Kwise.to_range c.bucket_hashes.(rep).(row) i ~bound:c.buckets = bucket ->
+            acc := (i, w) :: !acc;
+            let fp = w * Field.pow c.base (i + 1) in
+            for row' = 0 to rows - 1 do
+              let b' = Kwise.to_range c.bucket_hashes.(rep).(row') i ~bound:c.buckets in
+              let o = cell row' b' in
+              scratch.(o) <- scratch.(o) - w;
+              scratch.(o + 1) <- scratch.(o + 1) - (w * i);
+              scratch.(o + 2) <- scratch.(o + 2) - fp
+            done;
+            progress := true
+        | `Zero | `One _ | `Many -> ()
+      done
+    done
+  done;
+  let cleared = ref true in
+  for o = 0 to level_words c - 1 do
+    if o mod triple_words = 2 then begin
+      if Field.of_int scratch.(o) <> 0 then cleared := false
+    end
+    else if scratch.(o) <> 0 then cleared := false
+  done;
+  if !cleared then Some !acc else None
+
+let pick_min_tiebreak c assoc =
+  let best = ref None in
+  List.iter
+    (fun (i, w) ->
+      let h = Kwise.eval c.tie_break i in
+      match !best with
+      | Some (h0, _, _) when h0 <= h -> ()
+      | _ -> best := Some (h, i, w))
+    assoc;
+  match !best with None -> None | Some (_, i, w) -> Some (i, w)
+
+let decode c state ~off =
+  let rec per_rep rep =
+    if rep >= c.prm.reps then None
+    else begin
+      let rec per_level level =
+        if level < 0 then None
+        else
+          match decode_level c state ~off ~rep ~level with
+          | Some [] -> per_level (level - 1)
+          | Some assoc -> pick_min_tiebreak c assoc
+          | None -> None
+      in
+      match per_level (c.levels - 1) with
+      | Some _ as r -> r
+      | None -> per_rep (rep + 1)
+    end
+  in
+  per_rep 0
+
+let dim c = c.dim
+
+let config_space_in_words c =
+  Kwise.space_in_words c.tie_break
+  + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 c.level_hashes
+  + Array.fold_left
+      (fun a row -> a + Array.fold_left (fun b h -> b + Kwise.space_in_words h) 0 row)
+      0 c.bucket_hashes

@@ -1,0 +1,41 @@
+(** An L0-sampler codec over externally owned [int array] state.
+
+    This is the payload format for {!Sketch_table} cells: Algorithm 2 stores,
+    for each key [v], a sketch of [N(v) ∩ Tu ∩ Y_j] from which one neighbour
+    must be recoverable. The state here is a flat integer array under plain
+    componentwise addition — even the field fingerprints are kept as
+    unreduced integer accumulators and only reduced at decode time — so a
+    containing structure can add/subtract payloads without knowing their
+    semantics. That property is what makes the table's peeling sound.
+
+    Layout: [reps] independent repetitions, each with its own geometric level
+    hash; per level a [2 x 2*sparsity] grid of 1-sparse (count, index-sum,
+    fingerprint) triples, peeled at decode time. *)
+
+type config
+(** Immutable hash functions and dimensions; shared by all states using it. *)
+
+type params = {
+  reps : int;  (** independent repetitions; failure decays exponentially *)
+  sparsity : int;  (** per-level peelable support *)
+  hash_degree : int;
+}
+
+val default_params : params
+(** [reps = 2], [sparsity = 3], [hash_degree = 6]. *)
+
+val make_config : Ds_util.Prng.t -> dim:int -> params:params -> config
+
+val state_len : config -> int
+(** Length of the [int array] state required. *)
+
+val update : config -> int array -> off:int -> index:int -> delta:int -> unit
+(** Add [delta] to coordinate [index] of the vector sketched in
+    [state.(off .. off + state_len - 1)]. *)
+
+val decode : config -> int array -> off:int -> (int * int) option
+(** [Some (index, value)] for one non-zero coordinate (near-uniform among
+    the support), or [None] if the vector is zero or decoding failed. *)
+
+val dim : config -> int
+val config_space_in_words : config -> int

@@ -1,0 +1,143 @@
+open Ds_util
+
+type t = {
+  key_dim : int;
+  cap : int;
+  rows : int;
+  payload_len : int;
+  hashes : Kwise.t array;
+  base : int; (* key fingerprint base *)
+  (* Per row: cells laid out as [cap] records of (count, keysum, keyfp). *)
+  kc : int array array; (* rows x cap : weight count *)
+  ks : int array array; (* rows x cap : weighted key sum *)
+  kf : int array array; (* rows x cap : raw-integer key fingerprint *)
+  payload : int array array; (* rows x (cap * payload_len) *)
+}
+
+let create rng ~key_dim ~capacity ~rows ~hash_degree ~payload_len =
+  if capacity < 1 || rows < 1 || payload_len < 0 then
+    invalid_arg "Sketch_table.create: bad dimensions";
+  {
+    key_dim;
+    cap = capacity;
+    rows;
+    payload_len;
+    hashes =
+      Array.init rows (fun r ->
+          Kwise.create (Prng.split_named rng (Printf.sprintf "row%d" r)) ~k:hash_degree);
+    base = 2 + Prng.int rng (Field.p - 2);
+    kc = Array.init rows (fun _ -> Array.make capacity 0);
+    ks = Array.init rows (fun _ -> Array.make capacity 0);
+    kf = Array.init rows (fun _ -> Array.make capacity 0);
+    payload = Array.init rows (fun _ -> Array.make (capacity * payload_len) 0);
+  }
+
+let update t ~key ~weight ~write =
+  if key < 0 || key >= t.key_dim then invalid_arg "Sketch_table.update: key out of range";
+  let fp = weight * Field.pow t.base (key + 1) in
+  for r = 0 to t.rows - 1 do
+    let c = Kwise.to_range t.hashes.(r) key ~bound:t.cap in
+    t.kc.(r).(c) <- t.kc.(r).(c) + weight;
+    t.ks.(r).(c) <- t.ks.(r).(c) + (weight * key);
+    t.kf.(r).(c) <- t.kf.(r).(c) + fp;
+    write t.payload.(r) (c * t.payload_len)
+  done
+
+type cell_state = Zero | One of int * int | Many
+
+let decode_cell t kc ks kf payload r c =
+  let c0 = kc.(r).(c) and c1 = ks.(r).(c) and c2 = kf.(r).(c) in
+  if c0 = 0 && c1 = 0 && Field.of_int c2 = 0 then begin
+    (* Weight cancelled to zero: genuinely empty only if the payload is too. *)
+    let clean = ref true in
+    let base = c * t.payload_len in
+    for i = 0 to t.payload_len - 1 do
+      if payload.(r).(base + i) <> 0 then clean := false
+    done;
+    if !clean then Zero else Many
+  end
+  else if c0 = 0 then Many
+  else if c1 mod c0 <> 0 then Many
+  else begin
+    let k = c1 / c0 in
+    if k < 0 || k >= t.key_dim then Many
+    else if Field.of_int (c0 * Field.pow t.base (k + 1)) = Field.of_int c2 then One (k, c0)
+    else Many
+  end
+
+let decode t =
+  let kc = Array.map Array.copy t.kc
+  and ks = Array.map Array.copy t.ks
+  and kf = Array.map Array.copy t.kf
+  and payload = Array.map Array.copy t.payload in
+  let results = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for r = 0 to t.rows - 1 do
+      for c = 0 to t.cap - 1 do
+        match decode_cell t kc ks kf payload r c with
+        | One (k, w) when Kwise.to_range t.hashes.(r) k ~bound:t.cap = c ->
+            let pbase = c * t.payload_len in
+            let pl = Array.sub payload.(r) pbase t.payload_len in
+            results := (k, w, pl) :: !results;
+            let fp = w * Field.pow t.base (k + 1) in
+            for r' = 0 to t.rows - 1 do
+              let c' = Kwise.to_range t.hashes.(r') k ~bound:t.cap in
+              kc.(r').(c') <- kc.(r').(c') - w;
+              ks.(r').(c') <- ks.(r').(c') - (w * k);
+              kf.(r').(c') <- kf.(r').(c') - fp;
+              let b' = c' * t.payload_len in
+              for i = 0 to t.payload_len - 1 do
+                payload.(r').(b' + i) <- payload.(r').(b' + i) - pl.(i)
+              done
+            done;
+            progress := true
+        | Zero | One _ | Many -> ()
+      done
+    done
+  done;
+  let cleared = ref true in
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cap - 1 do
+      match decode_cell t kc ks kf payload r c with
+      | Zero -> ()
+      | One _ | Many -> cleared := false
+    done
+  done;
+  if !cleared then Some !results else None
+
+let keys_hint t =
+  let occupied = ref 0 in
+  for c = 0 to t.cap - 1 do
+    if t.kc.(0).(c) <> 0 || t.ks.(0).(c) <> 0 || Field.of_int t.kf.(0).(c) <> 0 then incr occupied
+  done;
+  !occupied
+
+let check_compatible t s =
+  if
+    t.key_dim <> s.key_dim || t.cap <> s.cap || t.rows <> s.rows
+    || t.payload_len <> s.payload_len || t.base <> s.base
+  then invalid_arg "Sketch_table: incompatible tables"
+
+let combine t s op =
+  check_compatible t s;
+  for r = 0 to t.rows - 1 do
+    for c = 0 to t.cap - 1 do
+      t.kc.(r).(c) <- op t.kc.(r).(c) s.kc.(r).(c);
+      t.ks.(r).(c) <- op t.ks.(r).(c) s.ks.(r).(c);
+      t.kf.(r).(c) <- op t.kf.(r).(c) s.kf.(r).(c)
+    done;
+    for i = 0 to (t.cap * t.payload_len) - 1 do
+      t.payload.(r).(i) <- op t.payload.(r).(i) s.payload.(r).(i)
+    done
+  done
+
+let add t s = combine t s ( + )
+let sub t s = combine t s ( - )
+
+let space_in_words t =
+  (t.rows * t.cap * (3 + t.payload_len))
+  + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 t.hashes
+
+let capacity t = t.cap

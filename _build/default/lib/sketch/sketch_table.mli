@@ -1,0 +1,46 @@
+(** The linear hash table of sketches from Algorithm 2 (the [H^u_j]
+    structures): a linear sketch of a map [key -> payload vector] supporting
+    increments to any key's payload, and full recovery of all (key, payload)
+    pairs when the number of distinct live keys is at most the capacity.
+
+    Implementation: [rows] hash rows of [capacity] cells. A cell holds a
+    1-sparse decoder over the {e key} space (count, key-sum, key-fingerprint
+    — all raw integer accumulators) plus the componentwise sum of the
+    payloads hashed into it. A cell whose key-decoder reports a singleton
+    yields that key's full payload; peeling it out of every row reveals the
+    rest, exactly as in {!Sparse_recovery} but with vector-valued entries.
+    This realises the packing trick the paper sketches at the end of Section
+    3.2 ("treating the sketches associated with nodes [v ∈ V] as
+    poly(log n)-length bit numbers and sketching this vector").
+
+    Soundness relies on the payload being a pure integer-linear accumulator
+    (see {!Packed_l0}) and on each key's total weight being non-zero whenever
+    its payload is non-zero — true in the paper's setting because edge
+    multiplicities are non-negative. *)
+
+type t
+
+val create :
+  Ds_util.Prng.t -> key_dim:int -> capacity:int -> rows:int -> hash_degree:int -> payload_len:int -> t
+(** A table that can recover up to roughly [capacity / 1.3] distinct keys
+    whp. [payload_len] is the word length of every payload vector. *)
+
+val update : t -> key:int -> weight:int -> write:(int array -> int -> unit) -> unit
+(** [update t ~key ~weight ~write] adds [weight] to [key]'s weight and
+    applies [write arr off] — which must add an integer-linear contribution
+    into [arr.(off .. off + payload_len - 1)] — once per row, to the cell
+    [key] hashes to. The same [write] must be used symmetrically for
+    subtraction by negating deltas. *)
+
+val decode : t -> (int * int * int array) list option
+(** Recover all live keys: [(key, weight, payload)] triples. [None] when the
+    table is over capacity or peeling stalls (detected, never silently
+    wrong). Non-destructive. *)
+
+val keys_hint : t -> int
+(** Upper estimate of the number of live keys (non-empty cells in one row). *)
+
+val add : t -> t -> unit
+val sub : t -> t -> unit
+val space_in_words : t -> int
+val capacity : t -> int

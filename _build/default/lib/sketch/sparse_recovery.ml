@@ -1,0 +1,171 @@
+open Ds_util
+
+type params = { sparsity : int; rows : int; hash_degree : int }
+
+type t = {
+  dim : int;
+  prm : params;
+  cols : int;
+  hashes : Kwise.t array; (* one bucket hash per row *)
+  cells : One_sparse.t array array; (* rows x cols *)
+}
+
+let default_params ~sparsity = { sparsity; rows = 4; hash_degree = 6 }
+
+let create rng ~dim ~params:prm =
+  if prm.sparsity < 1 then invalid_arg "Sparse_recovery.create: sparsity < 1";
+  if prm.rows < 1 then invalid_arg "Sparse_recovery.create: rows < 1";
+  let cols = max 2 (2 * prm.sparsity) in
+  let hashes =
+    Array.init prm.rows (fun r ->
+        Kwise.create (Prng.split_named rng (Printf.sprintf "row%d" r)) ~k:prm.hash_degree)
+  in
+  let cell_rng = Prng.split_named rng "cells" in
+  (* All cells share one fingerprint base so that peeling can subtract a
+     recovered coordinate from any row. *)
+  let proto = Prng.copy cell_rng in
+  let cells =
+    Array.init prm.rows (fun _ ->
+        Array.init cols (fun _ -> One_sparse.create (Prng.copy proto) ~dim))
+  in
+  { dim; prm; cols; hashes; cells }
+
+let update t ~index ~delta =
+  for r = 0 to t.prm.rows - 1 do
+    let c = Kwise.to_range t.hashes.(r) index ~bound:t.cols in
+    One_sparse.update t.cells.(r).(c) ~index ~delta
+  done
+
+let is_zero t =
+  Array.for_all (fun row -> Array.for_all One_sparse.is_zero row) t.cells
+
+let snapshot t = Array.map (Array.map One_sparse.copy) t.cells
+
+(* Peel [work] in place; feed every recovered coordinate to [emit] and return
+   true iff the residual cleared completely. [stop_early] aborts after the
+   first recovery (for decode_any). *)
+let peel t work ~stop_early ~emit =
+  let progress = ref true in
+  let recovered = ref 0 in
+  let finished = ref false in
+  while !progress && not !finished do
+    progress := false;
+    for r = 0 to t.prm.rows - 1 do
+      if not !finished then
+        for c = 0 to t.cols - 1 do
+          if not !finished then
+            match One_sparse.decode work.(r).(c) with
+            | One (i, w) when Kwise.to_range t.hashes.(r) i ~bound:t.cols = c ->
+                emit (i, w);
+                incr recovered;
+                for r' = 0 to t.prm.rows - 1 do
+                  let c' = Kwise.to_range t.hashes.(r') i ~bound:t.cols in
+                  One_sparse.update work.(r').(c') ~index:i ~delta:(-w)
+                done;
+                progress := true;
+                if stop_early then finished := true
+            | Zero | One _ | Many -> ()
+        done
+    done
+  done;
+  Array.for_all (fun row -> Array.for_all One_sparse.is_zero row) work
+
+let decode t =
+  let work = snapshot t in
+  let acc = ref [] in
+  let cleared = peel t work ~stop_early:false ~emit:(fun kv -> acc := kv :: !acc) in
+  if cleared then Some !acc else None
+
+let decode_any t =
+  let work = snapshot t in
+  let found = ref None in
+  let _cleared = peel t work ~stop_early:true ~emit:(fun kv -> found := Some kv) in
+  !found
+
+let iter2_cells t s f =
+  if t.dim <> s.dim || t.prm <> s.prm || t.cols <> s.cols then
+    invalid_arg "Sparse_recovery: incompatible sketches";
+  for r = 0 to t.prm.rows - 1 do
+    for c = 0 to t.cols - 1 do
+      f t.cells.(r).(c) s.cells.(r).(c)
+    done
+  done
+
+let add t s = iter2_cells t s One_sparse.add
+let sub t s = iter2_cells t s One_sparse.sub
+let copy t = { t with cells = snapshot t }
+
+let clone_zero t =
+  let cells =
+    Array.map
+      (Array.map (fun c ->
+           let c' = One_sparse.copy c in
+           One_sparse.reset c';
+           c'))
+      t.cells
+  in
+  { t with cells }
+let reset t = Array.iter (Array.iter One_sparse.reset) t.cells
+
+let merge_many = function
+  | [] -> invalid_arg "Sparse_recovery.merge_many: empty list"
+  | first :: rest ->
+      let acc = copy first in
+      List.iter (fun s -> add acc s) rest;
+      acc
+
+let space_in_words t =
+  let cell_words = 4 in
+  let hash_words = Array.fold_left (fun acc h -> acc + Kwise.space_in_words h) 0 t.hashes in
+  (t.prm.rows * t.cols * cell_words) + hash_words
+
+let dim t = t.dim
+let params t = t.prm
+
+(* Cells are framed as (zero-run skip, counters) pairs: sketches of sparse
+   shards are overwhelmingly zero cells, and a zero run costs one byte. The
+   reader knows the total cell count, so no end marker is needed. *)
+let write t sink =
+  Wire.write_tag sink "srec";
+  Wire.write_int sink t.dim;
+  Wire.write_int sink t.prm.rows;
+  Wire.write_int sink t.cols;
+  let flat = Array.concat (Array.to_list t.cells) in
+  let total = Array.length flat in
+  let pos = ref 0 in
+  while !pos < total do
+    let start = !pos in
+    while !pos < total && One_sparse.is_zero flat.(!pos) do
+      incr pos
+    done;
+    Wire.write_int sink (!pos - start);
+    if !pos < total then begin
+      One_sparse.write_raw flat.(!pos) sink;
+      incr pos
+    end
+  done;
+  (* A trailing zero run ends exactly at [total]; if the last cell was
+     non-zero the loop exits without a final skip, which the reader's
+     position arithmetic handles. *)
+  ()
+
+let read_into t src =
+  Wire.expect_tag src "srec";
+  if Wire.read_int src <> t.dim then failwith "Sparse_recovery.read_into: dimension mismatch";
+  if Wire.read_int src <> t.prm.rows || Wire.read_int src <> t.cols then
+    failwith "Sparse_recovery.read_into: shape mismatch";
+  let flat = Array.concat (Array.to_list t.cells) in
+  let total = Array.length flat in
+  let pos = ref 0 in
+  while !pos < total do
+    let skip = Wire.read_int src in
+    if skip < 0 || !pos + skip > total then failwith "Sparse_recovery.read_into: bad zero run";
+    for i = !pos to !pos + skip - 1 do
+      One_sparse.reset flat.(i)
+    done;
+    pos := !pos + skip;
+    if !pos < total then begin
+      One_sparse.read_raw flat.(!pos) src;
+      incr pos
+    end
+  done

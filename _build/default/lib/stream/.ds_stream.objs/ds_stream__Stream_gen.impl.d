@@ -1,0 +1,1 @@
+lib/stream/stream_gen.ml: Array Ds_graph Ds_util Edge_index Graph Hashtbl List Prng Update

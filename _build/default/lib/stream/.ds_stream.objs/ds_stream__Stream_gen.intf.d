@@ -1,0 +1,1 @@
+lib/stream/stream_gen.mli: Ds_graph Ds_util Update

@@ -1,0 +1,1 @@
+lib/stream/stream_stats.ml: Ams_f2 Ds_graph Ds_sketch Edge_index Format Hashtbl Update

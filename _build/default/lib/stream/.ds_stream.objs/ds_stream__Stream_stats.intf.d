@@ -1,0 +1,1 @@
+lib/stream/stream_stats.mli: Ds_util Format Update

@@ -1,0 +1,1 @@
+lib/stream/trace.ml: Array Buffer Fun List Printf String Update

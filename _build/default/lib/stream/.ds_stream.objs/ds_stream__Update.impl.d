@@ -1,0 +1,1 @@
+lib/stream/update.ml: Array Ds_graph Format Graph Weighted_graph

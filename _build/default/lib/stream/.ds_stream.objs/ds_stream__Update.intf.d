@@ -1,0 +1,1 @@
+lib/stream/update.mli: Ds_graph Format

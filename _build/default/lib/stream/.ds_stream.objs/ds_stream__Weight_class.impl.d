@@ -1,0 +1,1 @@
+lib/stream/weight_class.ml: Array Float List Update

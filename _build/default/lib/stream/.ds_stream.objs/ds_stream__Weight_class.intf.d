@@ -1,0 +1,1 @@
+lib/stream/weight_class.mli: Update

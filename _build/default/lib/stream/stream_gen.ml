@@ -1,0 +1,140 @@
+open Ds_util
+open Ds_graph
+
+let shuffled_array rng list =
+  let a = Array.of_list list in
+  Prng.shuffle rng a;
+  a
+
+let insert_only rng g =
+  shuffled_array rng (List.map (fun (u, v) -> Update.insert u v) (Graph.edges g))
+
+let interleave rng a b =
+  let out = Array.make (Array.length a + Array.length b) (Update.insert 0 1) in
+  let ia = ref 0 and ib = ref 0 in
+  for k = 0 to Array.length out - 1 do
+    let take_a =
+      if !ia >= Array.length a then false
+      else if !ib >= Array.length b then true
+      else begin
+        (* Choose proportionally to remaining lengths: a uniform interleaving. *)
+        let ra = Array.length a - !ia and rb = Array.length b - !ib in
+        Prng.int rng (ra + rb) < ra
+      end
+    in
+    if take_a then begin
+      out.(k) <- a.(!ia);
+      incr ia
+    end
+    else begin
+      out.(k) <- b.(!ib);
+      incr ib
+    end
+  done;
+  out
+
+(* Random decoy edges not present in [g]. May return fewer than requested on
+   dense graphs. *)
+let decoy_edges rng g count =
+  let n = Graph.n g in
+  let dim = Edge_index.dim n in
+  let chosen = Hashtbl.create count in
+  let attempts = ref 0 in
+  while Hashtbl.length chosen < count && !attempts < 20 * (count + 1) do
+    incr attempts;
+    let idx = Prng.int rng dim in
+    let u, v = Edge_index.decode ~n idx in
+    if (not (Graph.mem_edge g u v)) && not (Hashtbl.mem chosen idx) then
+      Hashtbl.add chosen idx (u, v)
+  done;
+  Hashtbl.fold (fun _ e acc -> e :: acc) chosen []
+
+let with_churn rng ~decoys g =
+  let decoy = decoy_edges rng g decoys in
+  let real_inserts = List.map (fun (u, v) -> Update.insert u v) (Graph.edges g) in
+  (* Each decoy contributes an insert strictly before its delete; build the
+     decoy sub-stream first, then interleave with the shuffled real inserts. *)
+  let decoy_stream =
+    (* The i-th delete pairs with the i-th insert (same edge), so a merge is
+       valid iff, at every prefix, more inserts than deletes were taken — a
+       ballot-style merge. *)
+    let ins = shuffled_array rng (List.map (fun (u, v) -> Update.insert u v) decoy) in
+    let del = Array.map (fun { Update.u; v; _ } -> Update.delete u v) ins in
+    let total = Array.length ins + Array.length del in
+    let out = Array.make total (Update.insert 0 1) in
+    let ia = ref 0 and ib = ref 0 in
+    for k = 0 to total - 1 do
+      let can_del = !ib < !ia && !ib < Array.length del in
+      let must_del = !ia >= Array.length ins in
+      let take_del = must_del || (can_del && Prng.bool rng) in
+      if take_del then begin
+        out.(k) <- del.(!ib);
+        incr ib
+      end
+      else begin
+        out.(k) <- ins.(!ia);
+        incr ia
+      end
+    done;
+    out
+  in
+  interleave rng (Array.of_list real_inserts) decoy_stream
+
+let delete_down_to rng ~from target =
+  if not (Graph.is_subgraph ~sub:target ~super:from) then
+    invalid_arg "Stream_gen.delete_down_to: target must be a subgraph of from";
+  let inserts = insert_only rng from in
+  let deletes =
+    Graph.edges from
+    |> List.filter (fun (u, v) -> not (Graph.mem_edge target u v))
+    |> List.map (fun (u, v) -> Update.delete u v)
+    |> shuffled_array rng
+  in
+  Array.append inserts deletes
+
+let flapping rng ~flaps g =
+  let base = insert_only rng g in
+  let edges = Array.of_list (Graph.edges g) in
+  if Array.length edges = 0 then base
+  else begin
+    let flap_updates =
+      Array.concat
+        (List.init flaps (fun _ ->
+             let u, v = edges.(Prng.int rng (Array.length edges)) in
+             [| Update.delete u v; Update.insert u v |]))
+    in
+    Array.append base flap_updates
+  end
+
+let sliding_window rng ~window snapshots =
+  if window < 1 then invalid_arg "Stream_gen.sliding_window: window must be >= 1";
+  (match snapshots with
+  | [] -> ()
+  | g :: rest ->
+      let n = Graph.n g in
+      if List.exists (fun h -> Graph.n h <> n) rest then
+        invalid_arg "Stream_gen.sliding_window: snapshots must share the vertex set");
+  let arr = Array.of_list snapshots in
+  let chunks = ref [] in
+  Array.iteri
+    (fun i g ->
+      chunks := insert_only rng g :: !chunks;
+      let expired = i - window + 1 in
+      if expired > 0 then begin
+        let old = arr.(expired - 1) in
+        chunks :=
+          shuffled_array rng (List.map (fun (u, v) -> Update.delete u v) (Graph.edges old))
+          :: !chunks
+      end)
+    arr;
+  Array.concat (List.rev !chunks)
+
+let multiplicity_churn rng ~copies g =
+  if copies < 1 then invalid_arg "Stream_gen.multiplicity_churn: copies < 1";
+  let phases = ref [] in
+  (* copies inserts then copies-1 deletes, phase by phase, keeps validity. *)
+  for c = 0 to (2 * copies) - 2 do
+    let mk (u, v) = if c < copies then Update.insert u v else Update.delete u v in
+    phases := shuffled_array rng (List.map mk (Graph.edges g)) :: !phases
+  done;
+  Array.concat (List.rev !phases)

@@ -1,0 +1,36 @@
+(** Stream builders: turn a target graph into a valid dynamic stream that
+    ends at that graph, with various amounts of adversarial churn. Every
+    builder shuffles so the algorithms cannot rely on arrival order, and
+    every produced stream satisfies {!Update.is_valid}. *)
+
+val insert_only : Ds_util.Prng.t -> Ds_graph.Graph.t -> Update.t array
+(** The distinct edges of the graph, inserted once each in random order. *)
+
+val with_churn : Ds_util.Prng.t -> decoys:int -> Ds_graph.Graph.t -> Update.t array
+(** Insert the real edges plus up to [decoys] decoy edges (absent from the
+    final graph); every decoy is deleted later in the stream. Insertions and
+    deletions are interleaved randomly subject to validity. *)
+
+val delete_down_to : Ds_util.Prng.t -> from:Ds_graph.Graph.t -> Ds_graph.Graph.t -> Update.t array
+(** Insert all edges of [from] (a supergraph), then delete [from \ target].
+    The classic hard case: the final graph is a small remnant of a dense
+    stream prefix, so any algorithm that samples the prefix loses. *)
+
+val multiplicity_churn : Ds_util.Prng.t -> copies:int -> Ds_graph.Graph.t -> Update.t array
+(** Each real edge is inserted [copies] times and deleted [copies - 1]
+    times, exercising multigraph multiplicities. *)
+
+val interleave : Ds_util.Prng.t -> Update.t array -> Update.t array -> Update.t array
+(** Random interleaving preserving the relative order inside each input. *)
+
+val flapping : Ds_util.Prng.t -> flaps:int -> Ds_graph.Graph.t -> Update.t array
+(** Insert the graph, then repeatedly delete and re-insert random existing
+    edges ([flaps] delete+insert pairs) — link-flapping churn that keeps the
+    final graph equal to the input. Stresses algorithms whose state must be
+    exactly linear (any leftover from a flap is a bug). *)
+
+val sliding_window : Ds_util.Prng.t -> window:int -> Ds_graph.Graph.t list -> Update.t array
+(** A sequence of graph snapshots on the same vertex set, streamed so that
+    each snapshot's edges are inserted and then deleted when it leaves the
+    [window] (in snapshots). The final graph is the union of the last
+    [window] snapshots. All snapshots must share the vertex count. *)

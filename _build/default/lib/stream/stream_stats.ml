@@ -1,0 +1,61 @@
+open Ds_graph
+open Ds_sketch
+
+type t = {
+  n : int;
+  mutable updates : int;
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable live : int;
+  mutable max_vertex : int;
+  touched : (int, unit) Hashtbl.t;
+  f2 : Ams_f2.t;
+}
+
+let create rng ~n =
+  {
+    n;
+    updates = 0;
+    inserts = 0;
+    deletes = 0;
+    live = 0;
+    max_vertex = -1;
+    touched = Hashtbl.create 256;
+    f2 = Ams_f2.create rng ~dim:(Edge_index.dim n) ~params:Ams_f2.default_params;
+  }
+
+let update t (u : Update.t) =
+  let delta = Update.delta u in
+  t.updates <- t.updates + 1;
+  if delta > 0 then t.inserts <- t.inserts + 1 else t.deletes <- t.deletes + 1;
+  t.live <- t.live + delta;
+  t.max_vertex <- max t.max_vertex (max u.Update.u u.Update.v);
+  let idx = Edge_index.encode ~n:t.n u.Update.u u.Update.v in
+  Hashtbl.replace t.touched idx ();
+  Ams_f2.update t.f2 ~index:idx ~delta
+
+type summary = {
+  updates : int;
+  inserts : int;
+  deletes : int;
+  distinct_touched : int;
+  live_multiplicity : int;
+  f2_estimate : float;
+  max_vertex : int;
+}
+
+let summary (t : t) =
+  {
+    updates = t.updates;
+    inserts = t.inserts;
+    deletes = t.deletes;
+    distinct_touched = Hashtbl.length t.touched;
+    live_multiplicity = t.live;
+    f2_estimate = Ams_f2.estimate t.f2;
+    max_vertex = t.max_vertex;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "updates=%d (+%d/-%d) touched=%d live-multiplicity=%d F2~%.0f max-vertex=%d" s.updates
+    s.inserts s.deletes s.distinct_touched s.live_multiplicity s.f2_estimate s.max_vertex

@@ -1,0 +1,22 @@
+(** One-pass statistics over a dynamic stream: the health metrics a long-
+    running ingest pipeline keeps next to its sketches. Everything is
+    incremental and O(1) per update except the F2 estimate, which rides the
+    linear {!Ds_sketch.Ams_f2} sketch over the edge-multiplicity vector. *)
+
+type t
+
+val create : Ds_util.Prng.t -> n:int -> t
+val update : t -> Update.t -> unit
+
+type summary = {
+  updates : int;
+  inserts : int;
+  deletes : int;
+  distinct_touched : int;  (** distinct edge slots ever updated *)
+  live_multiplicity : int;  (** sum of current multiplicities = F1 *)
+  f2_estimate : float;  (** estimated sum of squared multiplicities *)
+  max_vertex : int;  (** largest endpoint seen *)
+}
+
+val summary : t -> summary
+val pp_summary : Format.formatter -> summary -> unit

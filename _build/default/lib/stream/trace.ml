@@ -1,0 +1,72 @@
+let sign_char = function Update.Insert -> '+' | Update.Delete -> '-'
+
+let to_string updates =
+  let buf = Buffer.create (16 * Array.length updates) in
+  Array.iter
+    (fun { Update.u; v; sign } -> Buffer.add_string buf (Printf.sprintf "%c %d %d\n" (sign_char sign) u v))
+    updates;
+  Buffer.contents buf
+
+let parse_line ~lineno line =
+  let fail () = failwith (Printf.sprintf "Trace: malformed line %d: %S" lineno line) in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ s; a; b ] -> (
+      let sign =
+        match s with "+" -> Update.Insert | "-" -> Update.Delete | _ -> fail ()
+      in
+      match (int_of_string_opt a, int_of_string_opt b) with
+      | Some u, Some v -> { Update.u; v; sign }
+      | _ -> fail ())
+  | _ -> fail ()
+
+let of_string text =
+  let updates = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then updates := parse_line ~lineno:(i + 1) line :: !updates)
+    (String.split_on_char '\n' text);
+  Array.of_list (List.rev !updates)
+
+let save path updates =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string updates))
+
+let read_all path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = of_string (read_all path)
+
+let save_weighted path updates =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iter
+        (fun { Update.wu; wv; weight; wsign } ->
+          output_string oc (Printf.sprintf "%c %d %d %.17g\n" (sign_char wsign) wu wv weight))
+        updates)
+
+let load_weighted path =
+  let updates = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then begin
+        let fail () = failwith (Printf.sprintf "Trace: malformed line %d: %S" (i + 1) line) in
+        match String.split_on_char ' ' line with
+        | [ s; a; b; w ] -> (
+            let wsign =
+              match s with "+" -> Update.Insert | "-" -> Update.Delete | _ -> fail ()
+            in
+            match (int_of_string_opt a, int_of_string_opt b, float_of_string_opt w) with
+            | Some wu, Some wv, Some weight ->
+                updates := { Update.wu; wv; weight; wsign } :: !updates
+            | _ -> fail ())
+        | _ -> fail ()
+      end)
+    (String.split_on_char '\n' (read_all path));
+  Array.of_list (List.rev !updates)

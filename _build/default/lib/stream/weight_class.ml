@@ -1,0 +1,31 @@
+type t = { gamma : float; w_min : float; count : int }
+
+let create ~gamma ~w_min ~w_max =
+  if gamma <= 0.0 then invalid_arg "Weight_class.create: gamma must be positive";
+  if w_min <= 0.0 || w_max < w_min then invalid_arg "Weight_class.create: bad weight range";
+  let count = 1 + int_of_float (ceil (log (w_max /. w_min) /. log (1.0 +. gamma))) in
+  { gamma; w_min; count }
+
+let num_classes t = t.count
+
+let class_of t w =
+  if w <= t.w_min then 0
+  else begin
+    let i = int_of_float (Float.round (log (w /. t.w_min) /. log (1.0 +. t.gamma))) in
+    max 0 (min (t.count - 1) i)
+  end
+
+let representative t i =
+  if i < 0 || i >= t.count then invalid_arg "Weight_class.representative: out of range";
+  t.w_min *. ((1.0 +. t.gamma) ** float_of_int i)
+
+let split t stream =
+  let buckets = Array.make t.count [] in
+  Array.iter
+    (fun { Update.wu; wv; weight; wsign } ->
+      let c = class_of t weight in
+      buckets.(c) <- { Update.u = wu; v = wv; sign = wsign } :: buckets.(c))
+    stream;
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets
+
+let max_rounding_error t = 1.0 +. t.gamma

@@ -1,0 +1,28 @@
+(** Geometric weight classes (Remark 14 / Section 6): round every weight to
+    the nearest power of [1 + gamma] and run one unweighted algorithm per
+    class. Costs a factor [O(log(wmax/wmin) / gamma)] in space and turns the
+    output into a [(1 + gamma)]-approximately weighted subgraph. *)
+
+type t
+(** A classification scheme: [gamma] plus the observed weight origin. *)
+
+val create : gamma:float -> w_min:float -> w_max:float -> t
+(** @raise Invalid_argument unless [gamma > 0] and [0 < w_min <= w_max]. *)
+
+val num_classes : t -> int
+
+val class_of : t -> float -> int
+(** Index of the class whose representative is nearest [w] in log scale.
+    Weights outside [w_min, w_max] clamp to the end classes. *)
+
+val representative : t -> int -> float
+(** The rounded weight [w_min * (1 + gamma)^i] of class [i]. *)
+
+val split : t -> Update.weighted array -> Update.t array array
+(** Partition a weighted stream into one unweighted stream per class.
+    A weighted edge lands (whole) in the class of its weight; deletion of a
+    weighted edge must carry the same weight as its insertion, which the
+    model guarantees. *)
+
+val max_rounding_error : t -> float
+(** Worst multiplicative error [<= 1 + gamma] introduced by rounding. *)

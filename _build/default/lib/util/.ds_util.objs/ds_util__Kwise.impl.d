@@ -1,0 +1,1 @@
+lib/util/kwise.ml: Array Field Prng

@@ -1,0 +1,28 @@
+let p = 0x7fffffff (* 2^31 - 1 *)
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b = let d = a - b in if d < 0 then d + p else d
+let neg a = if a = 0 then 0 else p - a
+
+(* (p-1)^2 = (2^31-2)^2 < 2^62 - 1 = max_int, so the product never wraps. *)
+let mul a b = a * b mod p
+
+let pow b e =
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+    else go acc (mul b b) (e lsr 1)
+  in
+  if e < 0 then invalid_arg "Field.pow: negative exponent";
+  go 1 (of_int b) e
+
+let inv a = if a = 0 then raise Division_by_zero else pow a (p - 2)
+let div a b = mul a (inv b)
+let scale_int c x = mul (of_int c) x

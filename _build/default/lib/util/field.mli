@@ -1,0 +1,39 @@
+(** Arithmetic in the Mersenne prime field [F_p] with [p = 2^31 - 1].
+
+    All elements are native OCaml [int]s in the range [0, p). Products of two
+    elements fit in a 63-bit native int ([ (p-1)^2 < 2^62 ]), so no big-number
+    support is needed. This field backs every fingerprint and hash polynomial
+    in the sketching layer. *)
+
+val p : int
+(** The field modulus, [2^31 - 1]. *)
+
+val of_int : int -> int
+(** [of_int x] reduces an arbitrary integer (possibly negative) into [0, p). *)
+
+val add : int -> int -> int
+(** Field addition. Arguments must already be reduced. *)
+
+val sub : int -> int -> int
+(** Field subtraction. Arguments must already be reduced. *)
+
+val neg : int -> int
+(** Field negation. *)
+
+val mul : int -> int -> int
+(** Field multiplication. Arguments must already be reduced. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b^e mod p] by binary exponentiation. Requires [e >= 0]. *)
+
+val inv : int -> int
+(** Multiplicative inverse by Fermat's little theorem.
+    @raise Division_by_zero on [inv 0]. *)
+
+val div : int -> int -> int
+(** [div a b = mul a (inv b)]. *)
+
+val scale_int : int -> int -> int
+(** [scale_int c x] multiplies a field element [x] by an arbitrary (possibly
+    negative, possibly large) integer coefficient [c], reducing [c] first.
+    Used to fold signed stream multiplicities into fingerprints. *)

@@ -1,0 +1,46 @@
+type t = { coeffs : int array }
+
+let create rng ~k =
+  if k < 1 then invalid_arg "Kwise.create: k must be >= 1";
+  let coeffs = Array.init k (fun _ -> Prng.int rng Field.p) in
+  (* Avoid the identically-zero function for degenerate uses. *)
+  if Array.for_all (fun c -> c = 0) coeffs then coeffs.(0) <- 1;
+  { coeffs }
+
+(* Keys can exceed p (edge indices go up to n^2); fold the high bits in with
+   a multiplier so that keys congruent mod p still hash differently. *)
+let fold_key x =
+  let lo = x land 0x7fffffff
+  and hi = (x lsr 31) land 0x7fffffff in
+  Field.add (Field.of_int lo) (Field.mul (Field.of_int hi) 0x5DEECE66)
+
+let eval t x =
+  let x = fold_key x in
+  let acc = ref 0 in
+  for i = Array.length t.coeffs - 1 downto 0 do
+    acc := Field.add (Field.mul !acc x) t.coeffs.(i)
+  done;
+  !acc
+
+let to_range t x ~bound =
+  if bound <= 0 then invalid_arg "Kwise.to_range: bound must be positive";
+  eval t x mod bound
+
+let to_unit t x = float_of_int (eval t x) /. float_of_int Field.p
+
+let bernoulli t x q = to_unit t x < q
+
+let level t x =
+  let v = eval t x in
+  if v = 0 then 31
+  else begin
+    (* v uniform in [1, p); level j iff v < p / 2^j. *)
+    let rec go j threshold =
+      if j >= 31 then 31
+      else if v < threshold then go (j + 1) (threshold / 2)
+      else j
+    in
+    go 0 Field.p - 1 |> max 0
+  end
+
+let space_in_words t = Array.length t.coeffs

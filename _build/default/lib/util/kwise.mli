@@ -1,0 +1,39 @@
+(** k-wise independent hash families over [F_p], [p = 2^31 - 1].
+
+    The paper assumes [O(log n)]-wise independent hash functions to generate
+    the edge samples [E_j], vertex samples [C_r], [Y_j], [Z_r], and the rows
+    of the sparse-recovery sketches (Theorem 8). A degree-[k] random
+    polynomial over a prime field is the textbook such family; the degree is
+    a parameter so experiments can dial independence. *)
+
+type t
+(** An immutable hash function drawn from the family. *)
+
+val create : Prng.t -> k:int -> t
+(** [create rng ~k] draws a uniformly random polynomial of degree [k - 1],
+    i.e. a [k]-wise independent function [F_p -> F_p]. Requires [k >= 1]. *)
+
+val eval : t -> int -> int
+(** [eval h x] evaluates the polynomial at [Field.of_int x]; the result is a
+    field element in [0, p). Keys larger than [p] are folded into the field
+    with a mixing step so that distinct 62-bit keys rarely collide. *)
+
+val to_range : t -> int -> bound:int -> int
+(** [to_range h x ~bound] maps [x] to [0, bound) with bias at most
+    [bound / p]. Requires [0 < bound]. *)
+
+val to_unit : t -> int -> float
+(** [to_unit h x] maps [x] to a quasi-uniform float in [0, 1). This is the
+    discretised uniform [h^j_uv] used in Section 6.3. *)
+
+val bernoulli : t -> int -> float -> bool
+(** [bernoulli h x q] is true iff [to_unit h x < q]; a pairwise-consistent
+    coin for key [x]. *)
+
+val level : t -> int -> int
+(** [level h x] is a geometric level: the largest [j >= 0] such that
+    [to_unit h x < 2^-j], capped at 62. [level h x >= j] has probability
+    [2^-j]; used for the nested sampling sets [E_j], [Y_j], [Z_r]. *)
+
+val space_in_words : t -> int
+(** Number of machine words of state (the coefficient vector). *)

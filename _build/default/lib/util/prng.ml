@@ -1,0 +1,70 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 output mix (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let split t = { state = mix (next64 t) }
+
+let split_named t tag =
+  let h = ref t.state in
+  String.iter (fun c -> h := mix (Int64.add !h (Int64.of_int (Char.code c)))) tag;
+  { state = mix !h }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = 0x3FFFFFFFFFFFFFFF in
+  let lim = max - (max mod bound) in
+  let rec go () =
+    let r = next t in
+    if r >= lim then go () else r mod bound
+  in
+  go ()
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  r /. 9007199254740992.0 *. bound (* 2^53 *)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+let bernoulli t q = float t 1.0 < q
+
+let geometric_level t =
+  (* Count trailing ones of a uniform word; resample on the (2^-62)-probability
+     all-ones word so the level is unbounded in principle but cheap. *)
+  let rec go acc =
+    let r = next t in
+    let rec count r acc = if r land 1 = 1 then count (r lsr 1) (acc + 1) else acc in
+    let ones = count r 0 in
+    if ones = 62 then go (acc + 62) else acc + ones
+  in
+  go 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let gaussian t =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u = 0.0 then nonzero () else u
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)

@@ -1,0 +1,51 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    The whole repository derives every random choice from a single master
+    seed through this module, so all experiments and tests are reproducible.
+    The core generator is SplitMix64; [split] derives statistically
+    independent child generators, which stands in for the shared randomness
+    that the paper's distributed servers agree on (Section 1) and for Nisan's
+    PRG in Section 6.3 (see DESIGN.md, substitutions). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val copy : t -> t
+(** Independent copy sharing no future state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    independent of [t]'s subsequent output. *)
+
+val split_named : t -> string -> t
+(** [split_named t tag] derives a child generator from [t]'s {e current
+    seed} and [tag] without advancing [t]; equal tags give equal children.
+    Used to give every sketch instance its own reproducible seed. *)
+
+val next : t -> int
+(** Next raw 62-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t q] is true with probability [q]. *)
+
+val geometric_level : t -> int
+(** Number of fair-coin heads before the first tail: [Geometric(1/2)],
+    i.e. level [j] with probability [2^-(j+1)]. Used for nested sampling. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val gaussian : t -> float
+(** Standard normal via Box–Muller. *)

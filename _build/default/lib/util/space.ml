@@ -1,0 +1,9 @@
+let words_to_bits w = w * 63
+let words_to_mib w = float_of_int (w * 8) /. (1024.0 *. 1024.0)
+
+let pp_words ppf w =
+  let fw = float_of_int w in
+  if fw >= 1e9 then Format.fprintf ppf "%.2f Gw" (fw /. 1e9)
+  else if fw >= 1e6 then Format.fprintf ppf "%.2f Mw" (fw /. 1e6)
+  else if fw >= 1e3 then Format.fprintf ppf "%.1f Kw" (fw /. 1e3)
+  else Format.fprintf ppf "%d w" w

@@ -1,0 +1,15 @@
+(** Space accounting for sketch state.
+
+    Every sketch in this repository can report the number of machine words it
+    holds; experiment tables use these counts as the measured "sketching
+    dimension", matching the paper's space bounds (which are stated in bits;
+    one word here is 63 usable bits). *)
+
+val words_to_bits : int -> int
+(** Machine words to bits (63-bit OCaml ints). *)
+
+val words_to_mib : int -> float
+(** Machine words to mebibytes (8 bytes per word). *)
+
+val pp_words : Format.formatter -> int -> unit
+(** Human-readable rendering, e.g. ["12.3 Kw"]. *)

@@ -1,0 +1,30 @@
+(** Small statistics helpers used by experiments and tests. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val variance : float array -> float
+(** Population variance; 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Median (average of middle pair for even lengths); 0 on empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile a q] with [q] in [0, 100], nearest-rank with linear
+    interpolation; 0 on empty. Does not mutate [a]. *)
+
+val max_arr : float array -> float
+val min_arr : float array -> float
+
+val histogram : float array -> bins:int -> lo:float -> hi:float -> int array
+(** Fixed-width histogram; values outside [lo, hi) clamp to end bins. *)
+
+val total_variation : float array -> float array -> float
+(** Total-variation distance between two discrete distributions given as
+    (not necessarily normalised) non-negative weight vectors of equal
+    length. *)
+
+val chi_square_uniform : int array -> float
+(** Chi-square statistic of observed counts against the uniform law. *)

@@ -1,0 +1,58 @@
+type sink = Buffer.t
+type source = { data : string; mutable pos : int }
+
+let sink () = Buffer.create 256
+let contents = Buffer.contents
+let source data = { data; pos = 0 }
+let remaining s = String.length s.data - s.pos
+
+(* Zig-zag then base-128 varint; total over the full 63-bit int range (the
+   recursion uses logical shifts, so a negative zig-zag word terminates
+   after at most 9 bytes). *)
+let write_int buf v =
+  let z = (v lsl 1) lxor (v asr 62) in
+  let rec go z =
+    if z land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr (z land 0x7f))
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (z land 0x7f)));
+      go (z lsr 7)
+    end
+  in
+  go z
+
+let read_byte s =
+  if s.pos >= String.length s.data then failwith "Wire: truncated input";
+  let b = Char.code s.data.[s.pos] in
+  s.pos <- s.pos + 1;
+  b
+
+let read_int s =
+  let rec go shift acc =
+    if shift > 62 then failwith "Wire: varint too long";
+    let b = read_byte s in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let z = go 0 0 in
+  (z lsr 1) lxor (-(z land 1))
+
+let write_array buf a =
+  write_int buf (Array.length a);
+  Array.iter (write_int buf) a
+
+let read_array s =
+  let len = read_int s in
+  if len < 0 || len > remaining s * 10 then failwith "Wire: implausible array length";
+  Array.init len (fun _ -> read_int s)
+
+let write_tag buf tag =
+  write_int buf (String.length tag);
+  Buffer.add_string buf tag
+
+let expect_tag s tag =
+  let len = read_int s in
+  if len <> String.length tag || remaining s < len then
+    failwith (Printf.sprintf "Wire: expected tag %S" tag);
+  let got = String.sub s.data s.pos len in
+  s.pos <- s.pos + len;
+  if got <> tag then failwith (Printf.sprintf "Wire: expected tag %S, found %S" tag got)

@@ -1,0 +1,31 @@
+(** Compact binary encoding for sketch state.
+
+    Sketch {e structure} (hash functions, dimensions) is derived from a
+    shared seed, so only the {e counters} ever need to cross the network —
+    exactly the paper's distributed model, where servers agree on the
+    sketching matrix and ship [S x^i]. Writers append to a buffer; readers
+    consume a string. Integers use zig-zag varint encoding (signed counters
+    are mostly small), and every composite value carries a small tag so that
+    misaligned reads fail loudly instead of decoding garbage. *)
+
+type sink
+type source
+
+val sink : unit -> sink
+val contents : sink -> string
+val source : string -> source
+
+val remaining : source -> int
+(** Bytes not yet consumed. *)
+
+val write_int : sink -> int -> unit
+val read_int : source -> int
+(** @raise Failure on truncated input. *)
+
+val write_array : sink -> int array -> unit
+val read_array : source -> int array
+
+val write_tag : sink -> string -> unit
+val expect_tag : source -> string -> unit
+(** @raise Failure if the next tag differs — the standard guard at the head
+    of every sketch's [write]/[read_into] pair. *)

@@ -1,0 +1,1 @@
+test/test_additive.ml: Additive_spanner Alcotest Components Ds_core Ds_graph Ds_stream Ds_util Gen Graph Ind_game List Prng QCheck QCheck_alcotest Stream_gen Stretch

@@ -1,0 +1,1 @@
+test/test_agm.ml: Agm_sketch Alcotest Array Components Ds_agm Ds_graph Ds_stream Ds_util Gen Graph Hashtbl List Prng QCheck QCheck_alcotest Stream_gen String Update

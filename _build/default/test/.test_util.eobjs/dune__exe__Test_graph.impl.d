@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Components Diameter Dijkstra Ds_graph Ds_util Edge_index Gen Graph Graphviz Hashtbl List Prng QCheck QCheck_alcotest String Union_find Weighted_graph

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Bfs Cg Csr Ds_graph Ds_linalg Ds_util Gen Jacobi Laplacian List Matrix Power_iteration Printf Prng QCheck QCheck_alcotest Resistance Spectral Vec Weighted_graph

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cluster_sim Ds_graph Ds_sim Ds_stream Ds_util Gen Prng QCheck QCheck_alcotest Stream_gen

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Array Ds_graph Ds_stream Ds_util Filename Fun Gen Graph List Prng QCheck QCheck_alcotest Stream_gen Stream_stats Sys Trace Update Weight_class

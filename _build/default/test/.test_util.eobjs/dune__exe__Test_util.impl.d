@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ds_util Field Kwise List Prng QCheck QCheck_alcotest Space Stats String Wire

@@ -1,0 +1,329 @@
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_agm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -------------------- Min cut (offline verifier) -------------------- *)
+
+let test_mincut_known () =
+  check_int "barbell" 1 (Min_cut.edge_connectivity (Gen.barbell 8));
+  check_int "cycle" 2 (Min_cut.edge_connectivity (Gen.cycle 12));
+  check_int "complete" 9 (Min_cut.edge_connectivity (Gen.complete 10));
+  check_int "path" 1 (Min_cut.edge_connectivity (Gen.path 10));
+  check_int "disconnected" 0
+    (Min_cut.edge_connectivity (Gen.disjoint_cliques (Prng.create 1) ~count:2 ~size:5))
+
+let test_mincut_weighted () =
+  (* Two triangles joined by a light edge. *)
+  let g =
+    Weighted_graph.of_edges 6
+      [
+        (0, 1, 5.0); (1, 2, 5.0); (0, 2, 5.0);
+        (3, 4, 5.0); (4, 5, 5.0); (3, 5, 5.0);
+        (2, 3, 0.5);
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "weighted bridge" 0.5 (Min_cut.stoer_wagner g)
+
+let prop_mincut_le_min_degree =
+  QCheck.Test.make ~name:"edge connectivity <= min degree" ~count:30 QCheck.small_nat
+    (fun seed ->
+      let g = Gen.connected_gnp (Prng.create (seed + 40)) ~n:20 ~p:0.25 in
+      let min_deg = ref max_int in
+      for v = 0 to 19 do
+        min_deg := min !min_deg (Graph.degree g v)
+      done;
+      Min_cut.edge_connectivity g <= !min_deg)
+
+(* -------------------- K-connectivity certificates -------------------- *)
+
+let kconn_of_stream rng ~n ~k stream =
+  let t = K_connectivity.create rng ~n ~k ~params:(Agm_sketch.default_params ~n) in
+  Array.iter
+    (fun u -> K_connectivity.update t ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+    stream;
+  t
+
+let test_kconn_cycle () =
+  (* A cycle is exactly 2-edge-connected. *)
+  let g = Gen.cycle 24 in
+  let rng = Prng.create 5 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:100 g in
+  let t2 = kconn_of_stream (Prng.split rng) ~n:24 ~k:2 stream in
+  check_bool "cycle is 2-connected" true (K_connectivity.is_k_connected t2);
+  let t3 = kconn_of_stream (Prng.split rng) ~n:24 ~k:3 stream in
+  check_bool "cycle is not 3-connected" false (K_connectivity.is_k_connected t3)
+
+let test_kconn_bridge () =
+  let g = Gen.barbell 10 in
+  let rng = Prng.create 6 in
+  let stream = Stream_gen.insert_only (Prng.split rng) g in
+  let t = kconn_of_stream (Prng.split rng) ~n:20 ~k:2 stream in
+  check_bool "bridge blocks 2-connectivity" false (K_connectivity.is_k_connected t)
+
+let test_kconn_certificate_preserves_cuts () =
+  (* The certificate's edge connectivity equals min(k, lambda(G)). *)
+  for seed = 0 to 4 do
+    let rng = Prng.create (700 + seed) in
+    let g = Gen.connected_gnp rng ~n:24 ~p:0.3 in
+    let lambda = Min_cut.edge_connectivity g in
+    let k = 3 in
+    let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:100 g in
+    let t = kconn_of_stream (Prng.split rng) ~n:24 ~k stream in
+    let cert = K_connectivity.certificate t in
+    check_bool "certificate is a subgraph" true (Graph.is_subgraph ~sub:cert ~super:g);
+    (* The certificate preserves every cut value up to k: lambda(cert) is at
+       least min(k, lambda(G)), at most lambda(G), and equals lambda(G)
+       whenever lambda(G) <= k. *)
+    let lc = Min_cut.edge_connectivity cert in
+    check_bool
+      (Printf.sprintf "certificate lower bound (seed %d)" seed)
+      true
+      (lc >= min k lambda);
+    check_bool (Printf.sprintf "certificate upper bound (seed %d)" seed) true (lc <= lambda);
+    if lambda <= k then
+      check_int (Printf.sprintf "exact below k (seed %d)" seed) lambda lc
+  done
+
+let test_kconn_certificate_size () =
+  let g = Gen.complete 32 in
+  let rng = Prng.create 8 in
+  let stream = Stream_gen.insert_only (Prng.split rng) g in
+  let t = kconn_of_stream (Prng.split rng) ~n:32 ~k:4 stream in
+  let cert = K_connectivity.certificate t in
+  check_bool "O(kn) edges" true (Graph.num_edges cert <= 4 * 32)
+
+(* -------------------- Bipartiteness -------------------- *)
+
+let bip_of_stream rng ~n stream =
+  let t = Bipartiteness.create rng ~n ~params:(Agm_sketch.default_params ~n) in
+  Array.iter
+    (fun u -> Bipartiteness.update t ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+    stream;
+  Bipartiteness.test t
+
+let test_bipartite_yes () =
+  let g = Gen.random_bipartite (Prng.create 9) ~left:12 ~right:14 ~p:0.3 in
+  let v = bip_of_stream (Prng.create 10) ~n:26 (Stream_gen.insert_only (Prng.create 11) g) in
+  check_bool "bipartite detected" true v.Bipartiteness.is_bipartite
+
+let test_bipartite_even_cycle () =
+  let v =
+    bip_of_stream (Prng.create 12) ~n:16 (Stream_gen.insert_only (Prng.create 13) (Gen.cycle 16))
+  in
+  check_bool "even cycle bipartite" true v.Bipartiteness.is_bipartite;
+  check_int "one component" 1 v.Bipartiteness.components
+
+let test_bipartite_odd_cycle () =
+  let v =
+    bip_of_stream (Prng.create 14) ~n:15 (Stream_gen.insert_only (Prng.create 15) (Gen.cycle 15))
+  in
+  check_bool "odd cycle not bipartite" false v.Bipartiteness.is_bipartite;
+  check_int "no bipartite components" 0 v.Bipartiteness.bipartite_components
+
+let test_bipartite_mixed_components () =
+  (* One odd cycle + one even cycle, disjoint. *)
+  let g = Graph.create 11 in
+  for i = 0 to 4 do
+    Graph.add_edge g i ((i + 1) mod 5)
+  done;
+  for i = 0 to 5 do
+    Graph.add_edge g (5 + i) (5 + ((i + 1) mod 6))
+  done;
+  let v = bip_of_stream (Prng.create 16) ~n:11 (Stream_gen.insert_only (Prng.create 17) g) in
+  check_int "two components" 2 v.Bipartiteness.components;
+  check_int "one bipartite" 1 v.Bipartiteness.bipartite_components;
+  check_bool "overall not bipartite" false v.Bipartiteness.is_bipartite
+
+let test_bipartite_after_deletion () =
+  (* An odd cycle becomes bipartite when one edge is deleted. *)
+  let n = 9 in
+  let t = Bipartiteness.create (Prng.create 18) ~n ~params:(Agm_sketch.default_params ~n) in
+  for i = 0 to n - 1 do
+    Bipartiteness.update t ~u:i ~v:((i + 1) mod n) ~delta:1
+  done;
+  let v1 = Bipartiteness.test t in
+  check_bool "odd cycle" false v1.Bipartiteness.is_bipartite;
+  Bipartiteness.update t ~u:0 ~v:1 ~delta:(-1);
+  let v2 = Bipartiteness.test t in
+  check_bool "path after deletion is bipartite" true v2.Bipartiteness.is_bipartite
+
+let prop_bipartiteness_matches_offline =
+  QCheck.Test.make ~name:"sketch bipartiteness matches 2-coloring" ~count:25 QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (seed + 800) in
+      let g = Gen.gnp rng ~n:14 ~p:0.12 in
+      (* offline: BFS 2-coloring per component *)
+      let n = 14 in
+      let color = Array.make n (-1) in
+      let offline_bipartite = ref true in
+      for s = 0 to n - 1 do
+        if color.(s) = -1 then begin
+          color.(s) <- 0;
+          let q = Queue.create () in
+          Queue.add s q;
+          while not (Queue.is_empty q) do
+            let u = Queue.take q in
+            Graph.iter_neighbors g u (fun v ->
+                if color.(v) = -1 then begin
+                  color.(v) <- 1 - color.(u);
+                  Queue.add v q
+                end
+                else if color.(v) = color.(u) then offline_bipartite := false)
+          done
+        end
+      done;
+      let v = bip_of_stream (Prng.split rng) ~n (Stream_gen.insert_only (Prng.split rng) g) in
+      v.Bipartiteness.is_bipartite = !offline_bipartite)
+
+(* -------------------- Approximate MST -------------------- *)
+
+let mst_params gamma =
+  {
+    Mst.gamma;
+    w_min = 1.0;
+    w_max = 64.0;
+    sketch = Agm_sketch.default_params ~n:32;
+  }
+
+let random_weighted rng ~n ~p =
+  let g0 = Gen.connected_gnp rng ~n ~p in
+  let wg = Weighted_graph.create n in
+  Graph.iter_edges g0 (fun u v -> Weighted_graph.add_edge wg u v (1.0 +. Prng.float rng 60.0));
+  wg
+
+let test_mst_approximation () =
+  for seed = 0 to 3 do
+    let rng = Prng.create (900 + seed) in
+    let wg = random_weighted (Prng.split rng) ~n:32 ~p:0.2 in
+    let gamma = 0.25 in
+    let t = Mst.create (Prng.split rng) ~n:32 ~params:(mst_params gamma) in
+    List.iter
+      (fun (u, v, w) -> Mst.update t ~u ~v ~weight:w ~delta:1)
+      (Weighted_graph.edges wg);
+    let approx = Mst.extract t in
+    let exact = Mst_offline.kruskal wg in
+    check_int "spanning size" (List.length exact) (List.length approx);
+    let wa = Mst.forest_weight approx and we = Mst_offline.forest_weight exact in
+    check_bool
+      (Printf.sprintf "weight within (1+gamma)^2 both ways (seed %d: %.1f vs %.1f)" seed wa we)
+      true
+      (wa <= we *. (1.0 +. gamma) *. (1.0 +. gamma) +. 1e-6
+      && wa >= we /. ((1.0 +. gamma) *. (1.0 +. gamma)) -. 1e-6);
+    (* every output edge is a real edge *)
+    List.iter
+      (fun (u, v, _) -> check_bool "real edge" true (Weighted_graph.mem_edge wg u v))
+      approx
+  done
+
+let test_mst_with_deletions () =
+  (* Insert a heavy spanning structure plus light decoys, delete the light
+     ones: the MST must be built from what remains. *)
+  let n = 16 in
+  let rng = Prng.create 20 in
+  let t = Mst.create (Prng.split rng) ~n ~params:(mst_params 0.5) in
+  (* final graph: cycle with weight 8 *)
+  for i = 0 to n - 1 do
+    Mst.update t ~u:i ~v:((i + 1) mod n) ~weight:8.0 ~delta:1
+  done;
+  (* decoys: light chords, inserted then deleted *)
+  for i = 0 to n - 3 do
+    Mst.update t ~u:i ~v:(i + 2) ~weight:1.0 ~delta:1
+  done;
+  for i = 0 to n - 3 do
+    Mst.update t ~u:i ~v:(i + 2) ~weight:1.0 ~delta:(-1)
+  done;
+  let forest = Mst.extract t in
+  check_int "spanning tree size" (n - 1) (List.length forest);
+  List.iter
+    (fun (u, v, w) ->
+      check_bool "cycle edge" true ((u - v + n) mod n = 1 || (v - u + n) mod n = 1);
+      check_bool "heavy class weight" true (w >= 6.0))
+    forest
+
+let test_mst_disconnected () =
+  let n = 12 in
+  let t = Mst.create (Prng.create 21) ~n ~params:(mst_params 0.5) in
+  (* two triangles *)
+  List.iter
+    (fun (u, v) -> Mst.update t ~u ~v ~weight:2.0 ~delta:1)
+    [ (0, 1); (1, 2); (0, 2); (6, 7); (7, 8); (6, 8) ];
+  let forest = Mst.extract t in
+  check_int "forest of two trees" 4 (List.length forest)
+
+(* -------------------- Connectivity oracle -------------------- *)
+
+let test_connectivity_oracle () =
+  let n = 40 in
+  let rng = Prng.create 950 in
+  let g = Gen.gnp rng ~n ~p:0.06 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:150 g in
+  let c = Connectivity.create (Prng.split rng) ~n ~params:(Agm_sketch.default_params ~n) in
+  Array.iter
+    (fun u -> Connectivity.update c ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+    stream;
+  let a = Connectivity.freeze c in
+  check_int "component count" (Components.count g) (Connectivity.components a);
+  let labels = Components.labels g in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      check_bool "pairwise connectivity" (labels.(u) = labels.(v)) (Connectivity.connected a u v)
+    done
+  done;
+  for v = 0 to n - 1 do
+    check_bool "canonical label is a member" true
+      (Connectivity.connected a v (Connectivity.component_of a v))
+  done
+
+let test_connectivity_refreeze () =
+  let n = 6 in
+  let c = Connectivity.create (Prng.create 951) ~n ~params:(Agm_sketch.default_params ~n) in
+  Connectivity.update c ~u:0 ~v:1 ~delta:1;
+  let a1 = Connectivity.freeze c in
+  check_bool "before" true (Connectivity.connected a1 0 1);
+  check_bool "before disjoint" false (Connectivity.connected a1 0 2);
+  Connectivity.update c ~u:1 ~v:2 ~delta:1;
+  let a2 = Connectivity.freeze c in
+  check_bool "after" true (Connectivity.connected a2 0 2)
+
+let () =
+  Alcotest.run "agm_apps"
+    [
+      ( "min_cut",
+        [
+          Alcotest.test_case "known graphs" `Quick test_mincut_known;
+          Alcotest.test_case "weighted" `Quick test_mincut_weighted;
+        ] );
+      ( "k_connectivity",
+        [
+          Alcotest.test_case "cycle" `Quick test_kconn_cycle;
+          Alcotest.test_case "bridge" `Quick test_kconn_bridge;
+          Alcotest.test_case "cut preservation" `Slow test_kconn_certificate_preserves_cuts;
+          Alcotest.test_case "certificate size" `Quick test_kconn_certificate_size;
+        ] );
+      ( "bipartiteness",
+        [
+          Alcotest.test_case "bipartite yes" `Quick test_bipartite_yes;
+          Alcotest.test_case "even cycle" `Quick test_bipartite_even_cycle;
+          Alcotest.test_case "odd cycle" `Quick test_bipartite_odd_cycle;
+          Alcotest.test_case "mixed components" `Quick test_bipartite_mixed_components;
+          Alcotest.test_case "after deletion" `Quick test_bipartite_after_deletion;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "approximation" `Slow test_mst_approximation;
+          Alcotest.test_case "with deletions" `Quick test_mst_with_deletions;
+          Alcotest.test_case "disconnected" `Quick test_mst_disconnected;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "oracle" `Quick test_connectivity_oracle;
+          Alcotest.test_case "refreeze" `Quick test_connectivity_refreeze;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_mincut_le_min_degree; prop_bipartiteness_matches_offline ] );
+    ]

@@ -1,0 +1,85 @@
+open Ds_util
+open Ds_graph
+open Ds_stream
+open Ds_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let make_stream seed ~n =
+  let rng = Prng.create seed in
+  let g = Gen.connected_gnp rng ~n ~p:0.08 in
+  Stream_gen.with_churn (Prng.split rng) ~decoys:200 g
+
+let test_round_robin () =
+  let n = 60 in
+  let stream = make_stream 1 ~n in
+  let r = Cluster_sim.run (Prng.create 2) ~n ~servers:4 ~partition:Cluster_sim.Round_robin stream in
+  check_bool "correct" true r.Cluster_sim.forest_correct;
+  check_int "all updates routed" (Array.length stream)
+    (Array.fold_left ( + ) 0 r.Cluster_sim.updates_per_server);
+  (* Round robin balances within 1. *)
+  let mn = Array.fold_left min max_int r.Cluster_sim.updates_per_server in
+  let mx = Array.fold_left max 0 r.Cluster_sim.updates_per_server in
+  check_bool "balanced" true (mx - mn <= 1);
+  check_bool "communication accounted" true (r.Cluster_sim.bytes_total > 0)
+
+let test_by_vertex () =
+  let n = 60 in
+  let stream = make_stream 3 ~n in
+  let r = Cluster_sim.run (Prng.create 4) ~n ~servers:3 ~partition:Cluster_sim.By_vertex stream in
+  check_bool "correct under locality partition" true r.Cluster_sim.forest_correct
+
+let test_random_partition () =
+  let n = 60 in
+  let stream = make_stream 5 ~n in
+  let r = Cluster_sim.run (Prng.create 6) ~n ~servers:5 ~partition:(Cluster_sim.Random 7) stream in
+  check_bool "correct under random partition" true r.Cluster_sim.forest_correct
+
+let test_single_server_degenerate () =
+  let n = 40 in
+  let stream = make_stream 8 ~n in
+  let r = Cluster_sim.run (Prng.create 9) ~n ~servers:1 ~partition:Cluster_sim.Round_robin stream in
+  check_bool "one server is just streaming" true r.Cluster_sim.forest_correct;
+  check_int "one message" 1 (Array.length r.Cluster_sim.bytes_per_server)
+
+let test_result_independent_of_partition () =
+  (* The merged sketch is the sketch of the union regardless of sharding;
+     with identical seeds all partitions give identical coordinators, hence
+     identical forests. *)
+  let n = 50 in
+  let stream = make_stream 10 ~n in
+  let run p = Cluster_sim.run (Prng.create 11) ~n ~servers:4 ~partition:p stream in
+  let a = run Cluster_sim.Round_robin in
+  let b = run Cluster_sim.By_vertex in
+  let c = run (Cluster_sim.Random 12) in
+  check_int "same forest size rr/bv" a.Cluster_sim.forest_edges b.Cluster_sim.forest_edges;
+  check_int "same forest size rr/rand" a.Cluster_sim.forest_edges c.Cluster_sim.forest_edges;
+  check_bool "all correct" true
+    (a.Cluster_sim.forest_correct && b.Cluster_sim.forest_correct && c.Cluster_sim.forest_correct)
+
+let prop_sim_any_servers =
+  QCheck.Test.make ~name:"cluster sim correct for any server count" ~count:15
+    QCheck.(pair small_nat (int_range 1 8))
+    (fun (seed, servers) ->
+      let n = 30 in
+      let stream = make_stream (seed + 20) ~n in
+      let r =
+        Cluster_sim.run (Prng.create (seed + 21)) ~n ~servers
+          ~partition:Cluster_sim.Round_robin stream
+      in
+      r.Cluster_sim.forest_correct)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "cluster",
+        [
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "by vertex" `Quick test_by_vertex;
+          Alcotest.test_case "random partition" `Quick test_random_partition;
+          Alcotest.test_case "single server" `Quick test_single_server_degenerate;
+          Alcotest.test_case "partition independence" `Quick test_result_independent_of_partition;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_sim_any_servers ]);
+    ]

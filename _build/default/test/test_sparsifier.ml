@@ -1,0 +1,296 @@
+open Ds_util
+open Ds_graph
+open Ds_linalg
+open Ds_stream
+open Ds_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Small, fast parameters for tests; the bench sweeps real budgets. With
+   J = 3 repetitions the far-vote needs lambda > 1/3 so that one unlucky
+   repetition cannot push q_hat down a level. *)
+let fast_params ~n =
+  let base = Sparsify.default_params ~k:2 ~eps:0.5 ~n in
+  {
+    base with
+    Sparsify.z_rounds = 8;
+    oversample_shift = 3;
+    estimate = { base.Sparsify.estimate with Estimate.j_reps = 3; t_levels = 10; lambda = 0.34 };
+  }
+
+(* -------------------- Estimate -------------------- *)
+
+let test_estimate_orders_resistances () =
+  (* On a lollipop, the path edges have resistance ~1 and the clique edges
+     ~2/m: the oracle must give path edges a denser (smaller) level. *)
+  let g = Gen.lollipop 12 10 in
+  let n = Graph.n g in
+  let stream = Stream_gen.insert_only (Prng.create 1) g in
+  let prm = (fast_params ~n).Sparsify.estimate in
+  let est = Estimate.build (Prng.create 2) ~n ~params:prm stream in
+  let path_level = Estimate.query est 15 16 in
+  let clique_level = Estimate.query est 0 1 in
+  check_bool "bridge-ish edges denser" true (path_level < clique_level);
+  check_bool "levels start at 1" true (path_level >= 1)
+
+let test_estimate_correlates_with_resistance () =
+  (* Lemma 19 ([KP12]): q_hat = Omega(R_e / alpha^2). Empirically the oracle
+     levels should correlate with -log2(R_e): higher-resistance edges get
+     denser (smaller) levels. Spearman-style check: mean level of the
+     top-resistance tercile < mean level of the bottom tercile. *)
+  let g = Gen.lollipop 14 12 in
+  let n = Graph.n g in
+  let wg = Weighted_graph.of_graph g in
+  let stream = Stream_gen.insert_only (Prng.create 50) g in
+  let prm = (fast_params ~n).Sparsify.estimate in
+  let est = Estimate.build (Prng.create 51) ~n ~params:prm stream in
+  let rows =
+    List.map
+      (fun (u, v, _, r) -> (r, float_of_int (Estimate.query est u v)))
+      (Resistance.all_edges wg)
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare b a) rows in
+  let k = List.length sorted / 3 in
+  let take l n = List.filteri (fun i _ -> i < n) l in
+  let top = take sorted k and bottom = take (List.rev sorted) k in
+  let mean l = Stats.mean (Array.of_list (List.map snd l)) in
+  check_bool
+    (Printf.sprintf "high-R edges denser: %.2f < %.2f" (mean top) (mean bottom))
+    true
+    (mean top < mean bottom)
+
+let test_estimate_exact_mode () =
+  let g = Gen.lollipop 12 10 in
+  let n = Graph.n g in
+  let stream = Stream_gen.insert_only (Prng.create 3) g in
+  let prm = { (fast_params ~n).Sparsify.estimate with Estimate.mode = Estimate.Exact_resistance } in
+  let est = Estimate.build (Prng.create 4) ~n ~params:prm stream in
+  (* Path edge: R = 1 -> q clamped to 1/2 -> level 1. *)
+  check_int "path edge level" 1 (Estimate.query est 15 16);
+  (* Clique edge: R ~ 2/12 -> level ~ round(log2(6)) = 3. *)
+  let l = Estimate.query est 0 1 in
+  check_bool "clique edge sparser" true (l >= 2 && l <= 5)
+
+(* -------------------- Sample / Sparsify -------------------- *)
+
+let pencil g h =
+  Spectral.pencil_bounds ~base:(Weighted_graph.of_graph g) ~candidate:h
+
+let test_sparsify_quality () =
+  let n = 48 in
+  let rng = Prng.create 5 in
+  let g = Gen.connected_gnp rng ~n ~p:0.3 in
+  let stream = Stream_gen.insert_only (Prng.split rng) g in
+  let r = Sparsify.run (Prng.split rng) ~n ~params:(fast_params ~n) stream in
+  let b = pencil g r.Sparsify.sparsifier in
+  check_bool "no kernel leak" true (b.Spectral.kernel_leak < 1e-6);
+  check_bool
+    (Printf.sprintf "lambda_min %.3f reasonable" b.Spectral.lambda_min)
+    true (b.Spectral.lambda_min > 0.2);
+  check_bool
+    (Printf.sprintf "lambda_max %.3f reasonable" b.Spectral.lambda_max)
+    true (b.Spectral.lambda_max < 3.0)
+
+let test_sparsify_under_churn () =
+  let n = 40 in
+  let rng = Prng.create 6 in
+  let g = Gen.connected_gnp rng ~n ~p:0.3 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:200 g in
+  let r = Sparsify.run (Prng.split rng) ~n ~params:(fast_params ~n) stream in
+  let b = pencil g r.Sparsify.sparsifier in
+  check_bool "connected approximation" true (b.Spectral.lambda_min > 0.1);
+  check_bool "bounded above" true (b.Spectral.lambda_max < 4.0)
+
+let test_sparsify_exact_oracle_ablation () =
+  let n = 48 in
+  let rng = Prng.create 7 in
+  let g = Gen.connected_gnp rng ~n ~p:0.3 in
+  let stream = Stream_gen.insert_only (Prng.split rng) g in
+  let prm = fast_params ~n in
+  let prm =
+    { prm with Sparsify.estimate = { prm.Sparsify.estimate with Estimate.mode = Estimate.Exact_resistance } }
+  in
+  let r = Sparsify.run (Prng.split rng) ~n ~params:prm stream in
+  let b = pencil g r.Sparsify.sparsifier in
+  check_bool "exact oracle also works" true
+    (b.Spectral.lambda_min > 0.2 && b.Spectral.lambda_max < 3.0)
+
+let test_sparsify_preserves_bridge () =
+  (* The bridge of a barbell has q_hat ~ 1: it must survive with weight ~1
+     (its loss would send lambda_min to 0). *)
+  let n = 24 in
+  let g = Gen.barbell 12 in
+  let stream = Stream_gen.insert_only (Prng.create 8) g in
+  (* The bridge's q_hat level t* is ~log(1/lambda) above its resistance
+     level (the alpha^2 slack of Lemma 19), so give this test the rounds
+     that Lemma 22's Z = O(alpha^2 log n / eps^3) would: Z * 2^-level >> 1. *)
+  let prm = { (fast_params ~n) with Sparsify.z_rounds = 16 } in
+  let r = Sparsify.run (Prng.create 9) ~n ~params:prm stream in
+  let b = pencil g r.Sparsify.sparsifier in
+  check_bool "bridge preserved (lambda_min > 0)" true (b.Spectral.lambda_min > 0.2);
+  check_bool "bridge edge present" true
+    (Weighted_graph.mem_edge r.Sparsify.sparsifier 11 12)
+
+let test_sample_spanner_semantics () =
+  (* With q == j0 constant, Algorithm 5 must emit only weight 2^j0 edges,
+     all of them real edges of the graph, and only edges that survived the
+     level-j0 subsample (so substantially fewer than |E| for large j0). *)
+  let n = 40 in
+  let rng = Prng.create 60 in
+  let g = Gen.connected_gnp rng ~n ~p:0.25 in
+  let stream = Stream_gen.insert_only (Prng.split rng) g in
+  let j0 = 3 in
+  let r =
+    Sample_spanner.run (Prng.split rng) ~n
+      ~spanner_params:(Two_pass_spanner.default_params ~k:2)
+      ~h_levels:8
+      ~q:(fun _ _ -> j0)
+      stream
+  in
+  check_bool "some edges emitted" true (List.length r.Sample_spanner.edges > 0);
+  List.iter
+    (fun (u, v, w) ->
+      check_bool "real edge" true (Graph.mem_edge g u v);
+      Alcotest.(check (float 1e-9)) "weight is 2^j0" (float_of_int (1 lsl j0)) w)
+    r.Sample_spanner.edges;
+  check_bool "subsampled (well below |E|)" true
+    (List.length r.Sample_spanner.edges < Graph.num_edges g / 2);
+  check_bool "space accounted" true (r.Sample_spanner.space_words > 0)
+
+let test_sample_spanner_no_duplicates () =
+  let n = 30 in
+  let rng = Prng.create 61 in
+  let g = Gen.connected_gnp rng ~n ~p:0.3 in
+  let stream = Stream_gen.insert_only (Prng.split rng) g in
+  let r =
+    Sample_spanner.run (Prng.split rng) ~n
+      ~spanner_params:(Two_pass_spanner.default_params ~k:2)
+      ~h_levels:6
+      ~q:(fun _ _ -> 2)
+      stream
+  in
+  let keys = List.map (fun (u, v, _) -> (u, v)) r.Sample_spanner.edges in
+  let sorted = List.sort_uniq compare keys in
+  Alcotest.(check int) "no duplicate edges" (List.length keys) (List.length sorted)
+
+let test_weighted_sparsify () =
+  (* Weights in two well-separated classes; the weighted wrapper must land
+     the pencil bounds inside the (1+gamma)(1+-eps) window. *)
+  let n = 32 in
+  let rng = Prng.create 30 in
+  let g0 = Gen.connected_gnp rng ~n ~p:0.35 in
+  let wg = Weighted_graph.create n in
+  Graph.iter_edges g0 (fun u v ->
+      Weighted_graph.add_edge wg u v (if (u + v) mod 2 = 0 then 1.0 else 8.0));
+  let stream =
+    Array.of_list
+      (List.map
+         (fun (u, v, w) -> { Update.wu = u; wv = v; weight = w; wsign = Update.Insert })
+         (Weighted_graph.edges wg))
+  in
+  let gamma = 0.5 in
+  let prm = { (fast_params ~n) with Sparsify.z_rounds = 12 } in
+  let r = Weighted_sparsify.run (Prng.split rng) ~n ~params:prm ~gamma ~w_min:1.0 ~w_max:8.0 stream in
+  check_bool "at least two classes" true (r.Weighted_sparsify.classes >= 2);
+  let b = Spectral.pencil_bounds ~base:wg ~candidate:r.Weighted_sparsify.sparsifier in
+  let lo, hi = Weighted_sparsify.quality_bound ~eps:0.8 ~gamma in
+  check_bool
+    (Printf.sprintf "weighted pencil [%.2f, %.2f] in [%.2f, %.2f]" b.Spectral.lambda_min
+       b.Spectral.lambda_max lo hi)
+    true
+    (b.Spectral.lambda_min >= lo -. 1e-9 && b.Spectral.lambda_max <= hi +. 1e-9);
+  check_bool "kernel clean" true (b.Spectral.kernel_leak < 1e-6)
+
+(* -------------------- Uniform-sampling baseline -------------------- *)
+
+let test_uniform_loses_bridges () =
+  (* At rate p, the barbell bridge dies with probability 1 - p; resistance-
+     aware sampling (SS08) keeps it always. *)
+  let g = Weighted_graph.of_graph (Gen.barbell 12) in
+  let p = 0.3 in
+  let lost = ref 0 and trials = 40 in
+  for t = 0 to trials - 1 do
+    let h = Uniform_sparsifier.run (Prng.create (100 + t)) ~p g in
+    if not (Weighted_graph.mem_edge h 11 12) then incr lost
+  done;
+  let frac = float_of_int !lost /. float_of_int trials in
+  check_bool
+    (Printf.sprintf "bridge lost ~(1-p) of the time (%.2f)" frac)
+    true
+    (abs_float (frac -. (1.0 -. p)) < 0.2);
+  (* SS08 never loses it: p_e = min(1, C w R log n / eps^2) = 1 for R = 1. *)
+  for t = 0 to 9 do
+    let h = Ss_sparsifier.run (Prng.create (200 + t)) ~eps:0.5 ~oversample:1.0 g in
+    check_bool "ss08 keeps the bridge" true (Weighted_graph.mem_edge h 11 12)
+  done
+
+let test_uniform_unbiased_on_expanders () =
+  (* On a dense G(n,p) every cut is crossed by many edges, so uniform
+     sampling is actually fine — the contrast that motivates importance
+     sampling only on sparse cuts. *)
+  let g = Weighted_graph.of_graph (Gen.connected_gnp (Prng.create 40) ~n:48 ~p:0.5) in
+  let h = Uniform_sparsifier.run (Prng.create 41) ~p:0.5 g in
+  let b = Spectral.pencil_bounds ~base:g ~candidate:h in
+  check_bool
+    (Printf.sprintf "dense graph ok [%.2f, %.2f]" b.Spectral.lambda_min b.Spectral.lambda_max)
+    true
+    (b.Spectral.lambda_min > 0.35 && b.Spectral.lambda_max < 1.65)
+
+let test_uniform_matching_p () =
+  let g = Weighted_graph.of_graph (Gen.complete 20) in
+  Alcotest.(check (float 1e-9)) "rate" (50.0 /. 190.0)
+    (Uniform_sparsifier.matching_p ~target_edges:50 g)
+
+(* -------------------- SS08 baseline -------------------- *)
+
+let test_ss08_quality () =
+  let g = Weighted_graph.of_graph (Gen.connected_gnp (Prng.create 10) ~n:64 ~p:0.4) in
+  let h = Ss_sparsifier.run (Prng.create 11) ~eps:0.5 g in
+  let b = Spectral.pencil_bounds ~base:g ~candidate:h in
+  check_bool "ss08 lambda_min" true (b.Spectral.lambda_min > 0.4);
+  check_bool "ss08 lambda_max" true (b.Spectral.lambda_max < 1.7);
+  check_bool "ss08 compresses" true
+    (Weighted_graph.num_edges h < Weighted_graph.num_edges g)
+
+let test_ss08_expected_size_formula () =
+  let g = Weighted_graph.of_graph (Gen.complete 32) in
+  let e = Ss_sparsifier.expected_size ~eps:0.5 g in
+  (* sum_e p_e <= m, and for a clique with eps=0.5 it is far below m. *)
+  check_bool "formula sane" true (e > 0.0 && e <= float_of_int (Weighted_graph.num_edges g))
+
+let () =
+  Alcotest.run "sparsifier"
+    [
+      ( "estimate",
+        [
+          Alcotest.test_case "orders resistances" `Slow test_estimate_orders_resistances;
+          Alcotest.test_case "correlates with resistance" `Slow
+            test_estimate_correlates_with_resistance;
+          Alcotest.test_case "exact mode" `Quick test_estimate_exact_mode;
+        ] );
+      ( "sample_spanner",
+        [
+          Alcotest.test_case "semantics" `Quick test_sample_spanner_semantics;
+          Alcotest.test_case "no duplicates" `Quick test_sample_spanner_no_duplicates;
+        ] );
+      ( "sparsify",
+        [
+          Alcotest.test_case "quality" `Slow test_sparsify_quality;
+          Alcotest.test_case "under churn" `Slow test_sparsify_under_churn;
+          Alcotest.test_case "exact oracle ablation" `Slow test_sparsify_exact_oracle_ablation;
+          Alcotest.test_case "preserves bridge" `Slow test_sparsify_preserves_bridge;
+          Alcotest.test_case "weighted wrapper" `Slow test_weighted_sparsify;
+        ] );
+      ( "uniform_baseline",
+        [
+          Alcotest.test_case "loses bridges" `Quick test_uniform_loses_bridges;
+          Alcotest.test_case "fine on dense" `Quick test_uniform_unbiased_on_expanders;
+          Alcotest.test_case "matching p" `Quick test_uniform_matching_p;
+        ] );
+      ( "ss08",
+        [
+          Alcotest.test_case "quality" `Quick test_ss08_quality;
+          Alcotest.test_case "expected size" `Quick test_ss08_expected_size_formula;
+        ] );
+    ]
