@@ -1,0 +1,179 @@
+(* The pre-kernel ingestion hot path, preserved verbatim for benchmarking.
+
+   These are faithful copies of the update loops as they stood before the
+   batched-kernel rewrite: [Field.pow] (O(log dim) squarings) recomputed for
+   every cell of every row on every update, and the key fold re-done once
+   per row and per level. BENCH_ingest.json reports the kernel speedup
+   against *this* code measured in the same run on the same machine, so the
+   ratio tracks real regressions rather than hardware drift.
+
+   The arithmetic is pinned too: [Field0] and [Kwise0] below are the
+   division-based field ops and hash evaluation as they stood before this
+   PR's Mersenne-reduction rewrite of [Field.mul]. Without the pin, speeding
+   up the shared library would silently speed up the "baseline" and the
+   reported ratio would stop meaning "kernel vs pre-PR". Coefficients are
+   drawn through the same [Prng] calls as [Kwise.create], so the hash
+   functions are value-identical to the library's. *)
+
+open Ds_util
+
+(* Pre-PR field arithmetic: every reduction a hardware division. *)
+module Field0 = struct
+  let p = 0x7fffffff
+
+  let of_int x =
+    let r = x mod p in
+    if r < 0 then r + p else r
+
+  let add a b =
+    let s = a + b in
+    if s >= p then s - p else s
+
+  let mul a b = a * b mod p
+
+  let pow b e =
+    let rec go acc b e =
+      if e = 0 then acc
+      else if e land 1 = 1 then go (mul acc b) (mul b b) (e lsr 1)
+      else go acc (mul b b) (e lsr 1)
+    in
+    go 1 (of_int b) e
+
+  let scale_int c x = mul (of_int c) x
+end
+
+(* Pre-PR hash evaluation: same coefficient draw as [Kwise.create] (so the
+   functions are value-identical), but the fold + Horner loop re-done from
+   scratch on every call, all products reduced by division. *)
+module Kwise0 = struct
+  type t = { coeffs : int array }
+
+  let create rng ~k =
+    let coeffs = Array.init k (fun _ -> Prng.int rng Field0.p) in
+    if Array.for_all (fun c -> c = 0) coeffs then coeffs.(0) <- 1;
+    { coeffs }
+
+  let eval t x =
+    let x =
+      let lo = x land 0x7fffffff and hi = (x lsr 31) land 0x7fffffff in
+      Field0.add (Field0.of_int lo) (Field0.mul (Field0.of_int hi) 0x5DEECE66)
+    in
+    let acc = ref 0 in
+    for i = Array.length t.coeffs - 1 downto 0 do
+      acc := Field0.add (Field0.mul !acc x) t.coeffs.(i)
+    done;
+    !acc
+
+  let level t x =
+    let v = eval t x in
+    if v = 0 then 31
+    else begin
+      let rec go j threshold =
+        if j >= 31 then 31
+        else if v < threshold then go (j + 1) (threshold / 2)
+        else j
+      in
+      (go 0 Field0.p - 1) |> max 0
+    end
+end
+
+module One_sparse = struct
+  type t = {
+    dim : int;
+    base : int;
+    mutable c0 : int;
+    mutable c1 : int;
+    mutable c2 : int;
+  }
+
+  let create rng ~dim =
+    let base = 2 + Prng.int rng (Field0.p - 2) in
+    { dim; base; c0 = 0; c1 = 0; c2 = 0 }
+
+  let update t ~index ~delta =
+    if index < 0 || index >= t.dim then invalid_arg "One_sparse.update: index out of range";
+    t.c0 <- t.c0 + delta;
+    t.c1 <- t.c1 + (delta * index);
+    t.c2 <- Field0.add t.c2 (Field0.scale_int delta (Field0.pow t.base (index + 1)))
+end
+
+module Sparse_recovery = struct
+  type t = {
+    dim : int;
+    rows : int;
+    cols : int;
+    hashes : Kwise0.t array;
+    cells : One_sparse.t array array;
+  }
+
+  let create rng ~dim ~sparsity ~rows ~hash_degree =
+    let cols = max 2 (2 * sparsity) in
+    let hashes =
+      Array.init rows (fun r ->
+          Kwise0.create (Prng.split_named rng (Printf.sprintf "row%d" r)) ~k:hash_degree)
+    in
+    let cell_rng = Prng.split_named rng "cells" in
+    let proto = Prng.copy cell_rng in
+    let cells =
+      Array.init rows (fun _ ->
+          Array.init cols (fun _ -> One_sparse.create (Prng.copy proto) ~dim))
+    in
+    { dim; rows; cols; hashes; cells }
+
+  (* The pre-PR row loop: one full key fold + modulo per row, one modular
+     exponentiation per touched cell. *)
+  let update t ~index ~delta =
+    for r = 0 to t.rows - 1 do
+      let c = Kwise0.eval t.hashes.(r) index mod t.cols in
+      One_sparse.update t.cells.(r).(c) ~index ~delta
+    done
+end
+
+module L0_sampler = struct
+  type t = {
+    levels : int;
+    level_hash : Kwise0.t;
+    sketches : Sparse_recovery.t array;
+  }
+
+  let create rng ~dim ~sparsity ~rows ~hash_degree =
+    let levels = Ds_sketch.F0.levels_for dim in
+    {
+      levels;
+      level_hash = Kwise0.create (Prng.split_named rng "levels") ~k:hash_degree;
+      sketches =
+        Array.init levels (fun j ->
+            Sparse_recovery.create
+              (Prng.split_named rng (Printf.sprintf "lvl%d" j))
+              ~dim ~sparsity ~rows ~hash_degree);
+    }
+
+  let update t ~index ~delta =
+    let lvl = min (Kwise0.level t.level_hash index) (t.levels - 1) in
+    for j = 0 to lvl do
+      Sparse_recovery.update t.sketches.(j) ~index ~delta
+    done
+end
+
+module Agm_sketch = struct
+  type t = { n : int; copies : int; samplers : L0_sampler.t array array }
+
+  let create rng ~n ~copies ~sparsity ~rows ~hash_degree =
+    let dim = Ds_graph.Edge_index.dim n in
+    let samplers =
+      Array.init copies (fun c ->
+          let copy_rng = Prng.split_named rng (Printf.sprintf "copy%d" c) in
+          Array.init n (fun _ ->
+              L0_sampler.create (Prng.copy copy_rng) ~dim ~sparsity ~rows ~hash_degree))
+    in
+    { n; copies; samplers }
+
+  let signed_delta ~u ~v delta = if u < v then delta else -delta
+
+  let update t ~u ~v ~delta =
+    let idx = Ds_graph.Edge_index.encode ~n:t.n u v in
+    for c = 0 to t.copies - 1 do
+      L0_sampler.update t.samplers.(c).(u) ~index:idx ~delta:(signed_delta ~u ~v delta);
+      L0_sampler.update t.samplers.(c).(v) ~index:idx ~delta:(signed_delta ~u:v ~v:u delta)
+    done
+end

@@ -1,0 +1,84 @@
+(* Ingestion-throughput trajectory bench.
+
+     dune exec bench/ingest.exe [-- OUTPUT.json]
+
+   Measures, in one run on one machine: (a) the pre-kernel single-thread
+   baseline (bench/baseline.ml, the hot path as it stood before the batched
+   update kernels), (b) the kernelized single-thread rate, and (c) the
+   domain-parallel sharded rate at several pool sizes. Writes the numbers as
+   machine-readable JSON (default ./BENCH_ingest.json) so later PRs can
+   detect throughput regressions against this PR's trajectory. *)
+
+let dim = Ds_graph.Edge_index.dim 256
+let l0_updates = 200_000
+let agm_n = 256
+let agm_updates = 30_000
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_ingest.json" in
+  (* Open the output before measuring: a typo'd path should fail in
+     milliseconds, not after minutes of benchmarking. *)
+  let oc = open_out out in
+  let module C = Ingest_common in
+  Fmt.pr "ingestion bench: L0 micro (dim=%d, %d updates); AGM end-to-end (n=%d, %d updates)@."
+    dim l0_updates agm_n agm_updates;
+  let baseline_os = C.baseline_one_sparse_rate ~dim ~updates:l0_updates in
+  Fmt.pr "  baseline 1sparse %12.0f ops/s@." baseline_os;
+  let kernel_os = C.kernel_one_sparse_rate ~dim ~updates:l0_updates in
+  Fmt.pr "  kernel   1sparse %12.0f ops/s  (%.2fx)@." kernel_os (kernel_os /. baseline_os);
+  let baseline_sr = C.baseline_sr_rate ~dim ~updates:l0_updates in
+  Fmt.pr "  baseline srec    %12.0f ops/s@." baseline_sr;
+  let kernel_sr = C.kernel_sr_rate ~dim ~updates:l0_updates in
+  Fmt.pr "  kernel   srec    %12.0f ops/s  (%.2fx)@." kernel_sr (kernel_sr /. baseline_sr);
+  let baseline_l0 = C.baseline_l0_rate ~dim ~updates:l0_updates in
+  Fmt.pr "  baseline l0      %12.0f ops/s@." baseline_l0;
+  let kernel_l0 = C.kernel_l0_rate ~dim ~updates:l0_updates in
+  Fmt.pr "  kernel   l0      %12.0f ops/s  (%.2fx)@." kernel_l0 (kernel_l0 /. baseline_l0);
+  let baseline_agm = C.baseline_agm_rate ~n:agm_n ~updates:agm_updates in
+  Fmt.pr "  baseline agm     %12.0f ops/s@." baseline_agm;
+  let kernel_agm = C.kernel_agm_rate ~n:agm_n ~updates:agm_updates in
+  Fmt.pr "  kernel   agm     %12.0f ops/s  (%.2fx)@." kernel_agm (kernel_agm /. baseline_agm);
+  let parallel =
+    List.map
+      (fun domains ->
+        let r = C.parallel_agm_rate ~n:agm_n ~updates:agm_updates ~domains in
+        Fmt.pr "  parallel agm x%-2d %12.0f ops/s  (%.2fx vs kernel)@." domains r
+          (r /. kernel_agm);
+        (domains, r))
+      domain_counts
+  in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"bench_ingest/v1\",\n";
+  p "  \"timestamp\": %.0f,\n" (Unix.time ());
+  p "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ());
+  p "  \"workloads\": {\n";
+  p "    \"l0\": { \"dim\": %d, \"updates\": %d },\n" dim l0_updates;
+  p "    \"agm\": { \"n\": %d, \"updates\": %d }\n" agm_n agm_updates;
+  p "  },\n";
+  p "  \"single_thread\": {\n";
+  p "    \"baseline_one_sparse_ops_per_sec\": %.0f,\n" baseline_os;
+  p "    \"kernel_one_sparse_ops_per_sec\": %.0f,\n" kernel_os;
+  p "    \"one_sparse_kernel_speedup\": %.3f,\n" (kernel_os /. baseline_os);
+  p "    \"baseline_sparse_recovery_ops_per_sec\": %.0f,\n" baseline_sr;
+  p "    \"kernel_sparse_recovery_ops_per_sec\": %.0f,\n" kernel_sr;
+  p "    \"sparse_recovery_kernel_speedup\": %.3f,\n" (kernel_sr /. baseline_sr);
+  p "    \"baseline_l0_ops_per_sec\": %.0f,\n" baseline_l0;
+  p "    \"kernel_l0_ops_per_sec\": %.0f,\n" kernel_l0;
+  p "    \"l0_kernel_speedup\": %.3f,\n" (kernel_l0 /. baseline_l0);
+  p "    \"baseline_agm_ops_per_sec\": %.0f,\n" baseline_agm;
+  p "    \"kernel_agm_ops_per_sec\": %.0f,\n" kernel_agm;
+  p "    \"agm_kernel_speedup\": %.3f\n" (kernel_agm /. baseline_agm);
+  p "  },\n";
+  p "  \"parallel_agm\": [\n";
+  List.iteri
+    (fun i (domains, r) ->
+      p "    { \"domains\": %d, \"ops_per_sec\": %.0f, \"speedup_vs_kernel\": %.3f }%s\n"
+        domains r (r /. kernel_agm)
+        (if i = List.length parallel - 1 then "" else ","))
+    parallel;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." out

@@ -1,0 +1,130 @@
+(* Shared measurement harness for the ingestion benchmarks (bench/ingest.ml
+   writes BENCH_ingest.json from these numbers; experiment E14 in
+   bench/main.ml prints them as a table). *)
+
+open Ds_util
+open Ds_stream
+
+let seed = 20140721
+
+(* ------------------------------------------------------------------ *)
+(* Workloads                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Signed coordinate updates over edge-index space, for the L0 micro-bench. *)
+let l0_workload ~dim ~updates =
+  let rng = Prng.create (seed + 41) in
+  Array.init updates (fun _ -> (Prng.int rng dim, if Prng.bool rng then 1 else -1))
+
+(* An insert-heavy dynamic edge stream for the AGM end-to-end bench. *)
+let agm_workload ~n ~updates =
+  let rng = Prng.create (seed + 43) in
+  Array.init updates (fun _ ->
+      let u = Prng.int rng n in
+      let v = (u + 1 + Prng.int rng (n - 1)) mod n in
+      if Prng.int rng 4 = 0 then Update.delete u v else Update.insert u v)
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock ops/sec of [f ()] applying [ops] updates; best of [reps] so a
+   stray scheduler hiccup cannot deflate a rate. *)
+let rate ?(reps = 3) ~ops f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  float_of_int ops /. !best
+
+(* ------------------------------------------------------------------ *)
+(* Single-thread: baseline (pre-kernel) vs kernelized                  *)
+(* ------------------------------------------------------------------ *)
+
+let l0_params = Ds_sketch.L0_sampler.default_params
+
+(* One_sparse micro: the tightest kernel — pre-PR each update paid an
+   O(log dim) modular exponentiation; the ladder makes it one multiply. *)
+let baseline_one_sparse_rate ~dim ~updates =
+  let w = l0_workload ~dim ~updates in
+  let sk = Baseline.One_sparse.create (Prng.create seed) ~dim in
+  rate ~ops:updates (fun () ->
+      Array.iter (fun (index, delta) -> Baseline.One_sparse.update sk ~index ~delta) w)
+
+let kernel_one_sparse_rate ~dim ~updates =
+  let w = l0_workload ~dim ~updates in
+  let sk = Ds_sketch.One_sparse.create (Prng.create seed) ~dim in
+  rate ~ops:updates (fun () -> Ds_sketch.One_sparse.update_batch sk w)
+
+(* Sparse-recovery micro: rows cells per update, each formerly paying the
+   exponentiation plus a full re-fold per row. *)
+let baseline_sr_rate ~dim ~updates =
+  let w = l0_workload ~dim ~updates in
+  let sk =
+    Baseline.Sparse_recovery.create (Prng.create seed) ~dim ~sparsity:l0_params.sparsity
+      ~rows:l0_params.rows ~hash_degree:l0_params.hash_degree
+  in
+  rate ~ops:updates (fun () ->
+      Array.iter (fun (index, delta) -> Baseline.Sparse_recovery.update sk ~index ~delta) w)
+
+let kernel_sr_rate ~dim ~updates =
+  let w = l0_workload ~dim ~updates in
+  let sk =
+    Ds_sketch.Sparse_recovery.create (Prng.create seed) ~dim
+      ~params:
+        {
+          Ds_sketch.Sparse_recovery.sparsity = l0_params.sparsity;
+          rows = l0_params.rows;
+          hash_degree = l0_params.hash_degree;
+        }
+  in
+  rate ~ops:updates (fun () -> Ds_sketch.Sparse_recovery.update_batch sk w)
+
+let baseline_l0_rate ~dim ~updates =
+  let w = l0_workload ~dim ~updates in
+  let sk =
+    Baseline.L0_sampler.create (Prng.create seed) ~dim ~sparsity:l0_params.sparsity
+      ~rows:l0_params.rows ~hash_degree:l0_params.hash_degree
+  in
+  rate ~ops:updates (fun () ->
+      Array.iter (fun (index, delta) -> Baseline.L0_sampler.update sk ~index ~delta) w)
+
+let kernel_l0_rate ~dim ~updates =
+  let w = l0_workload ~dim ~updates in
+  let sk = Ds_sketch.L0_sampler.create (Prng.create seed) ~dim ~params:l0_params in
+  rate ~ops:updates (fun () -> Ds_sketch.L0_sampler.update_batch sk w)
+
+let agm_params ~n = Ds_agm.Agm_sketch.default_params ~n
+
+let baseline_agm_rate ~n ~updates =
+  let w = agm_workload ~n ~updates in
+  let prm = agm_params ~n in
+  let sk =
+    Baseline.Agm_sketch.create (Prng.create seed) ~n ~copies:prm.copies
+      ~sparsity:prm.sampler.sparsity ~rows:prm.sampler.rows
+      ~hash_degree:prm.sampler.hash_degree
+  in
+  rate ~ops:updates (fun () ->
+      Array.iter
+        (fun (u : Update.t) ->
+          Baseline.Agm_sketch.update sk ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+        w)
+
+let kernel_agm_rate ~n ~updates =
+  let w = agm_workload ~n ~updates in
+  let sk = Ds_agm.Agm_sketch.create (Prng.create seed) ~n ~params:(agm_params ~n) in
+  rate ~ops:updates (fun () -> Ds_agm.Agm_sketch.update_batch sk w)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel: sharded ingestion on a domain pool                        *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_agm_rate ~n ~updates ~domains =
+  let w = agm_workload ~n ~updates in
+  let proto = Ds_agm.Agm_sketch.create (Prng.create seed) ~n ~params:(agm_params ~n) in
+  Ds_par.Pool.with_pool ~domains (fun pool ->
+      rate ~ops:updates (fun () -> Ds_par.Shard_ingest.agm pool proto w))

@@ -20,24 +20,69 @@ let create rng ~n ~params:prm =
   let samplers =
     Array.init prm.copies (fun c ->
         (* Within one copy all vertices share hash functions so that their
-           sketches are compatible (mergeable); copies are independent. *)
+           sketches are compatible (mergeable); copies are independent.
+           Cloning from one prototype shares the immutable hash state and
+           fingerprint ladders physically across all n vertices. *)
         let copy_rng = Prng.split_named rng (Printf.sprintf "copy%d" c) in
-        Array.init n (fun _ ->
-            L0_sampler.create (Prng.copy copy_rng) ~dim ~params:prm.sampler))
+        let proto = L0_sampler.create (Prng.copy copy_rng) ~dim ~params:prm.sampler in
+        Array.init n (fun v -> if v = 0 then proto else L0_sampler.clone_zero proto))
   in
   { n; prm; samplers }
 
 let n t = t.n
+
+let clone_zero t =
+  { t with samplers = Array.map (Array.map L0_sampler.clone_zero) t.samplers }
 
 let signed_delta ~u ~v delta = if u < v then delta else -delta
 
 let update t ~u ~v ~delta =
   if u = v then invalid_arg "Agm_sketch.update: self-loop";
   let idx = Edge_index.encode ~n:t.n u v in
+  let x = Kwise.fold_key idx in
+  (* The folded key and its powers are shared by every hash evaluation this
+     update triggers (copies x levels x rows). *)
+  let x2 = Field.mul x x in
+  let x4 = Field.mul x2 x2 in
+  let du = signed_delta ~u ~v delta in
   for c = 0 to t.prm.copies - 1 do
-    L0_sampler.update t.samplers.(c).(u) ~index:idx ~delta:(signed_delta ~u ~v delta);
-    L0_sampler.update t.samplers.(c).(v) ~index:idx ~delta:(signed_delta ~u:v ~v:u delta)
+    let su = t.samplers.(c).(u) and sv = t.samplers.(c).(v) in
+    (* Both endpoints' samplers share this copy's hash functions: one level
+       evaluation and one set of bucket evaluations serves both, +du into
+       [u]'s sketch and -du into [v]'s. *)
+    let level = L0_sampler.level_of_pows su ~x ~x2 ~x4 in
+    L0_sampler.update_prepared_pair_pows su sv ~index:idx ~x ~x2 ~x4 ~level ~delta:du
   done
+
+let update_batch t updates =
+  let module U = Ds_stream.Update in
+  let apply (e : U.t) = update t ~u:e.U.u ~v:e.U.v ~delta:(U.delta e) in
+  let m = Array.length updates in
+  if m < 64 then Array.iter apply updates
+  else begin
+    (* Group the batch by lower endpoint before applying: one vertex's
+       sampler column is a small, cache-resident slice of the whole sketch,
+       so consecutive same-vertex updates hit warm lines instead of paging
+       through all n columns. The sketch is linear — every update is a pure
+       counter addition — so the reordered application yields the
+       bit-identical final state. *)
+    let counts = Array.make t.n 0 in
+    Array.iter (fun (e : U.t) -> let k = min e.U.u e.U.v in counts.(k) <- counts.(k) + 1) updates;
+    let next = Array.make t.n 0 in
+    let acc = ref 0 in
+    for k = 0 to t.n - 1 do
+      next.(k) <- !acc;
+      acc := !acc + counts.(k)
+    done;
+    let sorted = Array.make m updates.(0) in
+    Array.iter
+      (fun (e : U.t) ->
+        let k = min e.U.u e.U.v in
+        sorted.(next.(k)) <- e;
+        next.(k) <- next.(k) + 1)
+      updates;
+    Array.iter apply sorted
+  end
 
 let subtract_graph t g =
   if Graph.n g <> t.n then invalid_arg "Agm_sketch.subtract_graph: size mismatch";

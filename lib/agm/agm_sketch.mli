@@ -31,7 +31,21 @@ val create : Ds_util.Prng.t -> n:int -> params:params -> t
 val n : t -> int
 
 val update : t -> u:int -> v:int -> delta:int -> unit
-(** Stream an edge-multiplicity update into both endpoints' sketches. *)
+(** Stream an edge-multiplicity update into both endpoints' sketches. The
+    edge index is encoded, key-folded and level-hashed once per copy (not
+    once per sampler row) — the hot-path kernel of every AGM consumer. *)
+
+val update_batch : t -> Ds_stream.Update.t array -> unit
+(** Apply a whole update array; the final state equals the fold of {!update}
+    with [delta = Update.delta] bit-for-bit. Large batches are regrouped by
+    lower endpoint for cache locality before applying — sound because the
+    sketch is linear, so application order cannot matter. *)
+
+val clone_zero : t -> t
+(** A fresh empty sketch compatible with [t] (same seed-derived structure,
+    physically shared hash functions and fingerprint ladders, zero
+    counters). This is how sharded ingestion builds per-domain replicas
+    whose sums decode exactly like a sequentially built sketch. *)
 
 val subtract_graph : t -> Ds_graph.Graph.t -> unit
 (** Remove every distinct edge of the given graph (with its multiplicity 1)

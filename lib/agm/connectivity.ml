@@ -5,6 +5,9 @@ type answers = { label : int array; count : int }
 
 let create rng ~n ~params = { n; sketch = Agm_sketch.create rng ~n ~params }
 let update t ~u ~v ~delta = Agm_sketch.update t.sketch ~u ~v ~delta
+let update_batch t updates = Agm_sketch.update_batch t.sketch updates
+let clone_zero t = { t with sketch = Agm_sketch.clone_zero t.sketch }
+let absorb t shard = Agm_sketch.add t.sketch shard.sketch
 
 let freeze t =
   let uf = Union_find.create t.n in

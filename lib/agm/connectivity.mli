@@ -7,6 +7,18 @@ type t
 val create : Ds_util.Prng.t -> n:int -> params:Agm_sketch.params -> t
 val update : t -> u:int -> v:int -> delta:int -> unit
 
+val update_batch : t -> Ds_stream.Update.t array -> unit
+(** Apply a whole update array; may regroup for locality (linearity makes
+    the final state order-independent, bit-for-bit). *)
+
+val clone_zero : t -> t
+(** A fresh empty oracle compatible with [t]; shards for pre-sharded
+    (parallel or distributed) ingestion are clones of one prototype. *)
+
+val absorb : t -> t -> unit
+(** [absorb t shard] adds a compatible shard's sketch into [t] (linearity);
+    after absorbing every shard, [freeze] answers for the union stream. *)
+
 type answers
 
 val freeze : t -> answers

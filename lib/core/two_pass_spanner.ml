@@ -99,17 +99,46 @@ let make_pass1 rng ~n ~prm =
 let pass1_update p (u : Update.t) =
   let delta = Update.delta u in
   let idx = Edge_index.encode ~n:p.n u.Update.u u.Update.v in
-  let lvl = min (Kwise.level p.level_hash idx) (p.levels - 1) in
+  let folded = Kwise.fold_key idx in
+  let lvl = min (Kwise.level_folded p.level_hash folded) (p.levels - 1) in
   for r = 1 to p.prm.k - 1 do
     if p.centers.(r).(u.Update.v) then
       for j = 0 to lvl do
-        Sparse_recovery.update p.sketches.(u.Update.u).(r - 1).(j) ~index:idx ~delta
+        Sparse_recovery.update_folded p.sketches.(u.Update.u).(r - 1).(j) ~index:idx ~folded ~delta
       done;
     if p.centers.(r).(u.Update.u) then
       for j = 0 to lvl do
-        Sparse_recovery.update p.sketches.(u.Update.v).(r - 1).(j) ~index:idx ~delta
+        Sparse_recovery.update_folded p.sketches.(u.Update.v).(r - 1).(j) ~index:idx ~folded ~delta
       done
   done
+
+(* Sharded pass-1 fill: the sketch array is a linear function of the stream,
+   so per-domain replicas (sharing the immutable hash state) summed cell-wise
+   equal the sequentially filled array exactly. *)
+let clone_sketches_zero p =
+  Array.map (Array.map (Array.map Sparse_recovery.clone_zero)) p.sketches
+
+let merge_sketches dst src =
+  Array.iteri
+    (fun u per_r ->
+      Array.iteri
+        (fun ri per_j ->
+          Array.iteri (fun j sk -> Sparse_recovery.add dst.(u).(ri).(j) sk) per_j)
+        per_r)
+    src
+
+let pass1_fill p ~ingest stream =
+  match ingest with
+  | `Sequential -> Array.iter (pass1_update p) stream
+  | `Parallel pool ->
+      let filled =
+        Ds_par.Shard_ingest.ingest pool
+          ~make:(fun () -> { p with sketches = clone_sketches_zero p })
+          ~update:(fun replica shard -> Array.iter (pass1_update replica) shard)
+          ~merge:(fun a b -> merge_sketches a.sketches b.sketches)
+          stream
+      in
+      merge_sketches p.sketches filled.sketches
 
 (* Attach callback: sum member sketches for target level r = level+1, then
    scan sampling levels from sparsest down; the first non-empty decodable
@@ -238,11 +267,11 @@ let pass2_update p2 (u : Update.t) =
 
 (* ------------------------------------------------------------------ *)
 
-let run rng ~n ~params:prm stream =
+let run ?(ingest = `Sequential) rng ~n ~params:prm stream =
   if prm.k < 1 then invalid_arg "Two_pass_spanner.run: k must be >= 1";
   let rng = Prng.split_named rng "two_pass_spanner" in
   let p1 = make_pass1 (Prng.split_named rng "pass1") ~n ~prm in
-  Array.iter (pass1_update p1) stream;
+  pass1_fill p1 ~ingest stream;
   let clustering =
     Clustering.build ~n ~k:prm.k ~centers:p1.centers ~attach:(attach p1)
   in

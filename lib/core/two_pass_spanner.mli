@@ -46,9 +46,19 @@ type result = {
   diagnostics : diagnostics;
 }
 
-val run : Ds_util.Prng.t -> n:int -> params:params -> Ds_stream.Update.t array -> result
+val run :
+  ?ingest:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
+  Ds_util.Prng.t ->
+  n:int ->
+  params:params ->
+  Ds_stream.Update.t array ->
+  result
 (** Processes the stream twice (the two passes); the stream array itself is
-    the only re-readable input, exactly as in the model. *)
+    the only re-readable input, exactly as in the model. [`Parallel pool]
+    (default [`Sequential]) fills the pass-1 sketches by sharding the stream
+    across domains into compatible zero replicas and summing them — by
+    linearity the merged state, and therefore the output spanner, is
+    bit-identical to sequential ingestion. *)
 
 val space_bound : n:int -> k:int -> float
 (** The Theorem 1 bound [~O(n^{1+1/k})] (unit constant, one log factor) in

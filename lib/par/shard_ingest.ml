@@ -1,0 +1,76 @@
+open Ds_stream
+
+type 'a policy =
+  | Chunked
+  | Round_robin
+  | By_key of ('a -> int)
+
+let by_vertex : Update.t policy = By_key (fun u -> min u.Update.u u.Update.v)
+
+let split policy ~shards items =
+  if shards < 1 then invalid_arg "Shard_ingest.split: need at least one shard";
+  let n = Array.length items in
+  match policy with
+  | Chunked ->
+      (* Contiguous slices, sizes differing by at most one. *)
+      Array.init shards (fun s ->
+          let lo = s * n / shards and hi = (s + 1) * n / shards in
+          Array.sub items lo (hi - lo))
+  | Round_robin ->
+      Array.init shards (fun s ->
+          let len = ((n - s) + shards - 1) / shards in
+          Array.init len (fun i -> items.(s + (i * shards))))
+  | By_key key ->
+      let counts = Array.make shards 0 in
+      let route = Array.map (fun it -> (key it land max_int) mod shards) items in
+      Array.iter (fun s -> counts.(s) <- counts.(s) + 1) route;
+      let parts = Array.map (fun c -> Array.make c items.(0)) counts in
+      let fill = Array.make shards 0 in
+      Array.iteri
+        (fun i it ->
+          let s = route.(i) in
+          parts.(s).(fill.(s)) <- it;
+          fill.(s) <- fill.(s) + 1)
+        items;
+      parts
+
+let ingest pool ?(policy = Chunked) ~make ~update ~merge items =
+  let shards = max 1 (min (Pool.size pool) (Array.length items)) in
+  (* Replicas are constructed in the calling domain: [make] typically copies
+     a shared seed, and keeping that serial means callers need no locking. *)
+  let replicas = Array.init shards (fun _ -> make ()) in
+  if Array.length items > 0 then begin
+    let parts = split policy ~shards items in
+    ignore
+      (Pool.run pool
+         (List.init shards (fun s () -> update replicas.(s) parts.(s))))
+  end;
+  for s = 1 to shards - 1 do
+    merge replicas.(0) replicas.(s)
+  done;
+  replicas.(0)
+
+let ingest_into pool ?policy ~clone_zero ~update ~add sketch items =
+  let shard =
+    ingest pool ?policy ~make:(fun () -> clone_zero sketch) ~update ~merge:add items
+  in
+  add sketch shard
+
+let agm pool ?policy sketch updates =
+  ingest_into pool ?policy ~clone_zero:Ds_agm.Agm_sketch.clone_zero
+    ~update:Ds_agm.Agm_sketch.update_batch ~add:Ds_agm.Agm_sketch.add sketch updates
+
+let connectivity pool ?policy conn updates =
+  ingest_into pool ?policy ~clone_zero:Ds_agm.Connectivity.clone_zero
+    ~update:Ds_agm.Connectivity.update_batch ~add:Ds_agm.Connectivity.absorb conn
+    updates
+
+let l0_sampler pool ?policy sampler pairs =
+  ingest_into pool ?policy ~clone_zero:Ds_sketch.L0_sampler.clone_zero
+    ~update:Ds_sketch.L0_sampler.update_batch ~add:Ds_sketch.L0_sampler.add sampler
+    pairs
+
+let sparse_recovery pool ?policy sketch pairs =
+  ingest_into pool ?policy ~clone_zero:Ds_sketch.Sparse_recovery.clone_zero
+    ~update:Ds_sketch.Sparse_recovery.update_batch ~add:Ds_sketch.Sparse_recovery.add
+    sketch pairs

@@ -1,0 +1,64 @@
+(** Domain-parallel sketch ingestion by shard-and-sum.
+
+    Linear sketches commute with stream partitioning: for any split of the
+    update array into shards, the sum of per-shard sketches equals the
+    sketch of the whole stream — {e exactly}, counter for counter, provided
+    every replica is built from the same seed-derived structure. That is the
+    property the paper's distributed setting rests on (Section 1), and it is
+    what makes this module's output bit-identical to sequential ingestion
+    (property-tested in [test/test_par.ml]).
+
+    The engine partitions the update array under a {!policy}, builds one
+    compatible replica per worker domain ({!Ds_agm.Agm_sketch.clone_zero}
+    and friends share the immutable hash state physically, so replicas cost
+    only their counters), ingests shards concurrently, and reduces by
+    linearity. *)
+
+type 'a policy =
+  | Chunked  (** contiguous slices — best cache behaviour, the default *)
+  | Round_robin  (** update [i] to shard [i mod shards] (the paper's figure) *)
+  | By_key of ('a -> int)  (** locality routing, e.g. {!by_vertex} *)
+
+val by_vertex : Ds_stream.Update.t policy
+(** Route each edge update by [min u v] — every vertex's updates land on one
+    shard, mirroring a vertex-partitioned server deployment. *)
+
+val split : 'a policy -> shards:int -> 'a array -> 'a array array
+(** Materialise the partition (exposed for tests and custom drivers). Every
+    element appears in exactly one shard; [Chunked] and [Round_robin]
+    preserve relative order within a shard. *)
+
+val ingest :
+  Pool.t ->
+  ?policy:'a policy ->
+  make:(unit -> 's) ->
+  update:('s -> 'a array -> unit) ->
+  merge:('s -> 's -> unit) ->
+  'a array ->
+  's
+(** [ingest pool ~make ~update ~merge items] builds [min (size pool)
+    (length items)] replicas with [make] (called in the calling domain — it
+    may read shared seeds without locking), applies each shard with [update]
+    on a worker domain, merges right-to-left into the first replica with
+    [merge] and returns it. [make] must produce {e compatible} replicas:
+    sketches whose structure derives from the same seed. *)
+
+val ingest_into :
+  Pool.t ->
+  ?policy:'a policy ->
+  clone_zero:('s -> 's) ->
+  update:('s -> 'a array -> unit) ->
+  add:('s -> 's -> unit) ->
+  's ->
+  'a array ->
+  unit
+(** Like {!ingest}, but replicas are [clone_zero] copies of an existing
+    sketch and the reduced result is added into it — the convenient form
+    when a consumer owns a long-lived sketch. *)
+
+(** {2 Sketch-specific wrappers} *)
+
+val agm : Pool.t -> ?policy:Ds_stream.Update.t policy -> Ds_agm.Agm_sketch.t -> Ds_stream.Update.t array -> unit
+val connectivity : Pool.t -> ?policy:Ds_stream.Update.t policy -> Ds_agm.Connectivity.t -> Ds_stream.Update.t array -> unit
+val l0_sampler : Pool.t -> ?policy:(int * int) policy -> Ds_sketch.L0_sampler.t -> (int * int) array -> unit
+val sparse_recovery : Pool.t -> ?policy:(int * int) policy -> Ds_sketch.Sparse_recovery.t -> (int * int) array -> unit

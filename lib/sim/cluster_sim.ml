@@ -24,24 +24,43 @@ let assign partition ~servers =
       let rng = Prng.create seed in
       fun _i _u -> Prng.int rng servers
 
-let run rng ~n ~servers ~partition stream =
+let run ?(mode = `Sequential) rng ~n ~servers ~partition stream =
   if servers < 1 then invalid_arg "Cluster_sim.run: need at least one server";
   let params = Agm_sketch.default_params ~n in
   (* Shared randomness: all servers and the coordinator derive identical
      sketch structure from the same seed. *)
   let shared = Prng.split_named rng "shared-sketch-seed" in
   let fresh () = Agm_sketch.create (Prng.copy shared) ~n ~params in
-  let shards = Array.init servers (fun _ -> fresh ()) in
   let counts = Array.make servers 0 in
   let route = assign partition ~servers in
-  Array.iteri
-    (fun i u ->
-      let s = route i u in
-      counts.(s) <- counts.(s) + 1;
-      Agm_sketch.update shards.(s) ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
-    stream;
-  (* Ship: serialize every shard (the communication the paper counts). *)
-  let messages = Array.map Agm_sketch.serialize shards in
+  (* Materialise each server's shard of the stream (the routing itself is
+     not what the experiment measures). *)
+  let shard_updates =
+    let lists = Array.make servers [] in
+    Array.iteri
+      (fun i u ->
+        let s = route i u in
+        counts.(s) <- counts.(s) + 1;
+        lists.(s) <- u :: lists.(s))
+      stream;
+    Array.map (fun l -> Array.of_list (List.rev l)) lists
+  in
+  (* Sketch each server's shard, then ship: serialize every shard (the
+     communication the paper counts). In [`Parallel] mode the servers run
+     concurrently on real domains; replicas are compatible by shared seed,
+     so the mode cannot change any measured or decoded quantity. *)
+  let sketch_server updates =
+    let sk = fresh () in
+    Agm_sketch.update_batch sk updates;
+    (sk, Agm_sketch.serialize sk)
+  in
+  let server_results =
+    match mode with
+    | `Sequential -> Array.map sketch_server shard_updates
+    | `Parallel pool -> Ds_par.Pool.map_array pool sketch_server shard_updates
+  in
+  let shards = Array.map fst server_results in
+  let messages = Array.map snd server_results in
   let bytes_per_server = Array.map String.length messages in
   (* Coordinator: absorb and sum. *)
   let coordinator = fresh () in

@@ -27,6 +27,7 @@ type report = {
 }
 
 val run :
+  ?mode:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
   Ds_util.Prng.t ->
   n:int ->
   servers:int ->
@@ -35,6 +36,9 @@ val run :
   report
 (** Shards the stream, sketches per server, serializes, merges at the
     coordinator, extracts the spanning forest and verifies it against the
-    offline final graph of the stream. *)
+    offline final graph of the stream. [`Parallel pool] (default
+    [`Sequential]) runs the servers concurrently on real domains; because
+    all servers derive their sketch structure from the shared seed, the
+    mode changes wall-clock only — every report field is identical. *)
 
 val pp_report : Format.formatter -> report -> unit

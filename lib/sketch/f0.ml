@@ -35,11 +35,13 @@ let create rng ~dim ~params:prm =
   { dim; prm; levels; instances = Array.init prm.reps make_rep }
 
 let update t ~index ~delta =
+  if index < 0 || index >= t.dim then invalid_arg "F0.update: index out of range";
+  let folded = Kwise.fold_key index in
   Array.iter
     (fun rep ->
-      let lvl = min (Kwise.level rep.level_hash index) (t.levels - 1) in
+      let lvl = min (Kwise.level_folded rep.level_hash folded) (t.levels - 1) in
       for j = 0 to lvl do
-        Sparse_recovery.update rep.sketches.(j) ~index ~delta
+        Sparse_recovery.update_folded rep.sketches.(j) ~index ~folded ~delta
       done)
     t.instances
 

@@ -18,24 +18,63 @@ let create rng ~dim ~params:prm =
   let sr_params =
     { Sparse_recovery.sparsity = prm.sparsity; rows = prm.rows; hash_degree = prm.hash_degree }
   in
+  let sketches =
+    Array.init levels (fun j ->
+        Sparse_recovery.create
+          (Prng.split_named rng (Printf.sprintf "lvl%d" j))
+          ~dim ~params:sr_params)
+  in
   {
     dim;
     prm;
     levels;
     level_hash = Kwise.create (Prng.split_named rng "levels") ~k:prm.hash_degree;
     tie_break = Kwise.create (Prng.split_named rng "tiebreak") ~k:prm.hash_degree;
-    sketches =
-      Array.init levels (fun j ->
-          Sparse_recovery.create
-            (Prng.split_named rng (Printf.sprintf "lvl%d" j))
-            ~dim ~params:sr_params);
+    sketches;
   }
 
-let update t ~index ~delta =
-  let lvl = min (Kwise.level t.level_hash index) (t.levels - 1) in
-  for j = 0 to lvl do
-    Sparse_recovery.update t.sketches.(j) ~index ~delta
+let level_of t ~folded = min (Kwise.level_folded t.level_hash folded) (t.levels - 1)
+
+let[@inline] level_of_pows t ~x ~x2 ~x4 =
+  min (Kwise.level_pows t.level_hash ~x ~x2 ~x4) (t.levels - 1)
+
+let[@inline] update_prepared_pows t ~index ~x ~x2 ~x4 ~level ~delta =
+  for j = 0 to level do
+    Sparse_recovery.update_pows (Array.unsafe_get t.sketches j) ~index ~x ~x2 ~x4 ~delta
   done
+
+let update_prepared t ~index ~folded ~level ~delta =
+  let x2 = Field.mul folded folded in
+  let x4 = Field.mul x2 x2 in
+  update_prepared_pows t ~index ~x:folded ~x2 ~x4 ~level ~delta
+
+(* [t] gets +delta and [s] gets -delta of the same coordinate; both must be
+   clones sharing hash structure (see Sparse_recovery.update_pows_pair). *)
+let[@inline] update_prepared_pair_pows t s ~index ~x ~x2 ~x4 ~level ~delta =
+  for j = 0 to level do
+    Sparse_recovery.update_pows_pair
+      (Array.unsafe_get t.sketches j)
+      (Array.unsafe_get s.sketches j)
+      ~index ~x ~x2 ~x4 ~delta
+  done
+
+let update_prepared_pair t s ~index ~folded ~level ~delta =
+  let x2 = Field.mul folded folded in
+  let x4 = Field.mul x2 x2 in
+  update_prepared_pair_pows t s ~index ~x:folded ~x2 ~x4 ~level ~delta
+
+let update_folded t ~index ~folded ~delta =
+  let x2 = Field.mul folded folded in
+  let x4 = Field.mul x2 x2 in
+  update_prepared_pows t ~index ~x:folded ~x2 ~x4
+    ~level:(level_of_pows t ~x:folded ~x2 ~x4) ~delta
+
+let update t ~index ~delta =
+  if index < 0 || index >= t.dim then invalid_arg "L0_sampler.update: index out of range";
+  update_folded t ~index ~folded:(Kwise.fold_key index) ~delta
+
+let update_batch t updates =
+  Array.iter (fun (index, delta) -> update t ~index ~delta) updates
 
 let pick_min_tiebreak t assoc =
   let best = ref None in
@@ -87,6 +126,7 @@ let iter2 t s f =
 let add t s = iter2 t s Sparse_recovery.add
 let sub t s = iter2 t s Sparse_recovery.sub
 let copy t = { t with sketches = Array.map Sparse_recovery.copy t.sketches }
+let clone_zero t = { t with sketches = Array.map Sparse_recovery.clone_zero t.sketches }
 let reset t = Array.iter Sparse_recovery.reset t.sketches
 
 let space_in_words t =

@@ -24,7 +24,47 @@ val create : Ds_util.Prng.t -> dim:int -> params:params -> t
 
 val update : t -> index:int -> delta:int -> unit
 (** Expected O(rows) bucket updates (levels are nested, so a coordinate at
-    level [l] touches [l + 1] sketches; E[l] = 1). *)
+    level [l] touches [l + 1] sketches; E[l] = 1). The key fold happens once
+    per update and is shared across levels and rows. *)
+
+val update_batch : t -> (int * int) array -> unit
+(** [(index, delta)] pairs, applied in order; equals the fold of {!update}. *)
+
+val clone_zero : t -> t
+(** A fresh zero sampler compatible with [t], sharing its (immutable) hash
+    functions and fingerprint ladders. O(sketch cells), not O(create). *)
+
+(** {2 Kernel API} — no bounds checks; see {!Sparse_recovery.update_folded}. *)
+
+val level_of : t -> folded:int -> int
+(** The sampling level of a pre-folded key (already capped to the sketch's
+    level count). Vertices sharing hash structure share levels, so container
+    sketches ({!Ds_agm.Agm_sketch}) evaluate this once per update. *)
+
+val update_prepared : t -> index:int -> folded:int -> level:int -> delta:int -> unit
+(** {!update} with fold and level hoisted; [folded = Kwise.fold_key index],
+    [level = level_of t ~folded]. *)
+
+val update_prepared_pair : t -> t -> index:int -> folded:int -> level:int -> delta:int -> unit
+(** [+delta] into the first sampler and [-delta] into the second with one
+    set of hash evaluations; both must be clones sharing hash structure
+    (see {!Sparse_recovery.update_folded_pair}). *)
+
+val update_folded : t -> index:int -> folded:int -> delta:int -> unit
+(** {!update_prepared} computing the level itself. *)
+
+val level_of_pows : t -> x:int -> x2:int -> x4:int -> int
+(** {!level_of} with the folded key's square and fourth power supplied
+    (see {!Sparse_recovery.update_pows}); the deepest-shared hoist for
+    containers evaluating many samplers at one key. *)
+
+val update_prepared_pows :
+  t -> index:int -> x:int -> x2:int -> x4:int -> level:int -> delta:int -> unit
+(** {!update_prepared} with precomputed key powers. *)
+
+val update_prepared_pair_pows :
+  t -> t -> index:int -> x:int -> x2:int -> x4:int -> level:int -> delta:int -> unit
+(** {!update_prepared_pair} with precomputed key powers. *)
 
 val sample : t -> (int * int) option
 (** [Some (index, value)] for a non-zero coordinate chosen near-uniformly,

@@ -3,6 +3,7 @@ open Ds_util
 type t = {
   dim : int;
   base : int; (* fingerprint base r, shared by compatible sketches *)
+  pows : Field.Pow.table; (* cached ladder for r^(i+1), shared by clones *)
   mutable c0 : int;
   mutable c1 : int;
   mutable c2 : int;
@@ -13,13 +14,23 @@ type result = Zero | One of int * int | Many
 let create rng ~dim =
   if dim <= 0 then invalid_arg "One_sparse.create: dim must be positive";
   let base = 2 + Prng.int rng (Field.p - 2) in
-  { dim; base; c0 = 0; c1 = 0; c2 = 0 }
+  let pows = Field.Pow.table ~base ~max_exp:dim in
+  { dim; base; pows; c0 = 0; c1 = 0; c2 = 0 }
+
+let clone_zero t = { t with c0 = 0; c1 = 0; c2 = 0 }
+let[@inline] fingerprint_pow t index = Field.Pow.get t.pows (index + 1)
+
+let[@inline] update_prepared t ~index ~delta ~term =
+  t.c0 <- t.c0 + delta;
+  t.c1 <- t.c1 + (delta * index);
+  t.c2 <- Field.add t.c2 term
 
 let update t ~index ~delta =
   if index < 0 || index >= t.dim then invalid_arg "One_sparse.update: index out of range";
-  t.c0 <- t.c0 + delta;
-  t.c1 <- t.c1 + (delta * index);
-  t.c2 <- Field.add t.c2 (Field.scale_int delta (Field.pow t.base (index + 1)))
+  update_prepared t ~index ~delta ~term:(Field.scale_int delta (fingerprint_pow t index))
+
+let update_batch t updates =
+  Array.iter (fun (index, delta) -> update t ~index ~delta) updates
 
 let decode t =
   if t.c0 = 0 && t.c1 = 0 && t.c2 = 0 then Zero
@@ -28,7 +39,7 @@ let decode t =
   else begin
     let i = t.c1 / t.c0 in
     if i < 0 || i >= t.dim then Many
-    else if Field.scale_int t.c0 (Field.pow t.base (i + 1)) = t.c2 then One (i, t.c0)
+    else if Field.scale_int t.c0 (fingerprint_pow t i) = t.c2 then One (i, t.c0)
     else Many
   end
 

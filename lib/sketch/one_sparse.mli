@@ -27,7 +27,32 @@ val create : Ds_util.Prng.t -> dim:int -> t
     fingerprint base and may be merged. *)
 
 val update : t -> index:int -> delta:int -> unit
-(** Add [delta] to coordinate [index]. O(log dim) field ops. *)
+(** Add [delta] to coordinate [index]. O(1) field ops: the fingerprint power
+    [r^(index+1)] comes from a cached ladder ({!Ds_util.Field.Pow}) built
+    once per base at {!create} time and shared by {!copy}/{!clone_zero}. *)
+
+val update_batch : t -> (int * int) array -> unit
+(** [update_batch t pairs] applies [(index, delta)] pairs in order;
+    equivalent to folding {!update} over the array. *)
+
+val clone_zero : t -> t
+(** A fresh zero sketch compatible with [t]: shares the fingerprint base and
+    the (immutable) power ladder, so cloning is O(1) in time and memory. *)
+
+(** {2 Low-level kernel API}
+
+    Containers that hash one update into many cells sharing a fingerprint
+    base ({!Sparse_recovery} rows) compute the fingerprint term once and
+    apply it per cell. Misuse voids decoding — these skip every check. *)
+
+val fingerprint_pow : t -> int -> int
+(** [fingerprint_pow t index] is [r^(index+1)] from the cached ladder.
+    Requires [0 <= index < dim] (unchecked). *)
+
+val update_prepared : t -> index:int -> delta:int -> term:int -> unit
+(** [update_prepared t ~index ~delta ~term] adds [delta] at [index] where
+    [term] must equal [Field.scale_int delta (fingerprint_pow t index)].
+    No bounds check. *)
 
 val decode : t -> result
 (** Classify the current vector. *)

@@ -22,19 +22,72 @@ let create rng ~dim ~params:prm =
   in
   let cell_rng = Prng.split_named rng "cells" in
   (* All cells share one fingerprint base so that peeling can subtract a
-     recovered coordinate from any row. *)
-  let proto = Prng.copy cell_rng in
+     recovered coordinate from any row; cloning from one prototype also
+     shares the fingerprint power ladder physically. *)
+  let proto_cell = One_sparse.create (Prng.copy cell_rng) ~dim in
   let cells =
-    Array.init prm.rows (fun _ ->
-        Array.init cols (fun _ -> One_sparse.create (Prng.copy proto) ~dim))
+    Array.init prm.rows (fun r ->
+        Array.init cols (fun c ->
+            if r = 0 && c = 0 then proto_cell else One_sparse.clone_zero proto_cell))
   in
   { dim; prm; cols; hashes; cells }
 
-let update t ~index ~delta =
+(* Unit deltas (edge insert/delete) skip the fingerprint multiply:
+   [scale_int 1 x = x] and [scale_int (-1) x = neg x] exactly. *)
+let[@inline] fingerprint_term t ~index ~delta =
+  let pw = One_sparse.fingerprint_pow t.cells.(0).(0) index in
+  if delta = 1 then pw
+  else if delta = -1 then Field.neg pw
+  else Field.scale_int delta pw
+
+(* Hot path: the key is folded once, its square/fourth power and the
+   fingerprint term computed once (all cells share one base), leaving one
+   polynomial evaluation per row. *)
+let[@inline] update_pows t ~index ~x ~x2 ~x4 ~delta =
+  let term = fingerprint_term t ~index ~delta in
   for r = 0 to t.prm.rows - 1 do
-    let c = Kwise.to_range t.hashes.(r) index ~bound:t.cols in
-    One_sparse.update t.cells.(r).(c) ~index ~delta
+    let c = Kwise.to_range_pows (Array.unsafe_get t.hashes r) ~x ~x2 ~x4 ~bound:t.cols in
+    One_sparse.update_prepared
+      (Array.unsafe_get (Array.unsafe_get t.cells r) c)
+      ~index ~delta ~term
   done
+
+let[@inline] update_folded t ~index ~folded ~delta =
+  let x2 = Field.mul folded folded in
+  let x4 = Field.mul x2 x2 in
+  update_pows t ~index ~x:folded ~x2 ~x4 ~delta
+
+(* Paired hot path for edge updates: [t] and [s] must be clones sharing hash
+   functions and fingerprint base (the two endpoints' sketches within one
+   Agm copy). The coordinate lands in the same bucket of both, with +delta
+   in [t] and -delta in [s], so buckets and the fingerprint term are
+   computed once and applied twice. *)
+let[@inline] update_pows_pair t s ~index ~x ~x2 ~x4 ~delta =
+  let term = fingerprint_term t ~index ~delta in
+  let nterm = Field.neg term in
+  let ndelta = -delta in
+  for r = 0 to t.prm.rows - 1 do
+    let c = Kwise.to_range_pows (Array.unsafe_get t.hashes r) ~x ~x2 ~x4 ~bound:t.cols in
+    One_sparse.update_prepared
+      (Array.unsafe_get (Array.unsafe_get t.cells r) c)
+      ~index ~delta ~term;
+    One_sparse.update_prepared
+      (Array.unsafe_get (Array.unsafe_get s.cells r) c)
+      ~index ~delta:ndelta ~term:nterm
+  done
+
+let[@inline] update_folded_pair t s ~index ~folded ~delta =
+  let x2 = Field.mul folded folded in
+  let x4 = Field.mul x2 x2 in
+  update_pows_pair t s ~index ~x:folded ~x2 ~x4 ~delta
+
+let update t ~index ~delta =
+  if index < 0 || index >= t.dim then
+    invalid_arg "Sparse_recovery.update: index out of range";
+  update_folded t ~index ~folded:(Kwise.fold_key index) ~delta
+
+let update_batch t updates =
+  Array.iter (fun (index, delta) -> update t ~index ~delta) updates
 
 let is_zero t =
   Array.for_all (fun row -> Array.for_all One_sparse.is_zero row) t.cells
@@ -93,6 +146,7 @@ let iter2_cells t s f =
 
 let add t s = iter2_cells t s One_sparse.add
 let sub t s = iter2_cells t s One_sparse.sub
+
 let copy t = { t with cells = snapshot t }
 
 let clone_zero t =

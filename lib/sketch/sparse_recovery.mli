@@ -30,7 +30,35 @@ val create : Ds_util.Prng.t -> dim:int -> params:params -> t
     state yield compatible (mergeable) sketches. *)
 
 val update : t -> index:int -> delta:int -> unit
-(** Add [delta] to coordinate [index]; O(rows) bucket updates. *)
+(** Add [delta] to coordinate [index]; O(rows) bucket updates. The key fold
+    and the fingerprint term are computed once per update (not once per
+    row) — all cells share one fingerprint base by construction. *)
+
+val update_batch : t -> (int * int) array -> unit
+(** [(index, delta)] pairs, applied in order; equals the fold of {!update}. *)
+
+val update_folded : t -> index:int -> folded:int -> delta:int -> unit
+(** {!update} with the key fold hoisted out: [folded] must equal
+    [Kwise.fold_key index]. No bounds check — kernel API for containers
+    ({!L0_sampler}, {!F0}) that feed one key to many sketches. *)
+
+val update_folded_pair : t -> t -> index:int -> folded:int -> delta:int -> unit
+(** [update_folded_pair t s ~index ~folded ~delta] applies [+delta] to [t]
+    and [-delta] to [s] with one set of bucket evaluations and one
+    fingerprint term. Precondition: [t] and [s] are clones sharing hash
+    functions and fingerprint base (e.g. built with {!clone_zero} from one
+    prototype) — unchecked; the edge-update kernel of
+    {!Ds_agm.Agm_sketch}. *)
+
+val update_pows : t -> index:int -> x:int -> x2:int -> x4:int -> delta:int -> unit
+(** {!update_folded} with the folded key's square and fourth power also
+    hoisted ([x = Kwise.fold_key index], [x2 = Field.mul x x],
+    [x4 = Field.mul x2 x2]); containers evaluating many rows/levels at one
+    key compute the powers once (see {!Ds_util.Kwise.to_range_pows}). *)
+
+val update_pows_pair : t -> t -> index:int -> x:int -> x2:int -> x4:int -> delta:int -> unit
+(** {!update_folded_pair} with precomputed key powers, as {!update_pows}. *)
+
 
 val decode : t -> (int * int) list option
 (** Full recovery attempt. [Some assoc] lists every non-zero coordinate with

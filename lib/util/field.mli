@@ -37,3 +37,26 @@ val scale_int : int -> int -> int
 (** [scale_int c x] multiplies a field element [x] by an arbitrary (possibly
     negative, possibly large) integer coefficient [c], reducing [c] first.
     Used to fold signed stream multiplicities into fingerprints. *)
+
+(** Fixed-base exponentiation by table lookup: for a base known in advance
+    and exponents bounded by [max_exp], [get] computes [base^e] with two
+    array reads and one multiplication instead of the [O(log e)] squarings
+    of {!pow}. The two tables cover the low and high halves of the exponent
+    bits, so memory is [O(sqrt max_exp)] words. This is the hot-path kernel
+    behind every {!Ds_sketch.One_sparse} fingerprint update; tables are
+    immutable after construction and safe to share across domains. *)
+module Pow : sig
+  type table
+
+  val table : base:int -> max_exp:int -> table
+  (** Precompute tables for [base^e], [0 <= e <= max_exp]. *)
+
+  val base : table -> int
+  (** The (reduced) base. *)
+
+  val max_exp : table -> int
+
+  val get : table -> int -> int
+  (** [get t e] is [base^e mod p]. Requires [0 <= e <= max_exp]; out-of-range
+      exponents are undefined behaviour (unchecked — hot path). *)
+end

@@ -1,0 +1,318 @@
+(* Parallel ingestion engine: pool mechanics and the linearity contracts the
+   engine rests on. The load-bearing properties are the serialize-equality
+   ones — a sharded-parallel ingest followed by a merge must reproduce the
+   sequential sketch state {e bit for bit}, for every linear sketch, every
+   partition policy and every shard count. *)
+
+open Ds_util
+open Ds_sketch
+open Ds_par
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* One pool shared by every test in this binary: domains are an OS resource
+   and alcotest runs cases sequentially, so spawning per-case is pure waste. *)
+let pool = lazy (Pool.create ~domains:3 ())
+let () = at_exit (fun () -> if Lazy.is_val pool then Pool.shutdown (Lazy.force pool))
+let pool () = Lazy.force pool
+
+(* -------------------- Pool mechanics -------------------- *)
+
+let test_pool_order () =
+  let results = Pool.run (pool ()) (List.init 20 (fun i () -> i * i)) in
+  check_bool "submission order" true (results = List.init 20 (fun i -> i * i))
+
+let test_pool_exception () =
+  let ran = Array.make 8 false in
+  let thunks =
+    List.init 8 (fun i () ->
+        ran.(i) <- true;
+        if i = 3 then failwith "boom")
+  in
+  (match Pool.run (pool ()) thunks with
+  | _ -> Alcotest.fail "expected the job's exception to propagate"
+  | exception Failure msg -> check_string "propagated exception" "boom" msg);
+  check_bool "remaining jobs still ran" true (Array.for_all Fun.id ran)
+
+let test_pool_reuse () =
+  let p = pool () in
+  let sum l = List.fold_left ( + ) 0 l in
+  let a = sum (Pool.run p (List.init 10 (fun i () -> i))) in
+  let b = sum (Pool.run p (List.init 10 (fun i () -> 2 * i))) in
+  check_int "first batch" 45 a;
+  check_int "second batch (same pool)" 90 b
+
+let test_pool_shutdown () =
+  let p = Pool.create ~domains:2 () in
+  check_int "size" 2 (Pool.size p);
+  Pool.shutdown p;
+  Pool.shutdown p (* idempotent *);
+  match Pool.submit p (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown should raise"
+  | exception Invalid_argument _ -> ()
+
+let test_split_partitions () =
+  let items = Array.init 103 Fun.id in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun shards ->
+          let parts = Shard_ingest.split policy ~shards items in
+          let all = Array.concat (Array.to_list parts) in
+          Array.sort compare all;
+          check_bool "every element exactly once" true (all = items))
+        [ 1; 2; 3; 5 ])
+    [ Shard_ingest.Chunked; Shard_ingest.Round_robin; Shard_ingest.By_key (fun x -> 7 * x) ]
+
+(* -------------------- Serialize-equality properties -------------------- *)
+
+let state_of write t =
+  let sink = Wire.sink () in
+  write t sink;
+  Wire.contents sink
+
+let dim = 200
+let coord_gen = QCheck.(small_list (pair (int_bound (dim - 1)) (int_range (-3) 3)))
+
+let policies = [ ("chunked", Shard_ingest.Chunked); ("round_robin", Shard_ingest.Round_robin) ]
+
+(* Run [w] through a sharded-parallel ingest under every policy and shard
+   count and demand byte-identical serialized state vs the sequential fold. *)
+let sharded_matches ~create ~ingest ~update ~write w =
+  let seq = create 11 in
+  Array.iter (update seq) w;
+  let expect = state_of write seq in
+  List.for_all
+    (fun (_, policy) ->
+      let par = create 11 in
+      ingest (pool ()) ~policy par w;
+      state_of write par = expect)
+    (("by_key", Shard_ingest.By_key (fun (i, _) -> i)) :: policies)
+
+let prop_one_sparse_batch =
+  QCheck.Test.make ~name:"one_sparse update_batch = fold of update" ~count:50 coord_gen
+    (fun coords ->
+      let w = Array.of_list coords in
+      let a = One_sparse.create (Prng.create 7) ~dim in
+      let b = One_sparse.create (Prng.create 7) ~dim in
+      Array.iter (fun (index, delta) -> One_sparse.update a ~index ~delta) w;
+      One_sparse.update_batch b w;
+      state_of One_sparse.write a = state_of One_sparse.write b)
+
+let sr_params = { Sparse_recovery.sparsity = 2; rows = 3; hash_degree = 6 }
+
+let prop_sr_batch =
+  QCheck.Test.make ~name:"sparse_recovery update_batch = fold of update" ~count:50 coord_gen
+    (fun coords ->
+      let w = Array.of_list coords in
+      let a = Sparse_recovery.create (Prng.create 7) ~dim ~params:sr_params in
+      let b = Sparse_recovery.create (Prng.create 7) ~dim ~params:sr_params in
+      Array.iter (fun (index, delta) -> Sparse_recovery.update a ~index ~delta) w;
+      Sparse_recovery.update_batch b w;
+      state_of Sparse_recovery.write a = state_of Sparse_recovery.write b)
+
+let prop_l0_batch =
+  QCheck.Test.make ~name:"l0_sampler update_batch = fold of update" ~count:40 coord_gen
+    (fun coords ->
+      let w = Array.of_list coords in
+      let a = L0_sampler.create (Prng.create 7) ~dim ~params:L0_sampler.default_params in
+      let b = L0_sampler.create (Prng.create 7) ~dim ~params:L0_sampler.default_params in
+      Array.iter (fun (index, delta) -> L0_sampler.update a ~index ~delta) w;
+      L0_sampler.update_batch b w;
+      state_of L0_sampler.write a = state_of L0_sampler.write b)
+
+let prop_sr_sharded =
+  QCheck.Test.make ~name:"sparse_recovery sharded+merge = sequential (all policies)"
+    ~count:20 coord_gen (fun coords ->
+      sharded_matches (Array.of_list coords)
+        ~create:(fun seed -> Sparse_recovery.create (Prng.create seed) ~dim ~params:sr_params)
+        ~ingest:(fun p ~policy sk w -> Shard_ingest.sparse_recovery p ~policy sk w)
+        ~update:(fun sk (index, delta) -> Sparse_recovery.update sk ~index ~delta)
+        ~write:Sparse_recovery.write)
+
+let prop_l0_sharded =
+  QCheck.Test.make ~name:"l0_sampler sharded+merge = sequential (all policies)" ~count:15
+    coord_gen (fun coords ->
+      sharded_matches (Array.of_list coords)
+        ~create:(fun seed ->
+          L0_sampler.create (Prng.create seed) ~dim ~params:L0_sampler.default_params)
+        ~ingest:(fun p ~policy sk w -> Shard_ingest.l0_sampler p ~policy sk w)
+        ~update:(fun sk (index, delta) -> L0_sampler.update sk ~index ~delta)
+        ~write:L0_sampler.write)
+
+(* Edge streams for the AGM properties. *)
+let agm_n = 24
+
+let edge_gen =
+  QCheck.(
+    small_list (triple (int_bound (agm_n - 1)) (int_bound (agm_n - 2)) bool)
+    |> map (fun l ->
+           List.map
+             (fun (u, dv, ins) ->
+               let v = (u + 1 + dv) mod agm_n in
+               if ins then Ds_stream.Update.insert u v else Ds_stream.Update.delete u v)
+             l))
+
+let agm_create seed =
+  Ds_agm.Agm_sketch.create (Prng.create seed) ~n:agm_n
+    ~params:(Ds_agm.Agm_sketch.default_params ~n:agm_n)
+
+let prop_agm_batch =
+  QCheck.Test.make ~name:"agm update_batch = fold of update" ~count:15 edge_gen (fun edges ->
+      let module U = Ds_stream.Update in
+      let w = Array.of_list edges in
+      let a = agm_create 7 and b = agm_create 7 in
+      Array.iter (fun (e : U.t) -> Ds_agm.Agm_sketch.update a ~u:e.U.u ~v:e.U.v ~delta:(U.delta e)) w;
+      Ds_agm.Agm_sketch.update_batch b w;
+      Ds_agm.Agm_sketch.serialize a = Ds_agm.Agm_sketch.serialize b)
+
+let prop_agm_sharded =
+  QCheck.Test.make ~name:"agm sharded+merge = sequential (all policies)" ~count:10 edge_gen
+    (fun edges ->
+      let w = Array.of_list edges in
+      let seq = agm_create 11 in
+      Ds_agm.Agm_sketch.update_batch seq w;
+      let expect = Ds_agm.Agm_sketch.serialize seq in
+      List.for_all
+        (fun (_, policy) ->
+          let par = agm_create 11 in
+          Shard_ingest.agm (pool ()) ~policy par w;
+          Ds_agm.Agm_sketch.serialize par = expect)
+        (("by_vertex", Shard_ingest.by_vertex) :: policies))
+
+(* -------------------- Consumers -------------------- *)
+
+(* A valid dynamic stream: deletions only target currently-live edges, so the
+   offline ground-truth graph the consumers verify against is well-defined. *)
+let random_stream seed ~n ~updates =
+  let rng = Prng.create seed in
+  let live = ref [] in
+  let nlive = ref 0 in
+  Array.init updates (fun _ ->
+      if !nlive > 0 && Prng.int rng 5 = 0 then begin
+        let k = Prng.int rng !nlive in
+        let u, v = List.nth !live k in
+        live := List.filteri (fun i _ -> i <> k) !live;
+        decr nlive;
+        Ds_stream.Update.delete u v
+      end
+      else begin
+        let u = Prng.int rng n in
+        let v = (u + 1 + Prng.int rng (n - 1)) mod n in
+        live := (u, v) :: !live;
+        incr nlive;
+        Ds_stream.Update.insert u v
+      end)
+
+let test_cluster_sim_parallel_equal () =
+  let stream = random_stream 31 ~n:48 ~updates:600 in
+  List.iter
+    (fun partition ->
+      let seq =
+        Ds_sim.Cluster_sim.run ~mode:`Sequential (Prng.create 5) ~n:48 ~servers:4 ~partition
+          stream
+      in
+      let par =
+        Ds_sim.Cluster_sim.run ~mode:(`Parallel (pool ())) (Prng.create 5) ~n:48 ~servers:4
+          ~partition stream
+      in
+      check_bool "parallel report identical" true (seq = par);
+      check_bool "forest verified" true seq.Ds_sim.Cluster_sim.forest_correct)
+    [ Ds_sim.Cluster_sim.Round_robin; Ds_sim.Cluster_sim.By_vertex ]
+
+let test_two_pass_parallel_equal () =
+  let n = 32 in
+  let stream = random_stream 33 ~n ~updates:400 in
+  let params = Ds_core.Two_pass_spanner.default_params ~k:2 in
+  let seq = Ds_core.Two_pass_spanner.run ~ingest:`Sequential (Prng.create 9) ~n ~params stream in
+  let par =
+    Ds_core.Two_pass_spanner.run ~ingest:(`Parallel (pool ())) (Prng.create 9) ~n ~params stream
+  in
+  check_bool "identical spanner" true
+    (Ds_graph.Graph.equal_edge_sets seq.Ds_core.Two_pass_spanner.spanner
+       par.Ds_core.Two_pass_spanner.spanner);
+  check_bool "identical accessed edges" true
+    (List.sort compare seq.Ds_core.Two_pass_spanner.accessed_edges
+    = List.sort compare par.Ds_core.Two_pass_spanner.accessed_edges);
+  check_int "identical space accounting" seq.Ds_core.Two_pass_spanner.space_words
+    par.Ds_core.Two_pass_spanner.space_words
+
+(* -------------------- Kwise.to_range uniformity -------------------- *)
+
+(* Regression for the modulo-bias fix: with [bound = 0x60000000] (~0.75 p) a
+   plain [eval mod bound] sends every value in [bound, p) to [0, p - bound),
+   inflating P(output < bound/2) from 0.5 to ~0.625 — over 26 sigma at this
+   sample size. The rejection chain restores 0.5. *)
+let test_to_range_unbiased () =
+  let h = Kwise.create (Prng.create 77) ~k:6 in
+  let bound = 0x60000000 in
+  let keys = 20_000 in
+  let below = ref 0 in
+  for x = 0 to keys - 1 do
+    let v = Kwise.to_range h x ~bound in
+    check_bool "in range" true (0 <= v && v < bound);
+    if v < bound / 2 then incr below
+  done;
+  let frac = float_of_int !below /. float_of_int keys in
+  check_bool
+    (Printf.sprintf "no modulo bias (frac below midpoint = %.4f)" frac)
+    true
+    (frac > 0.48 && frac < 0.52)
+
+(* The power-of-two fast path must stay deterministic and balanced. *)
+let test_to_range_pow2_balanced () =
+  let h = Kwise.create (Prng.create 78) ~k:6 in
+  let bound = 8 in
+  let counts = Array.make bound 0 in
+  for x = 0 to 7_999 do
+    let v = Kwise.to_range h x ~bound in
+    check_int "deterministic" v (Kwise.to_range h x ~bound);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun b c ->
+      check_bool
+        (Printf.sprintf "bucket %d balanced (%d)" b c)
+        true
+        (abs (c - 1000) < 200))
+    counts
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_one_sparse_batch;
+      prop_sr_batch;
+      prop_l0_batch;
+      prop_agm_batch;
+      prop_sr_sharded;
+      prop_l0_sharded;
+      prop_agm_sharded;
+    ]
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "result order" `Quick test_pool_order;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "split partitions" `Quick test_split_partitions;
+        ] );
+      ("linearity", qcheck_cases);
+      ( "consumers",
+        [
+          Alcotest.test_case "cluster_sim parallel = sequential" `Quick
+            test_cluster_sim_parallel_equal;
+          Alcotest.test_case "two_pass parallel = sequential" `Quick
+            test_two_pass_parallel_equal;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "to_range unbiased" `Quick test_to_range_unbiased;
+          Alcotest.test_case "to_range pow2 balanced" `Quick test_to_range_pow2_balanced;
+        ] );
+    ]
