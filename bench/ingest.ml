@@ -9,6 +9,23 @@
    machine-readable JSON (default ./BENCH_ingest.json) so later PRs can
    detect throughput regressions against this PR's trajectory. *)
 
+let git_sha () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some s when s <> "" -> s
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "unknown"
+      with _ -> "unknown")
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
 let dim = Ds_graph.Edge_index.dim 256
 let l0_updates = 200_000
 let agm_n = 256
@@ -51,6 +68,8 @@ let () =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"bench_ingest/v1\",\n";
+  p "  \"git_sha\": \"%s\",\n" (git_sha ());
+  p "  \"date\": \"%s\",\n" (iso8601_utc ());
   p "  \"timestamp\": %.0f,\n" (Unix.time ());
   p "  \"recommended_domain_count\": %d,\n" (Domain.recommended_domain_count ());
   p "  \"workloads\": {\n";

@@ -633,7 +633,27 @@ let e13 () =
     [ 1; 2; 4; 8; 16 ];
   Fmt.pr "expected: correctness at every partition; total communication grows ~linearly@.";
   Fmt.pr "with servers (one fixed-size message each) while per-server load drops -- the@.";
-  Fmt.pr "mergeability dividend of linear sketches.@."
+  Fmt.pr "mergeability dividend of linear sketches.@.";
+  (* The same round-trip across the full registered sketch inventory, via
+     the generic linear-sketch interface. *)
+  let dim = 4096 and servers = 8 in
+  let updates =
+    Array.init 20_000 (fun _ -> (Prng.int rng dim, if Prng.bool rng then 1 else -1))
+  in
+  Fmt.pr "@.full inventory shipped over the generic interface (dim=%d, %d updates, %d servers):@."
+    dim (Array.length updates) servers;
+  Fmt.pr "%-16s %-13s %-16s %-16s %-8s@." "family" "wire bytes" "bytes/server" "state(w)/server"
+    "merged=direct";
+  line ();
+  List.iter
+    (fun (r : Ds_sim.Cluster_sim.ship_report) ->
+      Fmt.pr "%-16s %-13d %-16d %-16d %-8b@." r.Ds_sim.Cluster_sim.family
+        r.Ds_sim.Cluster_sim.ship_bytes_total
+        (Array.fold_left max 0 r.Ds_sim.Cluster_sim.ship_bytes_per_server)
+        r.Ds_sim.Cluster_sim.ship_words_per_server r.Ds_sim.Cluster_sim.matches_direct)
+    (Ds_sim.Cluster_sim.ship_families (Prng.split rng) ~dim ~servers updates);
+  Fmt.pr "expected: merged=direct for every family -- the coordinator's deserialized sum@.";
+  Fmt.pr "is byte-identical to sketching the stream in one process.@."
 
 (* ------------------------------------------------------------------ *)
 (* E10: throughput (Bechamel)                                          *)

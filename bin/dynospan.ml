@@ -73,9 +73,48 @@ let report_spanner ~name ~g ~spanner ~space_words ~bound =
   Fmt.pr "space: %a (%d words)@." Ds_util.Space.pp_words space_words space_words;
   Fmt.pr "subgraph-of-input: %b@." (Graph.is_subgraph ~sub:spanner ~super:g)
 
+(* Canonical digest of a spanner's edge set: FNV-1a-64 over the sorted edge
+   list. Used by the checkpoint/resume smoke test to compare a resumed run
+   to an uninterrupted one across processes. *)
+let spanner_hash spanner =
+  let edges = ref [] in
+  Graph.iter_edges spanner (fun u v -> edges := (min u v, max u v) :: !edges);
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "%d,%d;" u v))
+    (List.sort compare !edges);
+  Wire.fnv1a64 (Buffer.contents buf)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  data
+
 (* ------------------------------------------------------------------ *)
 (* Sub-commands                                                        *)
 (* ------------------------------------------------------------------ *)
+
+let report_two_pass ~k ~g (r : Two_pass_spanner.result) =
+  report_spanner
+    ~name:(Printf.sprintf "two-pass 2^%d-spanner (Theorem 1)" k)
+    ~g ~spanner:r.Two_pass_spanner.spanner ~space_words:r.Two_pass_spanner.space_words
+    ~bound:(float_of_int (1 lsl k));
+  let d = r.Two_pass_spanner.diagnostics in
+  Fmt.pr "diagnostics: terminals/level=%a p1-fails=%d table-fails=%d payload-fails=%d@."
+    Fmt.(Dump.array int)
+    d.Two_pass_spanner.terminals_per_level d.Two_pass_spanner.pass1_decode_failures
+    d.Two_pass_spanner.table_decode_failures d.Two_pass_spanner.payload_decode_failures;
+  Fmt.pr "spanner-hash: %016Lx@." (spanner_hash r.Two_pass_spanner.spanner)
+
+let k_spanner_arg =
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch exponent (2^k).")
 
 let spanner_cmd =
   let run family n p seed decoys k =
@@ -85,20 +124,63 @@ let spanner_cmd =
         ~params:(Two_pass_spanner.default_params ~k)
         stream
     in
-    report_spanner
-      ~name:(Printf.sprintf "two-pass 2^%d-spanner (Theorem 1)" k)
-      ~g ~spanner:r.Two_pass_spanner.spanner ~space_words:r.Two_pass_spanner.space_words
-      ~bound:(float_of_int (1 lsl k));
-    let d = r.Two_pass_spanner.diagnostics in
-    Fmt.pr "diagnostics: terminals/level=%a p1-fails=%d table-fails=%d payload-fails=%d@."
-      Fmt.(Dump.array int)
-      d.Two_pass_spanner.terminals_per_level d.Two_pass_spanner.pass1_decode_failures
-      d.Two_pass_spanner.table_decode_failures d.Two_pass_spanner.payload_decode_failures
+    report_two_pass ~k ~g r
   in
-  let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch exponent (2^k).") in
   Cmd.v
     (Cmd.info "spanner" ~doc:"Two-pass 2^k multiplicative spanner (Theorem 1).")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg)
+    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg)
+
+(* checkpoint/resume: the same workload is re-derived from the same CLI
+   arguments (the whole pipeline is seed-deterministic), so the two
+   processes agree on the stream and the PRNG chain; only the pass-1
+   counters cross the process boundary, in the checkpoint file. *)
+
+let file_arg =
+  Arg.(
+    value
+    & opt string "dynospan.ckpt"
+    & info [ "file" ] ~docv:"PATH" ~doc:"Checkpoint file path.")
+
+let checkpoint_cmd =
+  let run family n p seed decoys k file =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let ck =
+      Two_pass_spanner.checkpoint (Prng.split rng) ~n:(Graph.n g)
+        ~params:(Two_pass_spanner.default_params ~k)
+        stream
+    in
+    write_file file ck;
+    Fmt.pr "checkpoint: pass 1 done, %d bytes -> %s@." (String.length ck) file;
+    Fmt.pr "resume with: dynospan resume --graph %s -n %d -p %g --seed %d --decoys %d -k %d --file %s@."
+      family n p seed decoys k file
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Run pass 1 of the two-pass spanner and serialise the pass boundary to a file. Resume \
+          in a fresh process with the same arguments.")
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg)
+
+let resume_cmd =
+  let run family n p seed decoys k file =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let r =
+      Two_pass_spanner.resume (Prng.split rng) ~n:(Graph.n g)
+        ~params:(Two_pass_spanner.default_params ~k)
+        ~checkpoint:(read_file file) stream
+    in
+    Fmt.pr "resumed from %s@." file;
+    report_two_pass ~k ~g r
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Finish a checkpointed two-pass spanner run: rebuild the seed-derived structure, load \
+          the pass-1 counters, run pass 2. Must be invoked with the same workload arguments as \
+          the checkpoint. The resulting spanner is bit-identical to an uninterrupted run.")
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg)
 
 let additive_cmd =
   let run family n p seed decoys d =
@@ -300,6 +382,8 @@ let () =
        (Cmd.group info
           [
             spanner_cmd;
+            checkpoint_cmd;
+            resume_cmd;
             additive_cmd;
             sparsify_cmd;
             forest_cmd;

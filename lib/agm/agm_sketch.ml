@@ -88,11 +88,12 @@ let subtract_graph t g =
   if Graph.n g <> t.n then invalid_arg "Agm_sketch.subtract_graph: size mismatch";
   Graph.iter_edges g (fun u v -> update t ~u ~v ~delta:(-1))
 
-let add t s =
-  if t.n <> s.n || t.prm <> s.prm then invalid_arg "Agm_sketch.add: incompatible";
-  Array.iteri
-    (fun c row -> Array.iteri (fun u sk -> L0_sampler.add sk s.samplers.(c).(u)) row)
-    t.samplers
+let combine op t s =
+  if t.n <> s.n || t.prm <> s.prm then invalid_arg "Agm_sketch: incompatible";
+  Array.iteri (fun c row -> Array.iteri (fun u sk -> op sk s.samplers.(c).(u)) row) t.samplers
+
+let add t s = combine L0_sampler.add t s
+let sub t s = combine L0_sampler.sub t s
 
 let spanning_forest ?labels t =
   let uf = Union_find.create t.n in
@@ -155,19 +156,40 @@ let space_in_words t =
     (fun acc row -> Array.fold_left (fun a sk -> a + L0_sampler.space_in_words sk) acc row)
     0 t.samplers
 
-let serialize t =
-  let sink = Ds_util.Wire.sink () in
-  Ds_util.Wire.write_tag sink "agm";
-  Ds_util.Wire.write_int sink t.n;
-  Ds_util.Wire.write_int sink t.prm.copies;
-  Array.iter (Array.iter (fun s -> L0_sampler.write s sink)) t.samplers;
-  Ds_util.Wire.contents sink
+let write t sink =
+  Wire.write_tag sink "agm";
+  Wire.write_int sink t.n;
+  Array.iter (Array.iter (fun s -> L0_sampler.write s sink)) t.samplers
 
-let deserialize_into t data =
-  let src = Ds_util.Wire.source data in
-  Ds_util.Wire.expect_tag src "agm";
-  if Ds_util.Wire.read_int src <> t.n || Ds_util.Wire.read_int src <> t.prm.copies then
-    failwith "Agm_sketch.deserialize_into: shape mismatch";
-  Array.iter (Array.iter (fun s -> L0_sampler.read_into s src)) t.samplers;
-  if Ds_util.Wire.remaining src <> 0 then
-    failwith "Agm_sketch.deserialize_into: trailing bytes"
+let read_into t src =
+  Wire.expect_tag src "agm";
+  if Wire.read_int src <> t.n then failwith "Agm_sketch.read_into: size mismatch";
+  Array.iter (Array.iter (fun s -> L0_sampler.read_into s src)) t.samplers
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "agm"
+  let dim t = Edge_index.dim t.n
+
+  let shape t =
+    let s = t.prm.sampler in
+    [| t.n; t.prm.copies; s.L0_sampler.sparsity; s.L0_sampler.rows; s.L0_sampler.hash_degree |]
+
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+
+  (* The index/delta face: coordinates of the sketched vector are edge
+     indices, so decode and route through the signed-incidence update. *)
+  let update t ~index ~delta =
+    let u, v = Edge_index.decode ~n:t.n index in
+    update t ~u ~v ~delta
+
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end
+
+let serialize t = Ds_sketch.Linear_sketch.serialize (module Linear) t
+let deserialize_into t data = Ds_sketch.Linear_sketch.deserialize_into (module Linear) t data

@@ -55,6 +55,9 @@ val subtract_graph : t -> Ds_graph.Graph.t -> unit
 val add : t -> t -> unit
 (** Merge the sketch of another update stream (distributed setting). *)
 
+val sub : t -> t -> unit
+(** Subtract another sketch's counters — delete its whole update stream. *)
+
 val spanning_forest : ?labels:int array -> t -> (int * int) list
 (** Extract a spanning forest of the sketched multigraph with high
     probability. [labels] (optional) assigns every vertex a supernode; the
@@ -64,11 +67,23 @@ val spanning_forest : ?labels:int array -> t -> (int * int) list
 
 val space_in_words : t -> int
 
+val write : t -> Ds_util.Wire.sink -> unit
+val read_into : t -> Ds_util.Wire.source -> unit
+(** Raw counter body (no envelope); building blocks for {!Linear}. *)
+
+module Linear : Ds_sketch.Linear_sketch.S with type t = t
+(** The sketch as a linear sketch over {e edge space}: [update ~index]
+    decodes [index] with {!Ds_graph.Edge_index.decode} and streams a
+    multiplicity update of that edge (both endpoints' signed incidence
+    vectors move together). *)
+
 val serialize : t -> string
 (** Wire form of the counters only — what a server ships to the coordinator
-    (the structure is rebuilt from the shared seed on the other side). *)
+    (the structure is rebuilt from the shared seed on the other side).
+    Equal to [Linear_sketch.serialize (module Linear)]: the versioned,
+    checksummed envelope. *)
 
 val deserialize_into : t -> string -> unit
 (** Overwrite [t]'s counters with a serialised sketch. [t] must have been
     created from the same seed and parameters as the sender's sketch.
-    @raise Failure on shape mismatch or corrupt input. *)
+    @raise Failure on shape mismatch, checksum failure or corrupt input. *)

@@ -21,6 +21,17 @@ let update t ~u ~v ~delta =
   Agm_sketch.update t.cover ~u ~v:(v + t.n) ~delta;
   Agm_sketch.update t.cover ~u:(u + t.n) ~v ~delta
 
+let clone_zero t =
+  { t with base = Agm_sketch.clone_zero t.base; cover = Agm_sketch.clone_zero t.cover }
+
+let add t s =
+  Agm_sketch.add t.base s.base;
+  Agm_sketch.add t.cover s.cover
+
+let sub t s =
+  Agm_sketch.sub t.base s.base;
+  Agm_sketch.sub t.cover s.cover
+
 type verdict = { components : int; bipartite_components : int; is_bipartite : bool }
 
 let components_of_forest ~n forest =
@@ -37,3 +48,36 @@ let test t =
   { components = c_g; bipartite_components; is_bipartite = bipartite_components = c_g }
 
 let space_in_words t = Agm_sketch.space_in_words t.base + Agm_sketch.space_in_words t.cover
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "bipartiteness"
+  let dim t = Agm_sketch.Linear.dim t.base
+
+  let shape t =
+    Array.concat
+      [ [| t.n |]; Agm_sketch.Linear.shape t.base; Agm_sketch.Linear.shape t.cover ]
+
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+
+  (* Indices range over the base graph's edge space; the double-cover lift
+     happens inside [update]. *)
+  let update t ~index ~delta =
+    let u, v = Ds_graph.Edge_index.decode ~n:t.n index in
+    update t ~u ~v ~delta
+
+  let space_in_words = space_in_words
+
+  let write_body t sink =
+    Ds_util.Wire.write_tag sink "bip";
+    Agm_sketch.write t.base sink;
+    Agm_sketch.write t.cover sink
+
+  let read_body t src =
+    Ds_util.Wire.expect_tag src "bip";
+    Agm_sketch.read_into t.base src;
+    Agm_sketch.read_into t.cover src
+end

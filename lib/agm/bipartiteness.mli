@@ -18,6 +18,11 @@ val create : Ds_util.Prng.t -> n:int -> params:Agm_sketch.params -> t
 
 val update : t -> u:int -> v:int -> delta:int -> unit
 
+val clone_zero : t -> t
+val add : t -> t -> unit
+val sub : t -> t -> unit
+(** Merge/subtract both the base and double-cover sketches (linearity). *)
+
 type verdict = {
   components : int;  (** components of the streamed graph *)
   bipartite_components : int;  (** how many of them are bipartite *)
@@ -28,3 +33,7 @@ val test : t -> verdict
 (** Non-destructive. *)
 
 val space_in_words : t -> int
+
+module Linear : Ds_sketch.Linear_sketch.S with type t = t
+(** Linear over the {e base} graph's edge space; each indexed update streams
+    the edge into the base sketch and its two double-cover lifts. *)

@@ -19,6 +19,12 @@ val absorb : t -> t -> unit
 (** [absorb t shard] adds a compatible shard's sketch into [t] (linearity);
     after absorbing every shard, [freeze] answers for the union stream. *)
 
+val add : t -> t -> unit
+(** Alias of {!absorb}. *)
+
+val sub : t -> t -> unit
+(** Subtract a compatible oracle's counters. *)
+
 type answers
 
 val freeze : t -> answers
@@ -32,3 +38,7 @@ val component_of : answers -> int -> int
 (** Smallest vertex id in the component. *)
 
 val space_in_words : t -> int
+
+module Linear : Ds_sketch.Linear_sketch.S with type t = t
+(** The oracle as a linear sketch over edge space (delegates to the
+    underlying {!Agm_sketch.Linear}). *)

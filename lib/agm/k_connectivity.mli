@@ -14,6 +14,13 @@ val create : Ds_util.Prng.t -> n:int -> k:int -> params:Agm_sketch.params -> t
 
 val update : t -> u:int -> v:int -> delta:int -> unit
 
+val clone_zero : t -> t
+(** A fresh empty instance sharing [t]'s seed-derived structure. *)
+
+val add : t -> t -> unit
+val sub : t -> t -> unit
+(** Componentwise merge of all [k] sketches (linearity). *)
+
 val certificate : t -> Ds_graph.Graph.t
 (** The union of the [k] successively-peeled forests. Non-destructive on the
     first sketch; consumes (by subtraction) the later ones, so call it
@@ -24,3 +31,8 @@ val is_k_connected : t -> bool
     certificate theorem makes it agree with the input graph whp. *)
 
 val space_in_words : t -> int
+
+module Linear : Ds_sketch.Linear_sketch.S with type t = t
+(** All [k] sketches as one linear sketch over edge space: an [update]
+    streams the edge into every instance; the wire body concatenates the
+    [k] counter blocks. *)

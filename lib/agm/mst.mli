@@ -30,4 +30,13 @@ val extract : t -> (int * int * float) list
 
 val forest_weight : (int * int * float) list -> float
 
+val clone_zero : t -> t
+val add : t -> t -> unit
+val sub : t -> t -> unit
+(** Classwise merge/subtract of every weight class's sketch (linearity). *)
+
 val space_in_words : t -> int
+
+module Linear : Ds_sketch.Linear_sketch.S with type t = t
+(** Linear over the stacked edge spaces of all weight classes:
+    [index = class * Edge_index.dim n + edge_index]. *)

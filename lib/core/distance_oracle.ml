@@ -11,14 +11,26 @@ type t = {
   cache : (int, float array) Hashtbl.t; (* source -> distances *)
 }
 
-let of_stream rng ~n ~k stream =
-  let r = Two_pass_spanner.run rng ~n ~params:(Two_pass_spanner.default_params ~k) stream in
+let of_result ~k (r : Two_pass_spanner.result) =
   {
     backend = Unweighted r.Two_pass_spanner.spanner;
     stretch = float_of_int (1 lsl k);
     space_words = r.Two_pass_spanner.space_words;
     cache = Hashtbl.create 16;
   }
+
+let of_stream rng ~n ~k stream =
+  of_result ~k
+    (Two_pass_spanner.run rng ~n ~params:(Two_pass_spanner.default_params ~k) stream)
+
+let checkpoint_stream rng ~n ~k stream =
+  Two_pass_spanner.checkpoint rng ~n ~params:(Two_pass_spanner.default_params ~k) stream
+
+let resume_stream rng ~n ~k ~checkpoint stream =
+  of_result ~k
+    (Two_pass_spanner.resume rng ~n
+       ~params:(Two_pass_spanner.default_params ~k)
+       ~checkpoint stream)
 
 let of_weighted_stream rng ~n ~k ~gamma ~w_min ~w_max stream =
   let r =

@@ -12,6 +12,18 @@ val of_stream :
   Ds_util.Prng.t -> n:int -> k:int -> Ds_stream.Update.t array -> t
 (** Two passes; stretch [2^k]. *)
 
+val checkpoint_stream :
+  Ds_util.Prng.t -> n:int -> k:int -> Ds_stream.Update.t array -> string
+(** Pass 1 only; the serialised pass boundary
+    (see {!Two_pass_spanner.checkpoint}). *)
+
+val resume_stream :
+  Ds_util.Prng.t -> n:int -> k:int -> checkpoint:string -> Ds_stream.Update.t array -> t
+(** Finish construction from a checkpoint taken with the same seed, [n] and
+    [k]; the oracle is identical to one built by {!of_stream} in an
+    uninterrupted process.
+    @raise Failure on a corrupt or mismatched checkpoint. *)
+
 val of_weighted_stream :
   Ds_util.Prng.t ->
   n:int ->

@@ -266,12 +266,95 @@ let pass2_update p2 (u : Update.t) =
   route u.Update.v u.Update.u
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint: the pass boundary, serialised.                          *)
+(* ------------------------------------------------------------------ *)
 
-let run ?(ingest = `Sequential) rng ~n ~params:prm stream =
-  if prm.k < 1 then invalid_arg "Two_pass_spanner.run: k must be >= 1";
+(* Everything pass 2 needs and the stream cannot regenerate is (a) the
+   pass-1 sketch counters and (b) the seed-derived structure. (b) is rebuilt
+   by replaying the same PRNG chain in [resume], so the checkpoint carries
+   only (a) plus enough of (n, params) to verify the caller replays the
+   chain with the same inputs. Same envelope discipline as
+   {!Linear_sketch}: magic, shape, body, trailing FNV-1a-64 checksum
+   verified before any parsing. *)
+
+let checkpoint_magic = "TPS1"
+let checksum_bytes = 8
+
+let write_params sink prm =
+  Wire.write_int sink prm.k;
+  Wire.write_int sink prm.sketch_sparsity;
+  Wire.write_int sink prm.sketch_rows;
+  Wire.write_int sink prm.table_rows;
+  Wire.write_fixed64 sink (Int64.bits_of_float prm.capacity_factor);
+  Wire.write_int sink prm.payload.Packed_l0.reps;
+  Wire.write_int sink prm.payload.Packed_l0.sparsity;
+  Wire.write_int sink prm.payload.Packed_l0.hash_degree;
+  Wire.write_int sink prm.hash_degree
+
+let read_params src =
+  let k = Wire.read_int src in
+  let sketch_sparsity = Wire.read_int src in
+  let sketch_rows = Wire.read_int src in
+  let table_rows = Wire.read_int src in
+  let capacity_factor = Int64.float_of_bits (Wire.read_fixed64 src) in
+  let reps = Wire.read_int src in
+  let sparsity = Wire.read_int src in
+  let payload_hash_degree = Wire.read_int src in
+  let hash_degree = Wire.read_int src in
+  {
+    k;
+    sketch_sparsity;
+    sketch_rows;
+    table_rows;
+    capacity_factor;
+    payload = { Packed_l0.reps; sparsity; hash_degree = payload_hash_degree };
+    hash_degree;
+  }
+
+let serialize_pass1 p1 =
+  let sink = Wire.sink () in
+  Wire.write_tag sink checkpoint_magic;
+  Wire.write_int sink p1.n;
+  write_params sink p1.prm;
+  Wire.write_int sink p1.levels;
+  Array.iter (Array.iter (Array.iter (fun sk -> Sparse_recovery.write sk sink))) p1.sketches;
+  let payload = Wire.contents sink in
+  let tail = Wire.sink () in
+  Wire.write_fixed64 tail (Wire.fnv1a64 payload);
+  payload ^ Wire.contents tail
+
+let load_pass1 p1 data =
+  let len = String.length data in
+  if len < checksum_bytes + String.length checkpoint_magic + 2 then
+    failwith "Two_pass_spanner: truncated checkpoint";
+  let payload_len = len - checksum_bytes in
+  let stored = ref 0L in
+  for i = checksum_bytes - 1 downto 0 do
+    stored := Int64.logor (Int64.shift_left !stored 8) (Int64.of_int (Char.code data.[payload_len + i]))
+  done;
+  if Wire.fnv1a64 ~len:payload_len data <> !stored then
+    failwith "Two_pass_spanner: checkpoint checksum mismatch (corrupt or truncated)";
+  let src = Wire.source (String.sub data 0 payload_len) in
+  Wire.expect_tag src checkpoint_magic;
+  if Wire.read_int src <> p1.n then failwith "Two_pass_spanner: checkpoint n mismatch";
+  if read_params src <> p1.prm then failwith "Two_pass_spanner: checkpoint params mismatch";
+  if Wire.read_int src <> p1.levels then failwith "Two_pass_spanner: checkpoint level mismatch";
+  Array.iter (Array.iter (Array.iter (fun sk -> Sparse_recovery.read_into sk src))) p1.sketches;
+  if Wire.remaining src <> 0 then failwith "Two_pass_spanner: checkpoint trailing bytes"
+
+(* ------------------------------------------------------------------ *)
+
+(* The PRNG chain is the contract between [run], [checkpoint] and [resume]:
+   all three derive pass-1 structure from split_named rng
+   "two_pass_spanner" -> "pass1" and pass-2 structure from -> "pass2", so a
+   resumed process rebuilds hash functions bit-identical to the
+   checkpointing one from the same caller seed. *)
+let derive rng ~n ~prm =
+  if prm.k < 1 then invalid_arg "Two_pass_spanner: k must be >= 1";
   let rng = Prng.split_named rng "two_pass_spanner" in
-  let p1 = make_pass1 (Prng.split_named rng "pass1") ~n ~prm in
-  pass1_fill p1 ~ingest stream;
+  (rng, make_pass1 (Prng.split_named rng "pass1") ~n ~prm)
+
+let finish rng p1 ~n ~prm stream =
   let clustering =
     Clustering.build ~n ~k:prm.k ~centers:p1.centers ~attach:(attach p1)
   in
@@ -339,3 +422,18 @@ let run ?(ingest = `Sequential) rng ~n ~params:prm stream =
         recovered_edges = !recovered;
       };
   }
+
+let run ?(ingest = `Sequential) rng ~n ~params:prm stream =
+  let rng, p1 = derive rng ~n ~prm in
+  pass1_fill p1 ~ingest stream;
+  finish rng p1 ~n ~prm stream
+
+let checkpoint ?(ingest = `Sequential) rng ~n ~params:prm stream =
+  let _rng, p1 = derive rng ~n ~prm in
+  pass1_fill p1 ~ingest stream;
+  serialize_pass1 p1
+
+let resume rng ~n ~params:prm ~checkpoint stream =
+  let rng, p1 = derive rng ~n ~prm in
+  load_pass1 p1 checkpoint;
+  finish rng p1 ~n ~prm stream

@@ -63,3 +63,39 @@ val run :
 val space_bound : n:int -> k:int -> float
 (** The Theorem 1 bound [~O(n^{1+1/k})] (unit constant, one log factor) in
     words, for experiment tables. *)
+
+(** {2 Pass-boundary checkpointing}
+
+    The state alive at the boundary between the two passes is exactly the
+    pass-1 sketch counters — the structure (hash functions, centers, the
+    level hash) is seed-derived and rebuilt by replaying the same PRNG
+    chain. [checkpoint] serialises that state into a versioned, checksummed
+    blob; [resume], given the {e same} caller PRNG, [n], [params] and
+    stream, rebuilds the structure, loads the counters and runs the
+    clustering plus pass 2, producing a result bit-identical to an
+    uninterrupted {!run} — across process boundaries. *)
+
+val checkpoint :
+  ?ingest:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
+  Ds_util.Prng.t ->
+  n:int ->
+  params:params ->
+  Ds_stream.Update.t array ->
+  string
+(** Run pass 1 only and serialise its state. The caller PRNG is consumed
+    exactly as by {!run}. *)
+
+val resume :
+  Ds_util.Prng.t ->
+  n:int ->
+  params:params ->
+  checkpoint:string ->
+  Ds_stream.Update.t array ->
+  result
+(** Rebuild pass-1 structure from the PRNG chain, restore the checkpointed
+    counters, and finish: clustering, pass 2 over the stream, spanner
+    assembly. [run rng ... stream] and
+    [resume rng ... ~checkpoint:(checkpoint rng ... stream) stream] (with
+    equal-seed PRNGs) return identical results.
+    @raise Failure if the checkpoint is corrupt, truncated, or was taken
+    with different [n]/[params]. *)

@@ -56,6 +56,17 @@ let ingest_into pool ?policy ~clone_zero ~update ~add sketch items =
   in
   add sketch shard
 
+(* One entry point for anything implementing the linear-sketch interface:
+   clone replicas, apply (index, delta) shards, reduce by linearity. *)
+let linear (type s) pool ?policy ((module L) : s Ds_sketch.Linear_sketch.impl)
+    (sketch : s) (pairs : (int * int) array) =
+  ingest_into pool ?policy ~clone_zero:L.clone_zero
+    ~update:(fun s -> Array.iter (fun (index, delta) -> L.update s ~index ~delta))
+    ~add:L.add sketch pairs
+
+(* The edge-stream wrappers keep their [update_batch] path: it regroups large
+   batches by lower endpoint for cache locality, which the generic
+   (index, delta) route cannot know to do. *)
 let agm pool ?policy sketch updates =
   ingest_into pool ?policy ~clone_zero:Ds_agm.Agm_sketch.clone_zero
     ~update:Ds_agm.Agm_sketch.update_batch ~add:Ds_agm.Agm_sketch.add sketch updates
@@ -66,11 +77,7 @@ let connectivity pool ?policy conn updates =
     updates
 
 let l0_sampler pool ?policy sampler pairs =
-  ingest_into pool ?policy ~clone_zero:Ds_sketch.L0_sampler.clone_zero
-    ~update:Ds_sketch.L0_sampler.update_batch ~add:Ds_sketch.L0_sampler.add sampler
-    pairs
+  linear pool ?policy (module Ds_sketch.L0_sampler.Linear) sampler pairs
 
 let sparse_recovery pool ?policy sketch pairs =
-  ingest_into pool ?policy ~clone_zero:Ds_sketch.Sparse_recovery.clone_zero
-    ~update:Ds_sketch.Sparse_recovery.update_batch ~add:Ds_sketch.Sparse_recovery.add
-    sketch pairs
+  linear pool ?policy (module Ds_sketch.Sparse_recovery.Linear) sketch pairs

@@ -56,7 +56,24 @@ val ingest_into :
     sketch and the reduced result is added into it — the convenient form
     when a consumer owns a long-lived sketch. *)
 
-(** {2 Sketch-specific wrappers} *)
+val linear :
+  Pool.t ->
+  ?policy:(int * int) policy ->
+  's Ds_sketch.Linear_sketch.impl ->
+  's ->
+  (int * int) array ->
+  unit
+(** [linear pool impl sketch pairs] shard-ingests an [(index, delta)] array
+    into {e any} sketch implementing {!Ds_sketch.Linear_sketch.S} — the one
+    generic entry point. Replicas are [clone_zero] copies, shards are applied
+    with the interface's [update], the reduction is [add]; bit-identical to
+    applying [pairs] sequentially. *)
+
+(** {2 Sketch-specific wrappers}
+
+    [agm] and [connectivity] take edge-update arrays and keep their
+    locality-regrouping [update_batch] fast path; the rest are one-line
+    instantiations of {!linear}. *)
 
 val agm : Pool.t -> ?policy:Ds_stream.Update.t policy -> Ds_agm.Agm_sketch.t -> Ds_stream.Update.t array -> unit
 val connectivity : Pool.t -> ?policy:Ds_stream.Update.t policy -> Ds_agm.Connectivity.t -> Ds_stream.Update.t array -> unit

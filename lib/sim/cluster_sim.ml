@@ -100,3 +100,122 @@ let pp_report ppf r =
   Format.fprintf ppf "state per server: %d words; messages: %d bytes total@." r.words_per_server
     r.bytes_total;
   Format.fprintf ppf "forest: %d edges, correct=%b@." r.forest_edges r.forest_correct
+
+(* ------------------------------------------------------------------ *)
+(* Generic shipping: the same server/coordinator round-trip for any
+   sketch implementing the linear interface.                           *)
+
+module Linear_sketch = Ds_sketch.Linear_sketch
+
+type ship_report = {
+  family : string;
+  ship_servers : int;
+  ship_updates_total : int;
+  ship_bytes_per_server : int array;
+  ship_bytes_total : int;
+  ship_words_per_server : int;
+  matches_direct : bool;
+}
+
+let ship (type s) ?(mode = `Sequential) ((module L) : s Linear_sketch.impl) ~make
+    ~servers (updates : (int * int) array) =
+  if servers < 1 then invalid_arg "Cluster_sim.ship: need at least one server";
+  (* Round-robin shards; any partition gives the same coordinator state by
+     linearity, so the routing is not a parameter here. *)
+  let shards =
+    Array.init servers (fun s ->
+        let len = (Array.length updates - s + servers - 1) / servers in
+        Array.init len (fun i -> updates.(s + (i * servers))))
+  in
+  let sketch_server part =
+    let sk : s = make () in
+    Array.iter (fun (index, delta) -> L.update sk ~index ~delta) part;
+    Linear_sketch.serialize (module L) sk
+  in
+  let messages =
+    match mode with
+    | `Sequential -> Array.map sketch_server shards
+    | `Parallel pool -> Ds_par.Pool.map_array pool sketch_server shards
+  in
+  let bytes_per_server = Array.map String.length messages in
+  (* Coordinator: deserialize each message and sum (the wire round-trip the
+     paper's distributed setting counts). *)
+  let coordinator = make () in
+  Array.iter (fun m -> Linear_sketch.absorb (module L) coordinator m) messages;
+  (* Ground truth: the same updates sketched directly in one process. *)
+  let direct = make () in
+  Array.iter (fun (index, delta) -> L.update direct ~index ~delta) updates;
+  let matches_direct =
+    Linear_sketch.serialize (module L) coordinator
+    = Linear_sketch.serialize (module L) direct
+  in
+  {
+    family = L.family;
+    ship_servers = servers;
+    ship_updates_total = Array.length updates;
+    ship_bytes_per_server = bytes_per_server;
+    ship_bytes_total = Array.fold_left ( + ) 0 bytes_per_server;
+    ship_words_per_server = L.space_in_words coordinator;
+    matches_direct;
+  }
+
+let ship_families ?mode rng ~dim ~servers updates =
+  let module S = Ds_sketch in
+  (* Each family gets an independent child seed; [make] copies it so every
+     replica (server, coordinator, direct) derives identical structure. *)
+  let seeded name create =
+    let seed = Prng.split_named rng name in
+    fun () -> create (Prng.copy seed)
+  in
+  [
+    ship ?mode
+      (module S.One_sparse.Linear)
+      ~make:(seeded "one_sparse" (fun r -> S.One_sparse.create r ~dim))
+      ~servers updates;
+    ship ?mode
+      (module S.Sparse_recovery.Linear)
+      ~make:
+        (seeded "sparse_recovery" (fun r ->
+             S.Sparse_recovery.create r ~dim
+               ~params:(S.Sparse_recovery.default_params ~sparsity:8)))
+      ~servers updates;
+    ship ?mode
+      (module S.Count_sketch.Linear)
+      ~make:
+        (seeded "count_sketch" (fun r ->
+             S.Count_sketch.create r ~dim ~params:S.Count_sketch.default_params))
+      ~servers updates;
+    ship ?mode
+      (module S.Ams_f2.Linear)
+      ~make:(seeded "ams_f2" (fun r -> S.Ams_f2.create r ~dim ~params:S.Ams_f2.default_params))
+      ~servers updates;
+    ship ?mode
+      (module S.F0.Linear)
+      ~make:(seeded "f0" (fun r -> S.F0.create r ~dim ~params:S.F0.default_params))
+      ~servers updates;
+    ship ?mode
+      (module S.L0_sampler.Linear)
+      ~make:
+        (seeded "l0_sampler" (fun r ->
+             S.L0_sampler.create r ~dim ~params:S.L0_sampler.default_params))
+      ~servers updates;
+    ship ?mode
+      (module S.Packed_l0.Linear)
+      ~make:
+        (seeded "packed_l0" (fun r ->
+             S.Packed_l0.Owned.create r ~dim ~params:S.Packed_l0.default_params))
+      ~servers updates;
+    ship ?mode
+      (module S.Sketch_table.Linear)
+      ~make:
+        (seeded "sketch_table" (fun r ->
+             S.Sketch_table.create r ~key_dim:dim ~capacity:32 ~rows:3 ~hash_degree:6
+               ~payload_len:0))
+      ~servers updates;
+  ]
+
+let pp_ship_report ppf r =
+  Format.fprintf ppf "%-16s servers=%d updates=%d wire=%d bytes (max/server %d) state=%d words ok=%b@."
+    r.family r.ship_servers r.ship_updates_total r.ship_bytes_total
+    (Array.fold_left max 0 r.ship_bytes_per_server)
+    r.ship_words_per_server r.matches_direct

@@ -42,3 +42,50 @@ val run :
     mode changes wall-clock only — every report field is identical. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Generic shipping}
+
+    The same server → coordinator round-trip for {e any} sketch implementing
+    {!Ds_sketch.Linear_sketch.S}: shard the [(index, delta)] stream, sketch
+    each shard with a seed-compatible replica, serialize, have the
+    coordinator deserialize-and-sum, and check the summed state is
+    byte-identical (on the wire) to sketching the whole stream directly. *)
+
+type ship_report = {
+  family : string;  (** the sketch family shipped *)
+  ship_servers : int;
+  ship_updates_total : int;
+  ship_bytes_per_server : int array;  (** serialized message sizes *)
+  ship_bytes_total : int;
+  ship_words_per_server : int;  (** in-memory state per replica *)
+  matches_direct : bool;
+      (** coordinator's merged state serializes identically to a direct
+          single-process sketch of the same stream *)
+}
+
+val ship :
+  ?mode:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
+  's Ds_sketch.Linear_sketch.impl ->
+  make:(unit -> 's) ->
+  servers:int ->
+  (int * int) array ->
+  ship_report
+(** [ship impl ~make ~servers updates]: [make] must mint seed-compatible
+    replicas (typically from copies of one shared PRNG); it is called once
+    per server plus twice at the coordinator (merge target and direct
+    ground truth). Shards are round-robin — by linearity the partition
+    cannot change the merged state. *)
+
+val ship_families :
+  ?mode:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
+  Ds_util.Prng.t ->
+  dim:int ->
+  servers:int ->
+  (int * int) array ->
+  ship_report list
+(** {!ship} across the library's registered linear-sketch families
+    (one-sparse, sparse recovery, count sketch, AMS F2, F0, L0 sampler,
+    packed L0, sketch table) with default parameters over a [dim]-length
+    vector — experiment E13's full-inventory sweep. *)
+
+val pp_ship_report : Format.formatter -> ship_report -> unit

@@ -59,8 +59,43 @@ let add t s = iter2 t s (fun r j v -> t.counters.(r).(j) <- t.counters.(r).(j) +
 let sub t s = iter2 t s (fun r j v -> t.counters.(r).(j) <- t.counters.(r).(j) - v)
 let copy t = { t with counters = Array.map Array.copy t.counters }
 
+let clone_zero t =
+  { t with counters = Array.map (fun row -> Array.make (Array.length row) 0) t.counters }
+
+let reset t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.counters
+
 let space_in_words t =
   (t.prm.reps * t.prm.rows)
   + Array.fold_left
       (fun acc row -> Array.fold_left (fun a h -> a + Kwise.space_in_words h) acc row)
       0 t.signs
+
+let write t sink =
+  Wire.write_tag sink "af2";
+  Wire.write_int sink t.dim;
+  Array.iter (fun row -> Wire.write_array sink row) t.counters
+
+let read_into t src =
+  Wire.expect_tag src "af2";
+  if Wire.read_int src <> t.dim then failwith "Ams_f2.read_into: dimension mismatch";
+  Array.iteri
+    (fun r _ ->
+      let row = Wire.read_array src in
+      if Array.length row <> t.prm.rows then failwith "Ams_f2.read_into: row length mismatch";
+      Array.blit row 0 t.counters.(r) 0 t.prm.rows)
+    t.counters
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "ams_f2"
+  let dim t = t.dim
+  let shape t = [| t.dim; t.prm.rows; t.prm.reps; t.prm.hash_degree |]
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+  let update = update
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end

@@ -58,8 +58,40 @@ let iter2 t s f =
 let add t s = iter2 t s (fun r c v -> t.table.(r).(c) <- t.table.(r).(c) + v)
 let sub t s = iter2 t s (fun r c v -> t.table.(r).(c) <- t.table.(r).(c) - v)
 let copy t = { t with table = Array.map Array.copy t.table }
+let clone_zero t = { t with table = Array.map (fun row -> Array.make (Array.length row) 0) t.table }
+let reset t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.table
 
 let space_in_words t =
   (t.prm.rows * t.prm.cols)
   + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 t.bucket_hash
   + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 t.sign_hash
+
+let write t sink =
+  Wire.write_tag sink "cts";
+  Wire.write_int sink t.dim;
+  Array.iter (fun row -> Wire.write_array sink row) t.table
+
+let read_into t src =
+  Wire.expect_tag src "cts";
+  if Wire.read_int src <> t.dim then failwith "Count_sketch.read_into: dimension mismatch";
+  Array.iteri
+    (fun r _ ->
+      let row = Wire.read_array src in
+      if Array.length row <> t.prm.cols then failwith "Count_sketch.read_into: row length mismatch";
+      Array.blit row 0 t.table.(r) 0 t.prm.cols)
+    t.table
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "count_sketch"
+  let dim t = t.dim
+  let shape t = [| t.dim; t.prm.rows; t.prm.cols; t.prm.hash_degree |]
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+  let update = update
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end

@@ -26,4 +26,19 @@ val heavy_hitters : t -> candidates:int list -> threshold:int -> (int * int) lis
 val add : t -> t -> unit
 val sub : t -> t -> unit
 val copy : t -> t
+
+val clone_zero : t -> t
+(** A fresh zero sketch compatible with [t] (shared hash functions, zero
+    table). *)
+
+val reset : t -> unit
 val space_in_words : t -> int
+
+val write : t -> Ds_util.Wire.sink -> unit
+(** Serialise the table counters (hashes are seed-derived, not shipped). *)
+
+val read_into : t -> Ds_util.Wire.source -> unit
+(** Overwrite [t]'s counters; [t] must share the writer's seed/shape.
+    @raise Failure on mismatch or truncation. *)
+
+module Linear : Linear_sketch.S with type t = t

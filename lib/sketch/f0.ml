@@ -77,9 +77,48 @@ let copy t =
         t.instances;
   }
 
+let clone_zero t =
+  {
+    t with
+    instances =
+      Array.map
+        (fun r -> { r with sketches = Array.map Sparse_recovery.clone_zero r.sketches })
+        t.instances;
+  }
+
+let reset t =
+  Array.iter (fun r -> Array.iter Sparse_recovery.reset r.sketches) t.instances
+
 let space_in_words t =
   Array.fold_left
     (fun acc r ->
       acc + Kwise.space_in_words r.level_hash
       + Array.fold_left (fun a sk -> a + Sparse_recovery.space_in_words sk) 0 r.sketches)
     0 t.instances
+
+let write t sink =
+  Wire.write_tag sink "f0";
+  Wire.write_int sink t.levels;
+  Array.iter (fun r -> Array.iter (fun sk -> Sparse_recovery.write sk sink) r.sketches) t.instances
+
+let read_into t src =
+  Wire.expect_tag src "f0";
+  if Wire.read_int src <> t.levels then failwith "F0.read_into: level mismatch";
+  Array.iter
+    (fun r -> Array.iter (fun sk -> Sparse_recovery.read_into sk src) r.sketches)
+    t.instances
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "f0"
+  let dim t = t.dim
+  let shape t = [| t.dim; t.prm.sparsity; t.prm.reps; t.prm.hash_degree; t.levels |]
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+  let update = update
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end

@@ -37,4 +37,16 @@ val estimate : t -> int
 val add : t -> t -> unit
 val sub : t -> t -> unit
 val copy : t -> t
+
+val clone_zero : t -> t
+(** A fresh zero sketch compatible with [t] (shared level hashes and
+    per-level recovery structure). *)
+
+val reset : t -> unit
 val space_in_words : t -> int
+
+val write : t -> Ds_util.Wire.sink -> unit
+val read_into : t -> Ds_util.Wire.source -> unit
+(** @raise Failure on mismatch or truncation. *)
+
+module Linear : Linear_sketch.S with type t = t

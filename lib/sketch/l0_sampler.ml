@@ -143,3 +143,18 @@ let read_into t src =
   Wire.expect_tag src "l0";
   if Wire.read_int src <> t.levels then failwith "L0_sampler.read_into: level mismatch";
   Array.iter (fun sk -> Sparse_recovery.read_into sk src) t.sketches
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "l0_sampler"
+  let dim t = t.dim
+  let shape t = [| t.dim; t.prm.sparsity; t.prm.rows; t.prm.hash_degree; t.levels |]
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+  let update = update
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end

@@ -1,0 +1,85 @@
+open Ds_util
+
+module type S = sig
+  type t
+
+  val family : string
+  val dim : t -> int
+  val shape : t -> int array
+  val clone_zero : t -> t
+  val add : t -> t -> unit
+  val sub : t -> t -> unit
+  val update : t -> index:int -> delta:int -> unit
+  val space_in_words : t -> int
+  val write_body : t -> Wire.sink -> unit
+  val read_body : t -> Wire.source -> unit
+end
+
+type 'a impl = (module S with type t = 'a)
+
+let version = 1
+let magic = "LSK1"
+let checksum_bytes = 8
+
+let serialize (type a) ((module L) : a impl) (t : a) =
+  let sink = Wire.sink () in
+  Wire.write_tag sink magic;
+  Wire.write_tag sink L.family;
+  Wire.write_array sink (L.shape t);
+  L.write_body t sink;
+  let payload = Wire.contents sink in
+  let tail = Wire.sink () in
+  Wire.write_fixed64 tail (Wire.fnv1a64 payload);
+  payload ^ Wire.contents tail
+
+(* Trailing checksum, located from the message length alone (fixed width, no
+   varint layer), so truncation can never shift where the reader looks. *)
+let stored_checksum data pos =
+  let v = ref 0L in
+  for i = 0 to checksum_bytes - 1 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code data.[pos + i])) (8 * i))
+  done;
+  !v
+
+let deserialize_into (type a) ((module L) : a impl) (t : a) data =
+  let len = String.length data in
+  if len < checksum_bytes + String.length magic + 2 then
+    failwith "Linear_sketch: truncated message";
+  let payload_len = len - checksum_bytes in
+  (* Integrity first: nothing is parsed (and the destination is untouched)
+     unless the bytes are exactly what some writer produced. *)
+  if Wire.fnv1a64 ~len:payload_len data <> stored_checksum data payload_len then
+    failwith "Linear_sketch: checksum mismatch (corrupt or truncated message)";
+  let src = Wire.source (String.sub data 0 payload_len) in
+  Wire.expect_tag src magic;
+  Wire.expect_tag src L.family;
+  let shape = Wire.read_array src in
+  if shape <> L.shape t then failwith "Linear_sketch: shape mismatch";
+  L.read_body t src;
+  if Wire.remaining src <> 0 then failwith "Linear_sketch: trailing bytes"
+
+let absorb (type a) ((module L) as impl : a impl) (t : a) data =
+  let scratch = L.clone_zero t in
+  deserialize_into impl scratch data;
+  L.add t scratch
+
+let not_linear ~family ~reason () =
+  invalid_arg
+    (Printf.sprintf
+       "Linear_sketch: %s is not a linear sketch (%s); it cannot honour the merge contract"
+       family reason)
+
+module Packed = struct
+  type t = T : 'a impl * 'a -> t
+
+  let pack impl v = T (impl, v)
+  let family (T ((module L), _)) = L.family
+  let dim (T ((module L), v)) = L.dim v
+  let shape (T ((module L), v)) = L.shape v
+  let space_in_words (T ((module L), v)) = L.space_in_words v
+  let update (T ((module L), v)) ~index ~delta = L.update v ~index ~delta
+  let clone_zero (T ((module L), v)) = T ((module L), L.clone_zero v)
+  let serialize (T (impl, v)) = serialize impl v
+  let deserialize_into (T (impl, v)) data = deserialize_into impl v data
+  let absorb (T (impl, v)) data = absorb impl v data
+end

@@ -1,0 +1,121 @@
+(** The first-class linear-sketch interface.
+
+    Every piece of algorithm state in this library is a {e linear sketch}: a
+    vector of counters that is a linear function of the update stream. That
+    single property is what the paper's distributed setting (Section 1) and
+    pass structure (Algorithms 1+2) rest on, and it buys three universal
+    operations — shipping (serialize), summing (merge) and space accounting —
+    that previously existed ad hoc on a handful of modules. This module makes
+    the property load-bearing: any module implementing {!S} gets a versioned
+    binary wire format, generic sharded ingestion
+    ({!Ds_par.Shard_ingest.linear}, via the parallel library) and
+    cluster-simulation shipping ({!Ds_sim.Cluster_sim}) for free.
+
+    {2 Wire format (version 1)}
+
+    A serialized sketch is a self-delimiting byte string:
+
+    {v
+    tag  "LSK1"            magic + format version
+    tag  family            the implementation's family name
+    array shape            structural fingerprint (dims, rows, ...)
+    body                   counters only, implementation-defined
+    fixed64 checksum       FNV-1a of every preceding byte
+    v}
+
+    Structure (hash functions, fingerprint bases) is derived from a shared
+    seed and never shipped — exactly the paper's model, where servers agree
+    on the sketching matrix and ship [S x^i]. Readers verify the checksum
+    {e before} parsing, then magic, family and shape, so truncated,
+    bit-flipped or mis-routed messages raise [Failure] instead of decoding
+    garbage (property-fuzzed in [test/test_linear.ml]). *)
+
+module type S = sig
+  type t
+
+  val family : string
+  (** Wire-format family name, unique per implementation (e.g.
+      ["l0_sampler"]). *)
+
+  val dim : t -> int
+  (** Size of the index space [update] accepts. *)
+
+  val shape : t -> int array
+  (** Structural fingerprint: every parameter that must agree between writer
+      and reader for the counters to be interchangeable (dimensions, rows,
+      levels, ...). Written into the envelope and checked on read. Seeds are
+      {e not} part of the shape — two sketches with equal shapes but
+      different seeds are wire-compatible yet semantically incompatible, as
+      everywhere else in the library. *)
+
+  val clone_zero : t -> t
+  (** A fresh sketch of the zero vector, compatible with [t] (shared
+      immutable structure, zero counters). *)
+
+  val add : t -> t -> unit
+  (** [add dst src]: [dst := dst + src]. Compatible sketches only. *)
+
+  val sub : t -> t -> unit
+  (** [sub dst src]: [dst := dst - src]. *)
+
+  val update : t -> index:int -> delta:int -> unit
+  (** Add [delta] to coordinate [index] of the sketched vector,
+      [0 <= index < dim t]. *)
+
+  val space_in_words : t -> int
+
+  val write_body : t -> Ds_util.Wire.sink -> unit
+  (** Append the counter body (no envelope). *)
+
+  val read_body : t -> Ds_util.Wire.source -> unit
+  (** Overwrite [t]'s counters from a body written by a shape-identical
+      sketch. @raise Failure on malformed input. *)
+end
+
+type 'a impl = (module S with type t = 'a)
+
+val version : int
+(** Wire-format version (bumped with the magic tag). *)
+
+val serialize : 'a impl -> 'a -> string
+(** The sketch's counters in the versioned envelope described above. *)
+
+val deserialize_into : 'a impl -> 'a -> string -> unit
+(** Overwrite the destination's counters with a serialized message from a
+    compatible sketch. Verifies, in order: length, checksum, magic/version,
+    family, shape, and that the body consumes the message exactly.
+    @raise Failure on any mismatch — on failure the destination must be
+    discarded (it may be partially overwritten only if the message was forged
+    to pass the checksum; all random corruption is caught up front). *)
+
+val absorb : 'a impl -> 'a -> string -> unit
+(** [absorb impl t msg] adds a serialized compatible sketch into [t] — the
+    coordinator operation of the distributed setting: deserialize into a
+    zero clone, then [add]. @raise Failure as {!deserialize_into}. *)
+
+val not_linear : family:string -> reason:string -> unit -> 'a
+(** Registration guard for summaries that are {e not} linear (they lack
+    [add]/[sub]/[clone_zero] and cannot honour the merge contract).
+    @raise Invalid_argument always, naming the family and the reason. *)
+
+(** A sketch packed with its implementation — the dynamic counterpart of
+    {!impl}, for registries that hold many sketch families at once (e.g. the
+    cluster simulator's family table). *)
+module Packed : sig
+  type t = T : 'a impl * 'a -> t
+
+  val pack : 'a impl -> 'a -> t
+  val family : t -> string
+  val dim : t -> int
+  val shape : t -> int array
+  val space_in_words : t -> int
+  val update : t -> index:int -> delta:int -> unit
+  val clone_zero : t -> t
+  val serialize : t -> string
+
+  val deserialize_into : t -> string -> unit
+  (** @raise Failure as the statically-typed {!deserialize_into}. *)
+
+  val absorb : t -> string -> unit
+  (** @raise Failure as the statically-typed {!absorb}. *)
+end

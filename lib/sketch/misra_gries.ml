@@ -22,3 +22,14 @@ let update t x =
 let estimate t x = match Hashtbl.find_opt t.counters x with Some c -> c | None -> 0
 let candidates t = Hashtbl.fold (fun x c acc -> (x, c) :: acc) t.counters []
 let total t = t.total
+
+(* k (element, counter) pairs plus [k] and [total]. *)
+let space_in_words t = (2 * t.k) + 2
+
+(* Misra–Gries is NOT a linear sketch: its state depends on arrival order
+   (evictions are history-dependent), so it has no add/sub/clone_zero and
+   cannot satisfy [Linear_sketch.S] — registration is already a type error.
+   This witness makes the refusal explicit and testable at runtime too. *)
+let linear () =
+  Linear_sketch.not_linear ~family:"misra_gries"
+    ~reason:"deterministic insert-only summary; state is order-dependent, no add/sub" ()

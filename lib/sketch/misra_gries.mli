@@ -21,3 +21,13 @@ val candidates : t -> (int * int) list
 
 val total : t -> int
 (** Number of occurrences processed. *)
+
+val space_in_words : t -> int
+(** [2k + 2]: the tracked (element, counter) pairs plus bookkeeping. *)
+
+val linear : unit -> 'a
+(** Misra–Gries is {e not} a linear sketch: evictions depend on arrival
+    order, so it has no [add]/[sub]/[clone_zero] and cannot implement
+    {!Linear_sketch.S} — trying to register it is a compile-time type error.
+    This function is the runtime witness of that fact.
+    @raise Invalid_argument always. *)

@@ -90,3 +90,18 @@ let read_into t src =
   let dim = Wire.read_int src in
   if dim <> t.dim then failwith "One_sparse.read_into: dimension mismatch";
   read_raw t src
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "one_sparse"
+  let dim t = t.dim
+  let shape t = [| t.dim |]
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+  let update = update
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end

@@ -86,3 +86,7 @@ val write_raw : t -> Ds_util.Wire.sink -> unit
     cells themselves (see {!Sparse_recovery.write}). *)
 
 val read_raw : t -> Ds_util.Wire.source -> unit
+
+module Linear : Linear_sketch.S with type t = t
+(** The universal interface: {!Linear_sketch.serialize} and friends over
+    this sketch. *)

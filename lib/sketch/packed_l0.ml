@@ -150,3 +150,70 @@ let config_space_in_words c =
   + Array.fold_left
       (fun a row -> a + Array.fold_left (fun b h -> b + Kwise.space_in_words h) 0 row)
       0 c.bucket_hashes
+
+(* The codec bundled with one state array of its own: the packed sampler as
+   a first-class sketch rather than a payload format. Sketch_table cells
+   keep using the external-state API; this form is what the linear-sketch
+   interface (and the cluster simulator) registers. *)
+module Owned = struct
+  type t = { config : config; state : int array }
+
+  let create rng ~dim ~params =
+    let config = make_config rng ~dim ~params in
+    { config; state = Array.make (state_len config) 0 }
+
+  let config t = t.config
+  let update t ~index ~delta = update t.config t.state ~off:0 ~index ~delta
+  let sample t = decode t.config t.state ~off:0
+  let clone_zero t = { t with state = Array.make (Array.length t.state) 0 }
+  let copy t = { t with state = Array.copy t.state }
+  let reset t = Array.fill t.state 0 (Array.length t.state) 0
+
+  let check_compatible t s =
+    if
+      t.config.dim <> s.config.dim || t.config.prm <> s.config.prm
+      || t.config.base <> s.config.base
+    then invalid_arg "Packed_l0.Owned: incompatible sketches"
+
+  let add t s =
+    check_compatible t s;
+    Array.iteri (fun i v -> t.state.(i) <- t.state.(i) + v) s.state
+
+  let sub t s =
+    check_compatible t s;
+    Array.iteri (fun i v -> t.state.(i) <- t.state.(i) - v) s.state
+
+  let space_in_words t = Array.length t.state + config_space_in_words t.config
+
+  let write t sink =
+    Wire.write_tag sink "pl0";
+    Wire.write_int sink t.config.dim;
+    Wire.write_array sink t.state
+
+  let read_into t src =
+    Wire.expect_tag src "pl0";
+    if Wire.read_int src <> t.config.dim then failwith "Packed_l0.read_into: dimension mismatch";
+    let state = Wire.read_array src in
+    if Array.length state <> Array.length t.state then
+      failwith "Packed_l0.read_into: state length mismatch";
+    Array.blit state 0 t.state 0 (Array.length state)
+end
+
+module Linear = struct
+  type t = Owned.t
+
+  let family = "packed_l0"
+  let dim (t : t) = t.Owned.config.dim
+
+  let shape (t : t) =
+    let c = t.Owned.config in
+    [| c.dim; c.prm.reps; c.prm.sparsity; c.prm.hash_degree; c.levels; c.buckets |]
+
+  let clone_zero = Owned.clone_zero
+  let add = Owned.add
+  let sub = Owned.sub
+  let update = Owned.update
+  let space_in_words = Owned.space_in_words
+  let write_body = Owned.write
+  let read_body = Owned.read_into
+end

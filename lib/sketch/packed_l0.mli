@@ -39,3 +39,30 @@ val decode : config -> int array -> off:int -> (int * int) option
 
 val dim : config -> int
 val config_space_in_words : config -> int
+
+(** The codec bundled with one state array of its own — the packed sampler
+    as a first-class sketch. {!Sketch_table} cells keep using the
+    external-state API above; this form is what the linear-sketch interface
+    registers. *)
+module Owned : sig
+  type t
+
+  val create : Ds_util.Prng.t -> dim:int -> params:params -> t
+  val config : t -> config
+
+  val update : t -> index:int -> delta:int -> unit
+  val sample : t -> (int * int) option
+
+  val clone_zero : t -> t
+  val copy : t -> t
+  val reset : t -> unit
+  val add : t -> t -> unit
+  val sub : t -> t -> unit
+  val space_in_words : t -> int
+  val write : t -> Ds_util.Wire.sink -> unit
+
+  val read_into : t -> Ds_util.Wire.source -> unit
+  (** @raise Failure on mismatch or truncation. *)
+end
+
+module Linear : Linear_sketch.S with type t = Owned.t

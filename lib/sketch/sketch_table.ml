@@ -141,3 +141,64 @@ let space_in_words t =
   + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 t.hashes
 
 let capacity t = t.cap
+
+let clone_zero t =
+  {
+    t with
+    kc = Array.init t.rows (fun _ -> Array.make t.cap 0);
+    ks = Array.init t.rows (fun _ -> Array.make t.cap 0);
+    kf = Array.init t.rows (fun _ -> Array.make t.cap 0);
+    payload = Array.init t.rows (fun _ -> Array.make (t.cap * t.payload_len) 0);
+  }
+
+let copy t =
+  {
+    t with
+    kc = Array.map Array.copy t.kc;
+    ks = Array.map Array.copy t.ks;
+    kf = Array.map Array.copy t.kf;
+    payload = Array.map Array.copy t.payload;
+  }
+
+let write t sink =
+  Wire.write_tag sink "stb";
+  Wire.write_int sink t.key_dim;
+  for r = 0 to t.rows - 1 do
+    Wire.write_array sink t.kc.(r);
+    Wire.write_array sink t.ks.(r);
+    Wire.write_array sink t.kf.(r);
+    Wire.write_array sink t.payload.(r)
+  done
+
+let read_into t src =
+  Wire.expect_tag src "stb";
+  if Wire.read_int src <> t.key_dim then failwith "Sketch_table.read_into: key_dim mismatch";
+  let read_row ~len dst =
+    let a = Wire.read_array src in
+    if Array.length a <> len then failwith "Sketch_table.read_into: row length mismatch";
+    Array.blit a 0 dst 0 len
+  in
+  for r = 0 to t.rows - 1 do
+    read_row ~len:t.cap t.kc.(r);
+    read_row ~len:t.cap t.ks.(r);
+    read_row ~len:t.cap t.kf.(r);
+    read_row ~len:(t.cap * t.payload_len) t.payload.(r)
+  done
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "sketch_table"
+  let dim t = t.key_dim
+  let shape t = [| t.key_dim; t.cap; t.rows; t.payload_len |]
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+
+  (* A key's weight is a linear accumulator; updating it with an empty
+     payload contribution is the index/delta face of [update]. *)
+  let update t ~index ~delta = update t ~key:index ~weight:delta ~write:(fun _ _ -> ())
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end

@@ -44,3 +44,19 @@ val add : t -> t -> unit
 val sub : t -> t -> unit
 val space_in_words : t -> int
 val capacity : t -> int
+
+val clone_zero : t -> t
+(** A fresh all-zero table sharing [t]'s (immutable) hash functions and
+    fingerprint base. Tables are mergeable iff built from equal PRNG state,
+    so a clone is the only safe way to mint a compatible replica. *)
+
+val copy : t -> t
+
+val write : t -> Ds_util.Wire.sink -> unit
+val read_into : t -> Ds_util.Wire.source -> unit
+(** Counter (de)serialisation; see {!One_sparse.write}.
+    @raise Failure on mismatch or truncation. *)
+
+module Linear : Linear_sketch.S with type t = t
+(** [update ~index ~delta] adds [delta] to key [index]'s weight with a zero
+    payload contribution. *)

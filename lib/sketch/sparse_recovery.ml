@@ -223,3 +223,18 @@ let read_into t src =
       incr pos
     end
   done
+
+module Linear = struct
+  type nonrec t = t
+
+  let family = "sparse_recovery"
+  let dim t = t.dim
+  let shape t = [| t.dim; t.prm.sparsity; t.prm.rows; t.prm.hash_degree; t.cols |]
+  let clone_zero = clone_zero
+  let add = add
+  let sub = sub
+  let update = update
+  let space_in_words = space_in_words
+  let write_body = write
+  let read_body = read_into
+end

@@ -98,3 +98,5 @@ val write : t -> Ds_util.Wire.sink -> unit
 val read_into : t -> Ds_util.Wire.source -> unit
 (** Overwrite [t]'s counters; [t] must share the writer's seed/shape.
     @raise Failure on mismatch or truncation. *)
+
+module Linear : Linear_sketch.S with type t = t

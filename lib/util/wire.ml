@@ -45,6 +45,31 @@ let read_array s =
   if len < 0 || len > remaining s * 10 then failwith "Wire: implausible array length";
   Array.init len (fun _ -> read_int s)
 
+let write_fixed64 buf v =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let read_fixed64 s =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (read_byte s)) (8 * i))
+  done;
+  !v
+
+(* FNV-1a over a byte range, the integrity check of the Linear_sketch wire
+   envelope. 64-bit arithmetic via Int64 so writer and reader agree on every
+   platform word size. *)
+let fnv1a64 ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> String.length data - pos in
+  if pos < 0 || len < 0 || pos + len > String.length data then
+    invalid_arg "Wire.fnv1a64: range out of bounds";
+  let h = ref 0xcbf29ce484222325L in
+  for i = pos to pos + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code data.[i]))) 0x100000001b3L
+  done;
+  !h
+
 let write_tag buf tag =
   write_int buf (String.length tag);
   Buffer.add_string buf tag

@@ -25,6 +25,18 @@ val read_int : source -> int
 val write_array : sink -> int array -> unit
 val read_array : source -> int array
 
+val write_fixed64 : sink -> int64 -> unit
+(** Eight little-endian bytes, platform independent. Used for checksums and
+    float bit patterns, which must not be varint-compressed. *)
+
+val read_fixed64 : source -> int64
+(** @raise Failure on truncated input. *)
+
+val fnv1a64 : ?pos:int -> ?len:int -> string -> int64
+(** FNV-1a 64-bit hash of [data.[pos .. pos+len-1]] (defaults: the whole
+    string). The corruption check of every versioned sketch wire message:
+    writers append it, readers verify it before parsing anything else. *)
+
 val write_tag : sink -> string -> unit
 val expect_tag : source -> string -> unit
 (** @raise Failure if the next tag differs — the standard guard at the head

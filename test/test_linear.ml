@@ -1,0 +1,325 @@
+(* The linear-sketch interface: wire round-trips, merge-after-deserialize,
+   and corruption fuzzing, uniformly over every registered sketch family. *)
+
+open Ds_util
+open Ds_sketch
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+module LS = Linear_sketch
+module P = LS.Packed
+
+(* ------------------------------------------------------------------ *)
+(* The registry: one maker per family. A maker called twice returns two
+   structurally identical (wire-compatible) fresh sketches, because it
+   reseeds from the same constant.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let agm_n = 16
+let agm_params = Ds_agm.Agm_sketch.default_params ~n:agm_n
+
+let makers : (string * (unit -> P.t)) list =
+  [
+    ( "one_sparse",
+      fun () -> P.pack (module One_sparse.Linear) (One_sparse.create (Prng.create 101) ~dim:100)
+    );
+    ( "sparse_recovery",
+      fun () ->
+        P.pack
+          (module Sparse_recovery.Linear)
+          (Sparse_recovery.create (Prng.create 102) ~dim:100
+             ~params:(Sparse_recovery.default_params ~sparsity:4)) );
+    ( "count_sketch",
+      fun () ->
+        P.pack
+          (module Count_sketch.Linear)
+          (Count_sketch.create (Prng.create 103) ~dim:100
+             ~params:{ Count_sketch.rows = 3; cols = 32; hash_degree = 4 }) );
+    ( "ams_f2",
+      fun () ->
+        P.pack
+          (module Ams_f2.Linear)
+          (Ams_f2.create (Prng.create 104) ~dim:100
+             ~params:{ Ams_f2.rows = 4; reps = 3; hash_degree = 4 }) );
+    ( "f0",
+      fun () ->
+        P.pack
+          (module F0.Linear)
+          (F0.create (Prng.create 105) ~dim:100
+             ~params:{ F0.sparsity = 4; reps = 2; hash_degree = 4 }) );
+    ( "l0_sampler",
+      fun () ->
+        P.pack
+          (module L0_sampler.Linear)
+          (L0_sampler.create (Prng.create 106) ~dim:100 ~params:L0_sampler.default_params) );
+    ( "packed_l0",
+      fun () ->
+        P.pack
+          (module Packed_l0.Linear)
+          (Packed_l0.Owned.create (Prng.create 107) ~dim:100 ~params:Packed_l0.default_params)
+    );
+    ( "sketch_table",
+      fun () ->
+        P.pack
+          (module Sketch_table.Linear)
+          (Sketch_table.create (Prng.create 108) ~key_dim:100 ~capacity:16 ~rows:3
+             ~hash_degree:4 ~payload_len:0) );
+    ( "agm",
+      fun () ->
+        P.pack
+          (module Ds_agm.Agm_sketch.Linear)
+          (Ds_agm.Agm_sketch.create (Prng.create 109) ~n:agm_n ~params:agm_params) );
+    ( "connectivity",
+      fun () ->
+        P.pack
+          (module Ds_agm.Connectivity.Linear)
+          (Ds_agm.Connectivity.create (Prng.create 110) ~n:agm_n ~params:agm_params) );
+    ( "k_connectivity",
+      fun () ->
+        P.pack
+          (module Ds_agm.K_connectivity.Linear)
+          (Ds_agm.K_connectivity.create (Prng.create 111) ~n:agm_n ~k:2 ~params:agm_params) );
+    ( "bipartiteness",
+      fun () ->
+        P.pack
+          (module Ds_agm.Bipartiteness.Linear)
+          (Ds_agm.Bipartiteness.create (Prng.create 112) ~n:agm_n ~params:agm_params) );
+    ( "mst",
+      fun () ->
+        P.pack
+          (module Ds_agm.Mst.Linear)
+          (Ds_agm.Mst.create (Prng.create 113) ~n:agm_n
+             ~params:
+               { Ds_agm.Mst.gamma = 0.5; w_min = 1.0; w_max = 8.0; sketch = agm_params }) );
+  ]
+
+let maker name = List.assoc name makers
+
+(* A deterministic pseudo-random update vector over the packed sketch's own
+   index space, parameterised by a QCheck-supplied seed. *)
+let apply_random_updates ?(count = 30) seed packed =
+  let rng = Prng.create (0x5EED + seed) in
+  let dim = P.dim packed in
+  for _ = 1 to count do
+    P.update packed ~index:(Prng.int rng dim) ~delta:(if Prng.bool rng then 2 else -1)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic per-family checks                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_bytes name () =
+  let make = maker name in
+  let a = make () in
+  apply_random_updates 7 a;
+  let msg = P.serialize a in
+  let b = make () in
+  P.deserialize_into b msg;
+  check_string "reserialization is byte-identical" msg (P.serialize b)
+
+let test_absorb_equals_inprocess name () =
+  let make = maker name in
+  (* b receives vec1 locally and vec2 over the wire; d receives both
+     locally. Linearity says their counters coincide exactly. *)
+  let b = make () and c = make () and d = make () in
+  apply_random_updates 21 b;
+  apply_random_updates 22 c;
+  apply_random_updates 21 d;
+  apply_random_updates 22 d;
+  P.absorb b (P.serialize c);
+  check_string "add-after-deserialize = in-process add" (P.serialize d) (P.serialize b)
+
+let test_clone_zero_is_zero name () =
+  let make = maker name in
+  let a = make () in
+  apply_random_updates 3 a;
+  let z = P.clone_zero a in
+  check_string "clone_zero serializes like a fresh sketch" (P.serialize (make ()))
+    (P.serialize z)
+
+let test_family_stamped name () =
+  let a = (maker name) () in
+  check_string "family name" name (P.family a);
+  let msg = P.serialize a in
+  check_bool "message mentions magic" true
+    (String.length msg > 4 && String.sub msg 1 4 = "LSK1")
+
+let fails_with_failure f =
+  match f () with
+  | exception Failure _ -> true
+  | exception _ -> false
+  | _ -> false
+
+let test_truncation_detected name () =
+  let make = maker name in
+  let a = make () in
+  apply_random_updates 11 a;
+  let msg = P.serialize a in
+  (* Every strict prefix must be rejected. Scan a spread of cut points
+     including the boundary cases. *)
+  let len = String.length msg in
+  List.iter
+    (fun cut ->
+      let cut = min cut (len - 1) in
+      let b = make () in
+      check_bool
+        (Printf.sprintf "truncation at %d detected" cut)
+        true
+        (fails_with_failure (fun () -> P.deserialize_into b (String.sub msg 0 cut))))
+    [ 0; 1; 4; len / 2; len - 9; len - 1 ]
+
+let test_bitflip_detected name () =
+  let make = maker name in
+  let a = make () in
+  apply_random_updates 13 a;
+  let msg = P.serialize a in
+  let rng = Prng.create 999 in
+  for _ = 1 to 20 do
+    let pos = Prng.int rng (String.length msg) in
+    let bit = Prng.int rng 8 in
+    let corrupted = Bytes.of_string msg in
+    Bytes.set corrupted pos (Char.chr (Char.code msg.[pos] lxor (1 lsl bit)));
+    let b = make () in
+    check_bool
+      (Printf.sprintf "bit flip at %d.%d detected" pos bit)
+      true
+      (fails_with_failure (fun () -> P.deserialize_into b (Bytes.to_string corrupted)))
+  done
+
+let test_cross_family_rejected () =
+  (* Every family's message must be rejected by every other family's
+     reader: the family tag (or earlier, the checksum position) differs. *)
+  List.iter
+    (fun (sender, make_sender) ->
+      let msg = P.serialize (make_sender ()) in
+      List.iter
+        (fun (receiver, make_receiver) ->
+          if sender <> receiver then
+            check_bool
+              (Printf.sprintf "%s message rejected by %s" sender receiver)
+              true
+              (fails_with_failure (fun () -> P.deserialize_into (make_receiver ()) msg)))
+        makers)
+    makers
+
+let test_wrong_shape_rejected () =
+  (* Same family, different structural parameters: the shape header must
+     catch it. *)
+  let small = One_sparse.create (Prng.create 101) ~dim:100 in
+  let large = One_sparse.create (Prng.create 101) ~dim:101 in
+  One_sparse.update small ~index:5 ~delta:1;
+  let msg = LS.serialize (module One_sparse.Linear) small in
+  check_bool "dim-100 message rejected by dim-101 sketch" true
+    (fails_with_failure (fun () -> LS.deserialize_into (module One_sparse.Linear) large msg))
+
+let test_misra_gries_not_linear () =
+  (* Misra-Gries cannot implement the interface (no add/sub/clone_zero):
+     that is a compile-time fact; the runtime witness raises. *)
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (match Misra_gries.linear () with
+  | exception Invalid_argument m ->
+      check_bool "message names the family" true (contains ~needle:"misra_gries" m)
+  | _ -> Alcotest.fail "Misra_gries.linear must raise Invalid_argument");
+  let mg = Misra_gries.create ~k:5 in
+  Alcotest.(check int) "space accounted" 12 (Misra_gries.space_in_words mg)
+
+let test_not_linear_guard () =
+  match LS.not_linear ~family:"bogus" ~reason:"testing" () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "not_linear must raise Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let family_gen = QCheck.Gen.oneofl (List.map fst makers)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"serialize/deserialize round-trips byte-for-byte" ~count:60
+    QCheck.(pair (make family_gen) small_nat)
+    (fun (name, seed) ->
+      let make = maker name in
+      let a = make () in
+      apply_random_updates seed a;
+      let msg = P.serialize a in
+      let b = make () in
+      P.deserialize_into b msg;
+      P.serialize b = msg)
+
+let prop_absorb_linear =
+  QCheck.Test.make ~name:"absorb msg = add in-process, for any family and streams" ~count:40
+    QCheck.(triple (make family_gen) small_nat small_nat)
+    (fun (name, s1, s2) ->
+      let make = maker name in
+      let b = make () and c = make () and d = make () in
+      apply_random_updates s1 b;
+      apply_random_updates s2 c;
+      apply_random_updates s1 d;
+      apply_random_updates s2 d;
+      P.absorb b (P.serialize c);
+      P.serialize b = P.serialize d)
+
+let prop_random_mutation_detected =
+  QCheck.Test.make
+    ~name:"any single-byte mutation or truncation raises Failure" ~count:150
+    QCheck.(quad (make family_gen) small_nat small_nat small_nat)
+    (fun (name, seed, pos_seed, kind) ->
+      let make = maker name in
+      let a = make () in
+      apply_random_updates seed a;
+      let msg = P.serialize a in
+      let len = String.length msg in
+      let pos = pos_seed mod len in
+      let mutated =
+        match kind mod 3 with
+        | 0 -> String.sub msg 0 pos (* truncate *)
+        | 1 ->
+            (* flip one random bit *)
+            let b = Bytes.of_string msg in
+            Bytes.set b pos (Char.chr (Char.code msg.[pos] lxor (1 lsl (seed mod 8))));
+            Bytes.to_string b
+        | _ ->
+            (* overwrite with an arbitrary byte (ensure a real change) *)
+            let b = Bytes.of_string msg in
+            let nb = Char.chr ((Char.code msg.[pos] + 1 + (seed mod 254)) land 0xff) in
+            Bytes.set b pos nb;
+            Bytes.to_string b
+      in
+      if mutated = msg then QCheck.assume_fail ()
+      else
+        let b = make () in
+        fails_with_failure (fun () -> P.deserialize_into b mutated))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_absorb_linear; prop_random_mutation_detected ]
+
+let () =
+  let per_family mk =
+    List.map (fun (name, _) -> Alcotest.test_case name `Quick (mk name)) makers
+  in
+  Alcotest.run "linear_sketch"
+    [
+      ("roundtrip bytes", per_family test_roundtrip_bytes);
+      ("absorb = in-process add", per_family test_absorb_equals_inprocess);
+      ("clone_zero", per_family test_clone_zero_is_zero);
+      ("family stamp", per_family test_family_stamped);
+      ("truncation", per_family test_truncation_detected);
+      ("bit flips", per_family test_bitflip_detected);
+      ( "cross-family & shape",
+        [
+          Alcotest.test_case "cross-family rejected" `Quick test_cross_family_rejected;
+          Alcotest.test_case "wrong shape rejected" `Quick test_wrong_shape_rejected;
+        ] );
+      ( "non-linear guard",
+        [
+          Alcotest.test_case "misra_gries refuses" `Quick test_misra_gries_not_linear;
+          Alcotest.test_case "not_linear raises" `Quick test_not_linear_guard;
+        ] );
+      ("properties", qcheck_cases);
+    ]

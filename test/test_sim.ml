@@ -58,6 +58,46 @@ let test_result_independent_of_partition () =
   check_bool "all correct" true
     (a.Cluster_sim.forest_correct && b.Cluster_sim.forest_correct && c.Cluster_sim.forest_correct)
 
+let test_ship_families () =
+  let dim = 512 in
+  let rng = Prng.create 30 in
+  let updates =
+    Array.init 2000 (fun _ -> (Prng.int rng dim, if Prng.bool rng then 1 else -1))
+  in
+  let reports = Cluster_sim.ship_families (Prng.create 31) ~dim ~servers:4 updates in
+  check_bool "at least 4 distinct families" true
+    (List.length (List.sort_uniq compare (List.map (fun r -> r.Cluster_sim.family) reports))
+    >= 4);
+  List.iter
+    (fun r ->
+      check_bool (r.Cluster_sim.family ^ " merged = direct") true r.Cluster_sim.matches_direct;
+      check_bool (r.Cluster_sim.family ^ " wire bytes accounted") true
+        (r.Cluster_sim.ship_bytes_total > 0
+        && Array.length r.Cluster_sim.ship_bytes_per_server = 4);
+      check_bool (r.Cluster_sim.family ^ " state accounted") true
+        (r.Cluster_sim.ship_words_per_server > 0))
+    reports
+
+let test_ship_single_server () =
+  let dim = 128 in
+  let rng = Prng.create 32 in
+  let updates = Array.init 400 (fun _ -> (Prng.int rng dim, 1)) in
+  List.iter
+    (fun r -> check_bool (r.Cluster_sim.family ^ " ok") true r.Cluster_sim.matches_direct)
+    (Cluster_sim.ship_families (Prng.create 33) ~dim ~servers:1 updates)
+
+let prop_ship_any_servers =
+  QCheck.Test.make ~name:"generic shipping matches direct for any server count" ~count:10
+    QCheck.(pair small_nat (int_range 1 6))
+    (fun (seed, servers) ->
+      let dim = 128 in
+      let rng = Prng.create (seed + 40) in
+      let updates =
+        Array.init 500 (fun _ -> (Prng.int rng dim, if Prng.bool rng then 1 else -1))
+      in
+      Cluster_sim.ship_families (Prng.create (seed + 41)) ~dim ~servers updates
+      |> List.for_all (fun r -> r.Cluster_sim.matches_direct))
+
 let prop_sim_any_servers =
   QCheck.Test.make ~name:"cluster sim correct for any server count" ~count:15
     QCheck.(pair small_nat (int_range 1 8))
@@ -81,5 +121,14 @@ let () =
           Alcotest.test_case "single server" `Quick test_single_server_degenerate;
           Alcotest.test_case "partition independence" `Quick test_result_independent_of_partition;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_sim_any_servers ]);
+      ( "ship",
+        [
+          Alcotest.test_case "full family inventory" `Quick test_ship_families;
+          Alcotest.test_case "single server" `Quick test_ship_single_server;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_sim_any_servers;
+          QCheck_alcotest.to_alcotest prop_ship_any_servers;
+        ] );
     ]
