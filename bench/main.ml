@@ -791,6 +791,82 @@ let e14 () =
   Fmt.pr "the same numbers as machine-readable BENCH_ingest.json for regression tracking.@."
 
 (* ------------------------------------------------------------------ *)
+(* E15: chaos — the supervised coordinator under deterministic faults   *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  header "E15" "Fault injection: self-healing coordinator vs fault rate and server count";
+  let n = 128 in
+  let rng = Prng.create (master_seed + 15) in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.06 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:(Graph.num_edges g) g in
+  let module CS = Ds_sim.Cluster_sim in
+  let module FP = Ds_fault.Fault_plan in
+  let supervised ?allow_reingest ~plan ~servers () =
+    CS.run_supervised ?allow_reingest ~plan
+      (Prng.create (master_seed + 15))
+      ~n ~servers ~partition:CS.Round_robin stream
+  in
+  Fmt.pr "graph: n=%d |E|=%d, stream %d updates@." n (Graph.num_edges g) (Array.length stream);
+  let clean = supervised ~plan:FP.none ~servers:4 () in
+  Fmt.pr "fault-free reference: hash=%016Lx forest correct=%b@." clean.CS.sup_merged_hash
+    clean.CS.sup_forest_correct;
+  Fmt.pr "@.healing sweep (re-ingestion on): merged state must equal the reference bit for bit@.";
+  Fmt.pr "%-8s %-9s %-9s %-8s %-9s %-9s %-11s %-10s %-9s@." "servers" "rate" "attempts"
+    "faults" "retries" "crashed" "recov(B)" "overhead" "healed";
+  line ();
+  List.iter
+    (fun servers ->
+      (* Fault-free wall clock for this server count, the overhead baseline. *)
+      let t0 = Unix.gettimeofday () in
+      ignore (supervised ~plan:FP.none ~servers ());
+      let base = Unix.gettimeofday () -. t0 in
+      List.iter
+        (fun rate ->
+          let plan = FP.random ~seed:(master_seed + servers) ~rate in
+          let t1 = Unix.gettimeofday () in
+          let r = supervised ~plan ~servers () in
+          let dt = Unix.gettimeofday () -. t1 in
+          let healed =
+            r.CS.sup_merged_hash = clean.CS.sup_merged_hash
+            && r.CS.sup_forest_correct
+            && r.CS.sup_quorum = r.CS.sup_copies
+          in
+          Fmt.pr "%-8d %-9.2f %-9d %-8d %-9d %-9d %-11d %-10.2f %-9b@." servers rate
+            r.CS.sup_attempts r.CS.sup_faults r.CS.sup_retries
+            (List.length r.CS.sup_crashed_servers)
+            r.CS.sup_recovery_bytes (dt /. base) healed;
+          Gc.compact ())
+        [ 0.02; 0.05; 0.1; 0.2; 0.4 ])
+    [ 2; 4; 8 ];
+  Fmt.pr "expected: healed=true at every rate -- by linearity the re-ingested sum is the@.";
+  Fmt.pr "fault-free sum; overhead grows with the recovery traffic, not with the rate alone.@.";
+  (* Degraded decoding: recovery forbidden, repetitions knocked out one by
+     one by persistently dropping one server's envelope. *)
+  let servers = 4 in
+  let copies = clean.CS.sup_copies in
+  let max_attempts = Ds_fault.Supervisor.default.Ds_fault.Supervisor.max_attempts in
+  Fmt.pr "@.degraded decoding (re-ingestion off, %d repetitions budgeted):@." copies;
+  Fmt.pr "%-14s %-9s %-16s %-9s@." "lost reps" "quorum" "certified delta" "correct";
+  line ();
+  List.iter
+    (fun lost ->
+      let drops =
+        List.concat_map
+          (fun m -> List.init max_attempts (fun a -> ((1, m, a), FP.Drop)))
+          (List.init lost (fun m -> m))
+      in
+      let plan = FP.of_list ~seed:(master_seed + lost) drops in
+      let r = supervised ~allow_reingest:false ~plan ~servers () in
+      Fmt.pr "%-14d %-9d %-16g %-9b@." lost r.CS.sup_quorum r.CS.sup_degraded_delta
+        r.CS.sup_forest_correct;
+      Gc.compact ())
+    [ 0; 1; 2; 3; 4 ];
+  Fmt.pr "expected: every lost repetition halves the certified confidence (doubles delta);@.";
+  Fmt.pr "decoding keeps succeeding from the surviving quorum until the budget nears the@.";
+  Fmt.pr "ceil(log2 n) Boruvka rounds it must fund.@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -808,6 +884,7 @@ let experiments =
     ("e12", e12);
     ("e13", e13);
     ("e14", e14);
+    ("e15", e15);
   ]
 
 let () =
@@ -824,5 +901,5 @@ let () =
       | Some f ->
           f ();
           Gc.compact ()
-      | None -> Fmt.epr "unknown experiment %S (known: e1..e14)@." name)
+      | None -> Fmt.epr "unknown experiment %S (known: e1..e15)@." name)
     requested

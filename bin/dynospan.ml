@@ -162,25 +162,117 @@ let checkpoint_cmd =
     Term.(
       const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg)
 
+(* A damaged checkpoint is an operational condition, not a crash: print one
+   diagnostic line on stderr and exit 2, never an OCaml backtrace. *)
+let die_bad_checkpoint file e =
+  Fmt.epr "dynospan: bad checkpoint %s: %a@." file Two_pass_spanner.pp_checkpoint_error e;
+  exit 2
+
+let read_checkpoint_file file =
+  try read_file file
+  with Sys_error msg ->
+    Fmt.epr "dynospan: cannot read checkpoint: %s@." msg;
+    exit 2
+
 let resume_cmd =
-  let run family n p seed decoys k file =
+  let run family n p seed decoys k file recover =
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let params = Two_pass_spanner.default_params ~k in
+    let checkpoint = read_checkpoint_file file in
     let r =
-      Two_pass_spanner.resume (Prng.split rng) ~n:(Graph.n g)
-        ~params:(Two_pass_spanner.default_params ~k)
-        ~checkpoint:(read_file file) stream
+      if recover then begin
+        let r, verdict =
+          Two_pass_spanner.resume_or_restart (Prng.split rng) ~n:(Graph.n g) ~params
+            ~checkpoint stream
+        in
+        (match verdict with
+        | `Resumed -> Fmt.pr "resumed from %s@." file
+        | `Recomputed e ->
+            Fmt.pr "checkpoint rejected (%a); recomputed pass 1 from the stream@."
+              Two_pass_spanner.pp_checkpoint_error e);
+        r
+      end
+      else
+        match
+          Two_pass_spanner.resume_result (Prng.split rng) ~n:(Graph.n g) ~params ~checkpoint
+            stream
+        with
+        | Ok r ->
+            Fmt.pr "resumed from %s@." file;
+            r
+        | Error e -> die_bad_checkpoint file e
     in
-    Fmt.pr "resumed from %s@." file;
     report_two_pass ~k ~g r
+  in
+  let recover_arg =
+    Arg.(
+      value & flag
+      & info [ "recover" ]
+          ~doc:
+            "If the checkpoint is corrupt or mismatched, recompute pass 1 from the stream \
+             instead of failing (the result is bit-identical to an uninterrupted run).")
   in
   Cmd.v
     (Cmd.info "resume"
        ~doc:
          "Finish a checkpointed two-pass spanner run: rebuild the seed-derived structure, load \
           the pass-1 counters, run pass 2. Must be invoked with the same workload arguments as \
-          the checkpoint. The resulting spanner is bit-identical to an uninterrupted run.")
+          the checkpoint. The resulting spanner is bit-identical to an uninterrupted run. \
+          Exits with code 2 on a corrupt, truncated or mismatched checkpoint (unless \
+          $(b,--recover) is given).")
     Term.(
-      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg)
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg
+      $ recover_arg)
+
+let chaos_cmd =
+  let run family n p seed decoys servers rate fault_seed no_heal =
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let plan =
+      if rate <= 0.0 then Ds_fault.Fault_plan.none
+      else Ds_fault.Fault_plan.random ~seed:fault_seed ~rate
+    in
+    let r =
+      Ds_sim.Cluster_sim.run_supervised ~allow_reingest:(not no_heal) ~plan (Prng.split rng)
+        ~n:(Graph.n g) ~servers ~partition:Ds_sim.Cluster_sim.Round_robin stream
+    in
+    Fmt.pr "== supervised cluster run under deterministic fault injection ==@.";
+    Fmt.pr "plan: fault-seed=%d rate=%.2f heal=%b servers=%d@." fault_seed rate (not no_heal)
+      servers;
+    Fmt.pr "%a" Ds_sim.Cluster_sim.pp_supervised_report r;
+    if not r.Ds_sim.Cluster_sim.sup_forest_correct then exit 1
+  in
+  let servers_arg =
+    Arg.(value & opt int 4 & info [ "servers" ] ~docv:"S" ~doc:"Number of simulated servers.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~docv:"R" ~doc:"Per-send-attempt fault probability (0 disables).")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"FS"
+          ~doc:"Seed of the fault plan; equal seeds replay identical faults.")
+  in
+  let no_heal_arg =
+    Arg.(
+      value & flag
+      & info [ "no-heal" ]
+          ~doc:
+            "Forbid re-ingesting failed shards; the coordinator degrades to quorum decoding \
+             and reports the certified failure probability instead.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the distributed sketching protocol through a seeded fault plan (crashes, drops, \
+          corruption, truncation, duplicates, delays) with a self-healing coordinator. Fully \
+          deterministic: the same seeds print the same report. Exits 1 if the decoded forest \
+          is wrong.")
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ servers_arg $ rate_arg
+      $ fault_seed_arg $ no_heal_arg)
 
 let additive_cmd =
   let run family n p seed decoys d =
@@ -384,6 +476,7 @@ let () =
             spanner_cmd;
             checkpoint_cmd;
             resume_cmd;
+            chaos_cmd;
             additive_cmd;
             sparsify_cmd;
             forest_cmd;

@@ -30,6 +30,18 @@ let create rng ~n ~params:prm =
   { n; prm; samplers }
 
 let n t = t.n
+let copies t = t.prm.copies
+
+(* Degraded-δ accounting for quorum decoding: a spanning-forest extraction
+   needs ~ceil(log2 n) Boruvka rounds, one independent sampler copy each;
+   the default budget carries 3 spare copies, and each spare at least halves
+   the residual failure probability (the spares are exactly the retry slack
+   of the round-failure analysis). With [copies] usable repetitions the
+   certified failure probability is therefore 2^(levels - copies), clamped
+   to 1 when the budget cannot even cover the rounds. *)
+let certified_delta ~n ~copies =
+  if copies <= 0 then 1.0
+  else min 1.0 (2.0 ** float_of_int (F0.levels_for n - copies))
 
 let clone_zero t =
   { t with samplers = Array.map (Array.map L0_sampler.clone_zero) t.samplers }
@@ -95,7 +107,18 @@ let combine op t s =
 let add t s = combine L0_sampler.add t s
 let sub t s = combine L0_sampler.sub t s
 
-let spanning_forest ?labels t =
+let spanning_forest ?labels ?copies t =
+  let usable =
+    match copies with
+    | None -> Array.init t.prm.copies (fun c -> c)
+    | Some cs ->
+        Array.iter
+          (fun c ->
+            if c < 0 || c >= t.prm.copies then
+              invalid_arg "Agm_sketch.spanning_forest: copy index out of range")
+          cs;
+        cs
+  in
   let uf = Union_find.create t.n in
   (match labels with
   | None -> ()
@@ -117,10 +140,11 @@ let spanning_forest ?labels t =
      are correlated across components within a round — the next copy is
      independent. Termination is certified only when every component's
      merged sketch is provably empty (no outgoing edges anywhere). *)
-  while (not !exhausted) && !round < t.prm.copies && Union_find.num_classes uf > 1 do
+  while (not !exhausted) && !round < Array.length usable && Union_find.num_classes uf > 1 do
     let members = Union_find.class_members uf in
-    (* One fresh sampler copy per Boruvka round. *)
-    let copy = t.samplers.(!round) in
+    (* One fresh sampler copy per Boruvka round — only copies the caller
+       certifies as usable (the surviving quorum, in degraded decodes). *)
+    let copy = t.samplers.(usable.(!round)) in
     incr round;
     (* Candidate outgoing edge per component, from the merged sketch. *)
     let candidates = ref [] in
@@ -193,3 +217,77 @@ end
 
 let serialize t = Ds_sketch.Linear_sketch.serialize (module Linear) t
 let deserialize_into t data = Ds_sketch.Linear_sketch.deserialize_into (module Linear) t data
+let deserialize_result t data = Ds_sketch.Linear_sketch.deserialize_result (module Linear) t data
+
+(* ------------------------------------------------------------------ *)
+(* One repetition as a first-class linear sketch: the unit of shipping
+   in the supervised cluster protocol, where losing one envelope must
+   cost one repetition, not the whole sketch.                          *)
+
+module Copy = struct
+  type slice = {
+    sn : int;
+    sprm : params;
+    c : int;
+    row : L0_sampler.t array; (* the parent's samplers.(c), physically shared *)
+  }
+
+  let slice t c =
+    if c < 0 || c >= t.prm.copies then invalid_arg "Agm_sketch.Copy.slice: copy out of range";
+    { sn = t.n; sprm = t.prm; c; row = t.samplers.(c) }
+
+  let index t = t.c
+
+  module Linear = struct
+    type t = slice
+
+    let family = "agm_copy"
+    let dim s = Edge_index.dim s.sn
+
+    (* The copy index is part of the shape: copy c's hash structure is
+       derived from the "copy<c>" seed chain, so a copy-j message merged
+       into a copy-c slice would be semantically incompatible even though
+       the counter layout matches. *)
+    let shape s =
+      let p = s.sprm.sampler in
+      [|
+        s.sn;
+        s.c;
+        s.sprm.copies;
+        p.L0_sampler.sparsity;
+        p.L0_sampler.rows;
+        p.L0_sampler.hash_degree;
+      |]
+
+    let clone_zero s = { s with row = Array.map L0_sampler.clone_zero s.row }
+
+    let combine op a b =
+      if a.sn <> b.sn || a.c <> b.c || a.sprm <> b.sprm then
+        invalid_arg "Agm_sketch.Copy: incompatible slices";
+      Array.iteri (fun u sk -> op sk b.row.(u)) a.row
+
+    let add a b = combine L0_sampler.add a b
+    let sub a b = combine L0_sampler.sub a b
+
+    let update s ~index ~delta =
+      let u, v = Edge_index.decode ~n:s.sn index in
+      if u = v then invalid_arg "Agm_sketch.Copy.update: self-loop";
+      let x = Kwise.fold_key index in
+      let x2 = Field.mul x x in
+      let x4 = Field.mul x2 x2 in
+      let du = signed_delta ~u ~v delta in
+      let su = s.row.(u) and sv = s.row.(v) in
+      let level = L0_sampler.level_of_pows su ~x ~x2 ~x4 in
+      L0_sampler.update_prepared_pair_pows su sv ~index ~x ~x2 ~x4 ~level ~delta:du
+
+    let space_in_words s =
+      Array.fold_left (fun a sk -> a + L0_sampler.space_in_words sk) 0 s.row
+
+    let write_body s sink = Array.iter (fun sk -> L0_sampler.write sk sink) s.row
+    let read_body s src = Array.iter (fun sk -> L0_sampler.read_into sk src) s.row
+  end
+
+  let serialize s = Ds_sketch.Linear_sketch.serialize (module Linear) s
+
+  let absorb_result s data = Ds_sketch.Linear_sketch.absorb_result (module Linear) s data
+end

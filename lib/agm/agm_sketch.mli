@@ -30,6 +30,19 @@ val create : Ds_util.Prng.t -> n:int -> params:params -> t
 
 val n : t -> int
 
+val copies : t -> int
+(** The sketch's repetition count (independent sampler copies). *)
+
+val certified_delta : n:int -> copies:int -> float
+(** The failure probability a decode can still certify when only [copies]
+    repetitions are usable: [2^(ceil(log2 n) - copies)] clamped to 1.
+    Extraction needs ~[ceil(log2 n)] Boruvka rounds; spare copies are retry
+    slack, each at least halving the residual failure probability. With the
+    default budget ([ceil(log2 n) + 3]) this certifies delta = 1/8; every
+    lost repetition doubles it, and below [ceil(log2 n)] nothing is
+    certified. The degraded-delta ledger of the supervised cluster
+    protocol. *)
+
 val update : t -> u:int -> v:int -> delta:int -> unit
 (** Stream an edge-multiplicity update into both endpoints' sketches. The
     edge index is encoded, key-folded and level-hashed once per copy (not
@@ -58,12 +71,16 @@ val add : t -> t -> unit
 val sub : t -> t -> unit
 (** Subtract another sketch's counters — delete its whole update stream. *)
 
-val spanning_forest : ?labels:int array -> t -> (int * int) list
+val spanning_forest : ?labels:int array -> ?copies:int array -> t -> (int * int) list
 (** Extract a spanning forest of the sketched multigraph with high
     probability. [labels] (optional) assigns every vertex a supernode; the
     forest then spans the contracted multigraph, with each returned edge
     being an original graph edge whose endpoints lie in different supernodes.
-    Non-destructive. *)
+    [copies] (optional) restricts extraction to the given repetition
+    indices, in the given order — the degraded decode of the supervised
+    cluster protocol, where only a surviving quorum of repetitions is
+    trustworthy; the round budget shrinks accordingly (see
+    {!certified_delta}). Non-destructive. *)
 
 val space_in_words : t -> int
 
@@ -87,3 +104,34 @@ val deserialize_into : t -> string -> unit
 (** Overwrite [t]'s counters with a serialised sketch. [t] must have been
     created from the same seed and parameters as the sender's sketch.
     @raise Failure on shape mismatch, checksum failure or corrupt input. *)
+
+val deserialize_result : t -> string -> (unit, Ds_sketch.Linear_sketch.error) result
+(** Typed-error variant of {!deserialize_into} — what a supervising
+    coordinator branches on to decide retry vs refuse. *)
+
+(** One repetition of the sketch as a first-class linear sketch (family
+    ["agm_copy"]). This is the unit of shipping in the supervised cluster
+    protocol: each server sends every repetition as its own checksummed
+    envelope, so a fault costs one repetition, not the whole sketch, and a
+    permanently lost server still leaves a decodable quorum of repetitions
+    ({!spanning_forest}'s [copies] argument). Slices alias the parent
+    sketch's counters — merging into a slice merges into the parent. *)
+module Copy : sig
+  type slice
+
+  val slice : t -> int -> slice
+  (** The parent's repetition [c] (shared counters, not a copy). *)
+
+  val index : slice -> int
+  (** Which repetition this slice is. *)
+
+  module Linear : Ds_sketch.Linear_sketch.S with type t = slice
+  (** The copy index is part of the wire shape: repetition [c]'s envelope is
+      rejected by any other repetition's slice, because each repetition
+      derives independent hash structure from its own seed chain. *)
+
+  val serialize : slice -> string
+
+  val absorb_result : slice -> string -> (unit, Ds_sketch.Linear_sketch.error) result
+  (** Validate-and-sum one repetition envelope into the parent sketch. *)
+end

@@ -323,24 +323,55 @@ let serialize_pass1 p1 =
   Wire.write_fixed64 tail (Wire.fnv1a64 payload);
   payload ^ Wire.contents tail
 
-let load_pass1 p1 data =
+type checkpoint_error =
+  | Truncated of { length : int; min_length : int }
+  | Checksum_mismatch
+  | Wrong_magic of { got : string }
+  | Header_mismatch of { field : string }
+  | Malformed_body of string
+  | Trailing_bytes of int
+
+let checkpoint_error_to_string = function
+  | Truncated { length; min_length } ->
+      Printf.sprintf "truncated checkpoint (%d bytes, need at least %d)" length min_length
+  | Checksum_mismatch -> "checkpoint checksum mismatch (corrupt or truncated)"
+  | Wrong_magic { got } -> Printf.sprintf "not a TPS1 checkpoint (magic %S)" got
+  | Header_mismatch { field } ->
+      Printf.sprintf "checkpoint %s mismatch (taken with different inputs)" field
+  | Malformed_body msg -> Printf.sprintf "malformed checkpoint body (%s)" msg
+  | Trailing_bytes k -> Printf.sprintf "checkpoint has %d trailing bytes" k
+
+let pp_checkpoint_error ppf e = Format.pp_print_string ppf (checkpoint_error_to_string e)
+
+(* On [Error] past the header checks the destination's counters may be
+   partially overwritten — callers must discard [p1] (what
+   [resume_or_restart] does by recomputing pass 1 from the stream). *)
+let load_pass1_result p1 data =
   let len = String.length data in
-  if len < checksum_bytes + String.length checkpoint_magic + 2 then
-    failwith "Two_pass_spanner: truncated checkpoint";
-  let payload_len = len - checksum_bytes in
-  let stored = ref 0L in
-  for i = checksum_bytes - 1 downto 0 do
-    stored := Int64.logor (Int64.shift_left !stored 8) (Int64.of_int (Char.code data.[payload_len + i]))
-  done;
-  if Wire.fnv1a64 ~len:payload_len data <> !stored then
-    failwith "Two_pass_spanner: checkpoint checksum mismatch (corrupt or truncated)";
-  let src = Wire.source (String.sub data 0 payload_len) in
-  Wire.expect_tag src checkpoint_magic;
-  if Wire.read_int src <> p1.n then failwith "Two_pass_spanner: checkpoint n mismatch";
-  if read_params src <> p1.prm then failwith "Two_pass_spanner: checkpoint params mismatch";
-  if Wire.read_int src <> p1.levels then failwith "Two_pass_spanner: checkpoint level mismatch";
-  Array.iter (Array.iter (Array.iter (fun sk -> Sparse_recovery.read_into sk src))) p1.sketches;
-  if Wire.remaining src <> 0 then failwith "Two_pass_spanner: checkpoint trailing bytes"
+  let min_length = checksum_bytes + String.length checkpoint_magic + 2 in
+  if len < min_length then Error (Truncated { length = len; min_length })
+  else begin
+    let payload_len = len - checksum_bytes in
+    let stored = ref 0L in
+    for i = checksum_bytes - 1 downto 0 do
+      stored := Int64.logor (Int64.shift_left !stored 8) (Int64.of_int (Char.code data.[payload_len + i]))
+    done;
+    if Wire.fnv1a64 ~len:payload_len data <> !stored then Error Checksum_mismatch
+    else
+      try
+        let src = Wire.source (String.sub data 0 payload_len) in
+        let magic = Wire.read_tag src in
+        if magic <> checkpoint_magic then Error (Wrong_magic { got = magic })
+        else if Wire.read_int src <> p1.n then Error (Header_mismatch { field = "n" })
+        else if read_params src <> p1.prm then Error (Header_mismatch { field = "params" })
+        else if Wire.read_int src <> p1.levels then Error (Header_mismatch { field = "levels" })
+        else begin
+          Array.iter (Array.iter (Array.iter (fun sk -> Sparse_recovery.read_into sk src))) p1.sketches;
+          match Wire.remaining src with 0 -> Ok () | k -> Error (Trailing_bytes k)
+        end
+      with Failure msg -> Error (Malformed_body msg)
+  end
+
 
 (* ------------------------------------------------------------------ *)
 
@@ -433,7 +464,24 @@ let checkpoint ?(ingest = `Sequential) rng ~n ~params:prm stream =
   pass1_fill p1 ~ingest stream;
   serialize_pass1 p1
 
-let resume rng ~n ~params:prm ~checkpoint stream =
+let resume_result rng ~n ~params:prm ~checkpoint stream =
   let rng, p1 = derive rng ~n ~prm in
-  load_pass1 p1 checkpoint;
-  finish rng p1 ~n ~prm stream
+  match load_pass1_result p1 checkpoint with
+  | Ok () -> Ok (finish rng p1 ~n ~prm stream)
+  | Error e -> Error e
+
+let resume rng ~n ~params:prm ~checkpoint stream =
+  match resume_result rng ~n ~params:prm ~checkpoint stream with
+  | Ok r -> r
+  | Error e -> failwith ("Two_pass_spanner: " ^ checkpoint_error_to_string e)
+
+let resume_or_restart ?(ingest = `Sequential) rng ~n ~params:prm ~checkpoint stream =
+  match resume_result rng ~n ~params:prm ~checkpoint stream with
+  | Ok r -> (r, `Resumed)
+  | Error e ->
+      (* The failed load may have partially overwritten the rebuilt pass-1
+         state, so fall back to recomputing pass 1 from the stream.
+         [split_named] derives children without consuming the caller PRNG,
+         so this replays the exact chain of [run] and the recomputed result
+         is bit-identical to an uninterrupted run. *)
+      (run ~ingest rng ~n ~params:prm stream, `Recomputed e)

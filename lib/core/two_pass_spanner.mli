@@ -99,3 +99,48 @@ val resume :
     equal-seed PRNGs) return identical results.
     @raise Failure if the checkpoint is corrupt, truncated, or was taken
     with different [n]/[params]. *)
+
+(** Why a checkpoint was rejected, in the order the checks run — the typed
+    face of {!resume} for callers that must branch on failure (the CLI's
+    clean exit-code path, the self-healing fallback below) instead of
+    parsing exception strings. *)
+type checkpoint_error =
+  | Truncated of { length : int; min_length : int }
+      (** shorter than any well-formed checkpoint *)
+  | Checksum_mismatch  (** corrupt or cut short; caught before any parsing *)
+  | Wrong_magic of { got : string }  (** not a TPS1 checkpoint at all *)
+  | Header_mismatch of { field : string }
+      (** a valid checkpoint taken with different [n], [params] or level
+          count — resuming it would decode garbage *)
+  | Malformed_body of string
+      (** the body failed to parse despite a valid checksum (forged or
+          writer bug) *)
+  | Trailing_bytes of int  (** the body did not consume the blob *)
+
+val checkpoint_error_to_string : checkpoint_error -> string
+val pp_checkpoint_error : Format.formatter -> checkpoint_error -> unit
+
+val resume_result :
+  Ds_util.Prng.t ->
+  n:int ->
+  params:params ->
+  checkpoint:string ->
+  Ds_stream.Update.t array ->
+  (result, checkpoint_error) Stdlib.result
+(** {!resume} with a typed verdict instead of an exception. *)
+
+val resume_or_restart :
+  ?ingest:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
+  Ds_util.Prng.t ->
+  n:int ->
+  params:params ->
+  checkpoint:string ->
+  Ds_stream.Update.t array ->
+  result * [ `Resumed | `Recomputed of checkpoint_error ]
+(** Self-healing resume: try the checkpoint, and if it is rejected for any
+    reason fall back to recomputing pass 1 from the stream (which the model
+    allows — the stream array is the re-readable input). Because the PRNG
+    chain is derived without consuming the caller generator, the fallback
+    result is bit-identical to an uninterrupted {!run}; the verdict reports
+    which path produced it and, when recomputed, why the checkpoint was
+    rejected. *)

@@ -1,0 +1,85 @@
+(** Deterministic fault injection for the distributed sketching pipeline.
+
+    A {e fault plan} decides, for every message send attempt in a supervised
+    cluster run, whether the attempt is faulted and how. Plans are pure
+    functions of [(server, message, attempt)] coordinates driven by the
+    library's SplitMix64 PRNG ({!Ds_util.Prng}), so every chaos run is
+    replayable from one seed and — because draws are stateless per
+    coordinate, not per call sequence — independent of the order in which
+    the coordinator happens to process servers (sequential and
+    domain-parallel supervised runs see the {e same} faults).
+
+    The fault inventory mirrors what a real coordinator faces:
+    - [Crash]: the sending server dies. Crashes are {e sticky} — the
+      supervisor treats every later message from that server as failed until
+      it recovers the shard some other way (re-ingestion by linearity).
+    - [Drop]: the message is lost in transit; a retry can succeed.
+    - [Corrupt n]: the message arrives with [n] random bit flips — the wire
+      checksum must catch it.
+    - [Truncate]: the message arrives cut short at a random point.
+    - [Duplicate]: the message is delivered twice; the coordinator must
+      deduplicate or it double-counts the shard.
+    - [Delay d]: the message arrives [d] backoff units late (accounted as
+      simulated waiting, then processed normally). *)
+
+type fault =
+  | Crash
+  | Drop
+  | Corrupt of int  (** number of bit flips, >= 1 *)
+  | Truncate
+  | Duplicate
+  | Delay of int  (** backoff units, >= 1 *)
+
+type t
+
+val none : t
+(** The empty plan: every draw is [None] (fault-free). *)
+
+val random : seed:int -> rate:float -> t
+(** Each [(server, message, attempt)] coordinate is faulted independently
+    with probability [rate]; the fault kind and its parameters are drawn
+    from a per-coordinate SplitMix64 stream derived from [seed]. Two plans
+    built from equal seeds and rates are extensionally equal. *)
+
+val of_list : ?seed:int -> ((int * int * int) * fault) list -> t
+(** An explicit plan: the fault at coordinate [(server, message, attempt)]
+    (attempts count from 0), [None] elsewhere. [seed] (default 0) drives the
+    channel randomness (corruption positions, truncation points). *)
+
+val draw : t -> server:int -> message:int -> attempt:int -> fault option
+(** The plan's verdict for one send attempt. Pure: equal coordinates always
+    return equal verdicts. *)
+
+val channel_rng : t -> server:int -> message:int -> attempt:int -> Ds_util.Prng.t
+(** The per-coordinate randomness used to apply a fault to concrete bytes
+    (flip positions, truncation point). Derived from the plan seed, so a
+    replayed run corrupts the same bits. *)
+
+val fault_name : fault -> string
+(** Stable lowercase kind name ("crash", "drop", "corrupt", "truncate",
+    "duplicate", "delay") — the keys of supervised-report breakdowns. *)
+
+val kind_names : string list
+(** Every kind name, in the fixed report order. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+(** What the channel delivers for one send attempt. *)
+type delivery =
+  | Delivered of string  (** bytes arrived (possibly corrupted or cut) *)
+  | Duplicated of string  (** the same bytes arrived twice *)
+  | Delayed of int * string  (** arrived [units] backoff units late *)
+  | Lost  (** dropped in transit; the sender is still alive *)
+  | Crashed  (** the sender died mid-send; nothing arrived *)
+
+val apply : Ds_util.Prng.t -> fault option -> string -> delivery
+(** Push one message through the faulted channel. [None] delivers the bytes
+    untouched. [Corrupt] and [Truncate] guarantee the delivered bytes differ
+    from the sent bytes (a flip is a real change; a truncation is a strict
+    prefix), so "delivered unchanged" and "damaged" are mutually exclusive
+    outcomes. *)
+
+val corrupt : Ds_util.Prng.t -> flips:int -> string -> string
+(** [flips] random single-bit flips (re-drawn if they would cancel out);
+    exposed for the fuzz suite. Returns the message unchanged only when it
+    is empty. *)

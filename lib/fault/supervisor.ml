@@ -1,0 +1,26 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+}
+
+let default = { max_attempts = 5; base_delay = 1.0; multiplier = 2.0; max_delay = 8.0 }
+
+let delay_before p ~attempt =
+  if attempt <= 0 then 0.0
+  else min p.max_delay (p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)))
+
+type stats = { attempts : int; backoff : float }
+
+let retry p f =
+  if p.max_attempts < 1 then invalid_arg "Supervisor.retry: max_attempts must be >= 1";
+  let rec go attempt backoff =
+    let backoff = backoff +. delay_before p ~attempt in
+    match f ~attempt with
+    | Ok _ as ok -> (ok, { attempts = attempt + 1; backoff })
+    | Error _ as err ->
+        if attempt + 1 >= p.max_attempts then (err, { attempts = attempt + 1; backoff })
+        else go (attempt + 1) backoff
+  in
+  go 0 0.0

@@ -89,3 +89,106 @@ val ship_families :
     vector — experiment E13's full-inventory sweep. *)
 
 val pp_ship_report : Format.formatter -> ship_report -> unit
+
+(** {2 Supervised (self-healing) runs}
+
+    The same protocol pushed through a deterministically faulted channel
+    ({!Ds_fault.Fault_plan}), with a coordinator that validates every
+    envelope through the typed decode interface, retries transient faults
+    with capped exponential backoff ({!Ds_fault.Supervisor}), deduplicates
+    by ledger, recovers crashed servers by re-ingesting their shard trace
+    (sound by linearity: the recovered sum is bit-identical to the
+    fault-free sum) and, when recovery is forbidden, degrades to decoding
+    from the surviving quorum of sketch repetitions with an honestly
+    reported failure probability. *)
+
+type supervised_report = {
+  sup_servers : int;
+  sup_updates_total : int;
+  sup_messages : int;  (** distinct (server, repetition) envelopes *)
+  sup_attempts : int;  (** send attempts, including faulted ones *)
+  sup_faults : int;
+  sup_faults_by_kind : (string * int) list;
+      (** counts in {!Ds_fault.Fault_plan.kind_names} order *)
+  sup_retries : int;
+  sup_backoff : float;  (** total simulated waiting, in policy time units *)
+  sup_duplicates_rejected : int;
+  sup_decode_errors : int;  (** envelopes rejected by checksum/shape checks *)
+  sup_bytes_total : int;  (** bytes that actually crossed the channel *)
+  sup_crashed_servers : int list;
+  sup_reingested_servers : int list;
+  sup_reingested_updates : int;
+  sup_recovery_bytes : int;  (** wire cost of re-reading recovered shards *)
+  sup_lost_servers : int list;  (** crashed and not recovered *)
+  sup_quorum : int;  (** repetitions every server contributed to *)
+  sup_copies : int;  (** the sketch's repetition budget *)
+  sup_degraded_delta : float;  (** {!Ds_agm.Agm_sketch.certified_delta} of the quorum *)
+  sup_forest_edges : int;
+  sup_forest_correct : bool;
+  sup_merged_hash : int64;
+      (** FNV-1a of the coordinator's serialized merged state — equal to the
+          fault-free run's hash whenever every shard was merged or recovered *)
+}
+
+val run_supervised :
+  ?mode:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
+  ?policy:Ds_fault.Supervisor.policy ->
+  ?allow_reingest:bool ->
+  plan:Ds_fault.Fault_plan.t ->
+  Ds_util.Prng.t ->
+  n:int ->
+  servers:int ->
+  partition:partition ->
+  Ds_stream.Update.t array ->
+  supervised_report
+(** Like {!run}, but each server ships every sketch repetition as its own
+    checksummed envelope through the faulted channel, so one fault costs one
+    repetition. The coordinator retries per [policy]; crashes are sticky per
+    server. With [allow_reingest] (default) missing repetitions are rebuilt
+    from the server's shard trace and summed in — under any plan the merged
+    state then equals the fault-free state bit for bit. With
+    [~allow_reingest:false] a permanently failed server is reported lost and
+    decoding falls back to the quorum of fully-merged repetitions, with
+    [sup_degraded_delta] certifying what the decode is still worth. Fault
+    draws are stateless per (server, message, attempt) coordinate, so the
+    report is identical in [`Sequential] and [`Parallel] modes and across
+    reruns with an equal-seed plan. *)
+
+val pp_supervised_report : Format.formatter -> supervised_report -> unit
+
+type supervised_ship_report = {
+  ss_family : string;
+  ss_servers : int;
+  ss_updates_total : int;
+  ss_attempts : int;
+  ss_faults : int;
+  ss_faults_by_kind : (string * int) list;
+  ss_retries : int;
+  ss_backoff : float;
+  ss_duplicates_rejected : int;
+  ss_decode_errors : int;
+  ss_bytes_total : int;
+  ss_crashed_servers : int list;
+  ss_reingested_servers : int list;
+  ss_recovery_bytes : int;
+  ss_lost_servers : int list;
+  ss_matches_direct : bool;
+      (** the healed coordinator serializes identically to a direct
+          single-process sketch — [false] only if a server was lost *)
+}
+
+val ship_supervised :
+  ?mode:[ `Sequential | `Parallel of Ds_par.Pool.t ] ->
+  ?policy:Ds_fault.Supervisor.policy ->
+  ?allow_reingest:bool ->
+  plan:Ds_fault.Fault_plan.t ->
+  's Ds_sketch.Linear_sketch.impl ->
+  make:(unit -> 's) ->
+  servers:int ->
+  (int * int) array ->
+  supervised_ship_report
+(** {!ship} through the faulted channel, at whole-envelope granularity (one
+    message per server, message index 0). Same retry, dedup, re-ingest and
+    loss accounting as {!run_supervised}. *)
+
+val pp_supervised_ship_report : Format.formatter -> supervised_ship_report -> unit

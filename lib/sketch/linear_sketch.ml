@@ -32,6 +32,31 @@ let serialize (type a) ((module L) : a impl) (t : a) =
   Wire.write_fixed64 tail (Wire.fnv1a64 payload);
   payload ^ Wire.contents tail
 
+type error =
+  | Truncated of { length : int; min_length : int }
+  | Checksum_mismatch
+  | Wrong_magic of { got : string }
+  | Wrong_family of { expected : string; got : string }
+  | Shape_mismatch of { expected : int array; got : int array }
+  | Malformed_body of string
+  | Trailing_bytes of int
+
+let error_to_string = function
+  | Truncated { length; min_length } ->
+      Printf.sprintf "truncated message (%d bytes, need at least %d)" length min_length
+  | Checksum_mismatch -> "checksum mismatch (corrupt or truncated message)"
+  | Wrong_magic { got } -> Printf.sprintf "bad magic %S (expected %S)" got magic
+  | Wrong_family { expected; got } ->
+      Printf.sprintf "family mismatch: message is %S, receiver is %S" got expected
+  | Shape_mismatch { expected; got } ->
+      Printf.sprintf "shape mismatch: message [%s], receiver [%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int got)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int expected)))
+  | Malformed_body msg -> Printf.sprintf "malformed body (%s)" msg
+  | Trailing_bytes n -> Printf.sprintf "%d trailing bytes after the body" n
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
 (* Trailing checksum, located from the message length alone (fixed width, no
    varint layer), so truncation can never shift where the reader looks. *)
 let stored_checksum data pos =
@@ -41,27 +66,52 @@ let stored_checksum data pos =
   done;
   !v
 
-let deserialize_into (type a) ((module L) : a impl) (t : a) data =
+let deserialize_result (type a) ((module L) : a impl) (t : a) data =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let len = String.length data in
-  if len < checksum_bytes + String.length magic + 2 then
-    failwith "Linear_sketch: truncated message";
+  let min_length = checksum_bytes + String.length magic + 2 in
+  let* () = if len < min_length then Error (Truncated { length = len; min_length }) else Ok () in
   let payload_len = len - checksum_bytes in
   (* Integrity first: nothing is parsed (and the destination is untouched)
      unless the bytes are exactly what some writer produced. *)
-  if Wire.fnv1a64 ~len:payload_len data <> stored_checksum data payload_len then
-    failwith "Linear_sketch: checksum mismatch (corrupt or truncated message)";
+  let* () =
+    if Wire.fnv1a64 ~len:payload_len data <> stored_checksum data payload_len then
+      Error Checksum_mismatch
+    else Ok ()
+  in
   let src = Wire.source (String.sub data 0 payload_len) in
-  Wire.expect_tag src magic;
-  Wire.expect_tag src L.family;
-  let shape = Wire.read_array src in
-  if shape <> L.shape t then failwith "Linear_sketch: shape mismatch";
-  L.read_body t src;
-  if Wire.remaining src <> 0 then failwith "Linear_sketch: trailing bytes"
+  let read_tag () = try Ok (Wire.read_tag src) with Failure m -> Error (Malformed_body m) in
+  let* got_magic = read_tag () in
+  let* () = if got_magic <> magic then Error (Wrong_magic { got = got_magic }) else Ok () in
+  let* got_family = read_tag () in
+  let* () =
+    if got_family <> L.family then
+      Error (Wrong_family { expected = L.family; got = got_family })
+    else Ok ()
+  in
+  let* shape = try Ok (Wire.read_array src) with Failure m -> Error (Malformed_body m) in
+  let* () =
+    if shape <> L.shape t then Error (Shape_mismatch { expected = L.shape t; got = shape })
+    else Ok ()
+  in
+  let* () = try Ok (L.read_body t src) with Failure m -> Error (Malformed_body m) in
+  match Wire.remaining src with 0 -> Ok () | n -> Error (Trailing_bytes n)
 
-let absorb (type a) ((module L) as impl : a impl) (t : a) data =
+let deserialize_into impl t data =
+  match deserialize_result impl t data with
+  | Ok () -> ()
+  | Error e -> failwith ("Linear_sketch: " ^ error_to_string e)
+
+let absorb_result (type a) ((module L) as impl : a impl) (t : a) data =
   let scratch = L.clone_zero t in
-  deserialize_into impl scratch data;
-  L.add t scratch
+  match deserialize_result impl scratch data with
+  | Ok () -> Ok (L.add t scratch)
+  | Error _ as e -> e
+
+let absorb impl t data =
+  match absorb_result impl t data with
+  | Ok () -> ()
+  | Error e -> failwith ("Linear_sketch: " ^ error_to_string e)
 
 let not_linear ~family ~reason () =
   invalid_arg
@@ -81,5 +131,7 @@ module Packed = struct
   let clone_zero (T ((module L), v)) = T ((module L), L.clone_zero v)
   let serialize (T (impl, v)) = serialize impl v
   let deserialize_into (T (impl, v)) data = deserialize_into impl v data
+  let deserialize_result (T (impl, v)) data = deserialize_result impl v data
   let absorb (T (impl, v)) data = absorb impl v data
+  let absorb_result (T (impl, v)) data = absorb_result impl v data
 end

@@ -80,18 +80,48 @@ val version : int
 val serialize : 'a impl -> 'a -> string
 (** The sketch's counters in the versioned envelope described above. *)
 
-val deserialize_into : 'a impl -> 'a -> string -> unit
+(** Why a decode was rejected — the typed face of envelope validation, in
+    the order the checks run. A supervising coordinator branches on this
+    (retry a [Checksum_mismatch], refuse to retry a [Wrong_family]) instead
+    of parsing exception strings. *)
+type error =
+  | Truncated of { length : int; min_length : int }
+      (** shorter than any well-formed envelope *)
+  | Checksum_mismatch  (** corrupt or truncated bytes, caught before parsing *)
+  | Wrong_magic of { got : string }  (** not an LSK1 message *)
+  | Wrong_family of { expected : string; got : string }  (** mis-routed *)
+  | Shape_mismatch of { expected : int array; got : int array }
+      (** same family, structurally incompatible parameters *)
+  | Malformed_body of string
+      (** the body failed to parse despite a valid checksum (forged or
+          writer bug); the destination may be partially overwritten *)
+  | Trailing_bytes of int  (** the body did not consume the message *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val deserialize_result : 'a impl -> 'a -> string -> (unit, error) result
 (** Overwrite the destination's counters with a serialized message from a
     compatible sketch. Verifies, in order: length, checksum, magic/version,
-    family, shape, and that the body consumes the message exactly.
-    @raise Failure on any mismatch — on failure the destination must be
-    discarded (it may be partially overwritten only if the message was forged
-    to pass the checksum; all random corruption is caught up front). *)
+    family, shape, and that the body consumes the message exactly. On
+    [Error] the destination must be discarded (it may be partially
+    overwritten only if the message was forged to pass the checksum; all
+    random corruption is caught up front). *)
+
+val deserialize_into : 'a impl -> 'a -> string -> unit
+(** Raising wrapper for {!deserialize_result}, kept for call sites that
+    treat a bad message as fatal. @raise Failure on any mismatch. *)
+
+val absorb_result : 'a impl -> 'a -> string -> (unit, error) result
+(** [absorb_result impl t msg] adds a serialized compatible sketch into [t]
+    — the coordinator operation of the distributed setting: deserialize into
+    a zero clone, then [add]. On [Error], [t] is untouched (the zero clone
+    absorbs any partial parse), which is what lets a supervisor retry the
+    same destination. *)
 
 val absorb : 'a impl -> 'a -> string -> unit
-(** [absorb impl t msg] adds a serialized compatible sketch into [t] — the
-    coordinator operation of the distributed setting: deserialize into a
-    zero clone, then [add]. @raise Failure as {!deserialize_into}. *)
+(** Raising wrapper for {!absorb_result}. @raise Failure as
+    {!deserialize_into}. *)
 
 val not_linear : family:string -> reason:string -> unit -> 'a
 (** Registration guard for summaries that are {e not} linear (they lack
@@ -116,6 +146,10 @@ module Packed : sig
   val deserialize_into : t -> string -> unit
   (** @raise Failure as the statically-typed {!deserialize_into}. *)
 
+  val deserialize_result : t -> string -> (unit, error) result
+
   val absorb : t -> string -> unit
   (** @raise Failure as the statically-typed {!absorb}. *)
+
+  val absorb_result : t -> string -> (unit, error) result
 end

@@ -74,6 +74,13 @@ let write_tag buf tag =
   write_int buf (String.length tag);
   Buffer.add_string buf tag
 
+let read_tag s =
+  let len = read_int s in
+  if len < 0 || len > remaining s then failwith "Wire: truncated tag";
+  let got = String.sub s.data s.pos len in
+  s.pos <- s.pos + len;
+  got
+
 let expect_tag s tag =
   let len = read_int s in
   if len <> String.length tag || remaining s < len then

@@ -41,3 +41,8 @@ val write_tag : sink -> string -> unit
 val expect_tag : source -> string -> unit
 (** @raise Failure if the next tag differs — the standard guard at the head
     of every sketch's [write]/[read_into] pair. *)
+
+val read_tag : source -> string
+(** Read whatever tag comes next, for readers that report {e which} tag they
+    found instead of merely failing (the typed-error decode path).
+    @raise Failure on truncated input. *)

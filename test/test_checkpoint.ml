@@ -89,6 +89,87 @@ let test_mismatch_rejected () =
   check_bool "different k rejected" true
     (fails_with_failure (fun () -> resume_from ~seed ~n ~k:3 ~checkpoint:ck stream))
 
+(* The typed face of checkpoint rejection: precise error per damage class. *)
+let resume_result_from ~seed ~n ~k ~checkpoint stream =
+  Two_pass_spanner.resume_result (Prng.create seed) ~n
+    ~params:(Two_pass_spanner.default_params ~k)
+    ~checkpoint stream
+
+let test_typed_errors () =
+  let n = 64 and k = 2 and seed = 14 in
+  let _g, stream = workload 15 ~n in
+  let ck = take_checkpoint ~seed ~n ~k stream in
+  let expect name pred = function
+    | Error e -> check_bool name true (pred e)
+    | Ok _ -> Alcotest.failf "%s: accepted a damaged checkpoint" name
+  in
+  expect "empty is truncated"
+    (function Two_pass_spanner.Truncated _ -> true | _ -> false)
+    (resume_result_from ~seed ~n ~k ~checkpoint:"" stream);
+  expect "cut blob fails the checksum"
+    (function Two_pass_spanner.Checksum_mismatch -> true | _ -> false)
+    (resume_result_from ~seed ~n ~k
+       ~checkpoint:(String.sub ck 0 (String.length ck / 2))
+       stream);
+  let flipped =
+    let b = Bytes.of_string ck in
+    Bytes.set b 40 (Char.chr (Char.code ck.[40] lxor 4));
+    Bytes.to_string b
+  in
+  expect "bit flip fails the checksum"
+    (function Two_pass_spanner.Checksum_mismatch -> true | _ -> false)
+    (resume_result_from ~seed ~n ~k ~checkpoint:flipped stream);
+  expect "wrong k is a header mismatch"
+    (function Two_pass_spanner.Header_mismatch _ -> true | _ -> false)
+    (resume_result_from ~seed ~n ~k:3 ~checkpoint:ck stream);
+  (* A well-checksummed blob that is not a TPS1 checkpoint at all: reuse the
+     linear-sketch envelope of an unrelated family. *)
+  let foreign =
+    Ds_sketch.(
+      Linear_sketch.serialize
+        (module One_sparse.Linear)
+        (One_sparse.create (Prng.create 16) ~dim:10))
+  in
+  expect "foreign envelope rejected"
+    (function
+      | Two_pass_spanner.Wrong_magic _ | Two_pass_spanner.Malformed_body _ -> true | _ -> false)
+    (resume_result_from ~seed ~n ~k ~checkpoint:foreign stream);
+  match resume_result_from ~seed ~n ~k ~checkpoint:ck stream with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "intact checkpoint rejected: %s" (Two_pass_spanner.checkpoint_error_to_string e)
+
+(* Self-healing: a damaged checkpoint falls back to recomputing pass 1, and
+   the recomputed result is bit-identical to an uninterrupted run. *)
+let test_resume_or_restart () =
+  let n = 64 and k = 2 and seed = 17 in
+  let _g, stream = workload 18 ~n in
+  let params = Two_pass_spanner.default_params ~k in
+  let direct = run_direct ~seed ~n ~k stream in
+  let ck = take_checkpoint ~seed ~n ~k stream in
+  let same r =
+    edges_of direct.Two_pass_spanner.spanner = edges_of r.Two_pass_spanner.spanner
+    && direct.Two_pass_spanner.diagnostics = r.Two_pass_spanner.diagnostics
+  in
+  (let r, verdict =
+     Two_pass_spanner.resume_or_restart (Prng.create seed) ~n ~params ~checkpoint:ck stream
+   in
+   check_bool "intact checkpoint resumes" true (verdict = `Resumed);
+   check_bool "resumed = run" true (same r));
+  let corrupt =
+    let b = Bytes.of_string ck in
+    Bytes.set b (String.length ck / 2) 'X';
+    Bytes.to_string b
+  in
+  let r, verdict =
+    Two_pass_spanner.resume_or_restart (Prng.create seed) ~n ~params ~checkpoint:corrupt stream
+  in
+  (match verdict with
+  | `Recomputed Two_pass_spanner.Checksum_mismatch -> ()
+  | `Recomputed e ->
+      Alcotest.failf "unexpected error: %s" (Two_pass_spanner.checkpoint_error_to_string e)
+  | `Resumed -> Alcotest.fail "corrupt checkpoint resumed");
+  check_bool "recomputed = run, bit for bit" true (same r)
+
 let test_distance_oracle_resume () =
   let n = 64 and k = 2 and seed = 12 in
   let _g, stream = workload 9 ~n in
@@ -125,6 +206,8 @@ let () =
           Alcotest.test_case "checkpoint deterministic" `Quick test_checkpoint_deterministic;
           Alcotest.test_case "corruption rejected" `Quick test_corruption_rejected;
           Alcotest.test_case "params mismatch rejected" `Quick test_mismatch_rejected;
+          Alcotest.test_case "typed errors" `Quick test_typed_errors;
+          Alcotest.test_case "resume or restart" `Quick test_resume_or_restart;
         ] );
       ( "distance_oracle",
         [ Alcotest.test_case "resume oracle" `Quick test_distance_oracle_resume ] );

@@ -92,6 +92,13 @@ let makers : (string * (unit -> P.t)) list =
           (Ds_agm.Mst.create (Prng.create 113) ~n:agm_n
              ~params:
                { Ds_agm.Mst.gamma = 0.5; w_min = 1.0; w_max = 8.0; sketch = agm_params }) );
+    ( "agm_copy",
+      fun () ->
+        P.pack
+          (module Ds_agm.Agm_sketch.Copy.Linear)
+          (Ds_agm.Agm_sketch.Copy.slice
+             (Ds_agm.Agm_sketch.create (Prng.create 114) ~n:agm_n ~params:agm_params)
+             2) );
   ]
 
 let maker name = List.assoc name makers

@@ -36,6 +36,17 @@ let test_random_partition () =
   let r = Cluster_sim.run (Prng.create 6) ~n ~servers:5 ~partition:(Cluster_sim.Random 7) stream in
   check_bool "correct under random partition" true r.Cluster_sim.forest_correct
 
+let test_random_partition_deterministic () =
+  (* The Random partition draws routes from its own seeded stream, so two
+     identically-seeded runs shard identically and the full report — byte
+     counts included — replays exactly. *)
+  let n = 60 in
+  let stream = make_stream 30 ~n in
+  let go () =
+    Cluster_sim.run (Prng.create 31) ~n ~servers:5 ~partition:(Cluster_sim.Random 32) stream
+  in
+  check_bool "identical reports" true (go () = go ())
+
 let test_single_server_degenerate () =
   let n = 40 in
   let stream = make_stream 8 ~n in
@@ -118,6 +129,8 @@ let () =
           Alcotest.test_case "round robin" `Quick test_round_robin;
           Alcotest.test_case "by vertex" `Quick test_by_vertex;
           Alcotest.test_case "random partition" `Quick test_random_partition;
+          Alcotest.test_case "random partition deterministic" `Quick
+            test_random_partition_deterministic;
           Alcotest.test_case "single server" `Quick test_single_server_degenerate;
           Alcotest.test_case "partition independence" `Quick test_result_independent_of_partition;
         ] );
