@@ -1,0 +1,88 @@
+(* Bench-regression guard.
+
+     dune exec bench/guard.exe -- BASELINE.json FRESH.json [TOLERANCE]
+
+   Compares a freshly measured BENCH_ingest.json against the committed
+   baseline: every single-thread kernel throughput must be within
+   TOLERANCE (default 25%) of the baseline, and the telemetry overhead
+   recorded in the fresh file (metrics enabled vs disabled on the
+   sharded AGM path) must be under 3%.  Parallel rates are not compared
+   — they depend on how many cores the runner has.
+
+   The values are extracted with a key scanner rather than a JSON
+   parser: the repo deliberately has no JSON dependency, and
+   bench/ingest.ml writes each key exactly once. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("guard: " ^ m); exit 1) fmt
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let data = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    data
+  with Sys_error m -> fail "cannot read %s: %s" path m
+
+let is_number_char = function
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+(* First occurrence of ["key": <number>]; None if the key is absent. *)
+let find_number json key =
+  let pat = Printf.sprintf "\"%s\"" key in
+  let plen = String.length pat and len = String.length json in
+  let rec search i =
+    if i + plen > len then None
+    else if String.sub json i plen = pat then
+      let j = ref (i + plen) in
+      while !j < len && (json.[!j] = ':' || json.[!j] = ' ') do incr j done;
+      let start = !j in
+      while !j < len && is_number_char json.[!j] do incr j done;
+      if !j = start then search (i + 1)
+      else float_of_string_opt (String.sub json start (!j - start))
+    else search (i + 1)
+  in
+  search 0
+
+let require json path key =
+  match find_number json key with
+  | Some v -> v
+  | None -> fail "%s: key %S not found" path key
+
+let throughput_keys =
+  [
+    "kernel_one_sparse_ops_per_sec";
+    "kernel_sparse_recovery_ops_per_sec";
+    "kernel_l0_ops_per_sec";
+    "kernel_agm_ops_per_sec";
+  ]
+
+let max_overhead = 0.03
+
+let () =
+  let argc = Array.length Sys.argv in
+  if argc < 3 then fail "usage: guard BASELINE.json FRESH.json [TOLERANCE]";
+  let baseline_path = Sys.argv.(1) and fresh_path = Sys.argv.(2) in
+  let tolerance = if argc > 3 then float_of_string Sys.argv.(3) else 0.25 in
+  let baseline = read_file baseline_path and fresh = read_file fresh_path in
+  let failures = ref 0 in
+  List.iter
+    (fun key ->
+      let base = require baseline baseline_path key in
+      let now = require fresh fresh_path key in
+      let floor = (1.0 -. tolerance) *. base in
+      let verdict = if now >= floor then "ok" else (incr failures; "REGRESSION") in
+      Printf.printf "guard: %-40s base %12.0f  now %12.0f  (%+6.1f%%)  %s\n" key base now
+        (100.0 *. ((now /. base) -. 1.0))
+        verdict)
+    throughput_keys;
+  (* Overhead is checked on the fresh run only: older baselines predate
+     the telemetry subsystem and legitimately lack the key. *)
+  let overhead = require fresh fresh_path "enabled_overhead_frac" in
+  let verdict =
+    if overhead < max_overhead then "ok" else (incr failures; "TOO HIGH")
+  in
+  Printf.printf "guard: %-40s %.2f%% (limit %.0f%%)  %s\n" "metrics_enabled_overhead"
+    (100.0 *. overhead) (100.0 *. max_overhead) verdict;
+  if !failures > 0 then fail "%d check(s) failed" !failures;
+  print_endline "guard: all checks passed"

@@ -65,6 +65,14 @@ let () =
         (domains, r))
       domain_counts
   in
+  let obs_off, obs_on =
+    (* One domain: the point is instrumentation overhead, and pool
+       scheduling noise at higher domain counts would drown the signal. *)
+    C.metrics_overhead_agm_rates ~n:agm_n ~updates:agm_updates ~domains:1
+  in
+  let obs_overhead = (obs_off -. obs_on) /. obs_off in
+  Fmt.pr "  metrics overhead  off %.0f ops/s, on %.0f ops/s (%+.2f%%)@." obs_off obs_on
+    (100. *. obs_overhead);
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"bench_ingest/v1\",\n";
@@ -89,6 +97,11 @@ let () =
   p "    \"baseline_agm_ops_per_sec\": %.0f,\n" baseline_agm;
   p "    \"kernel_agm_ops_per_sec\": %.0f,\n" kernel_agm;
   p "    \"agm_kernel_speedup\": %.3f\n" (kernel_agm /. baseline_agm);
+  p "  },\n";
+  p "  \"metrics_overhead\": {\n";
+  p "    \"agm_ops_per_sec_disabled\": %.0f,\n" obs_off;
+  p "    \"agm_ops_per_sec_enabled\": %.0f,\n" obs_on;
+  p "    \"enabled_overhead_frac\": %.4f\n" obs_overhead;
   p "  },\n";
   p "  \"parallel_agm\": [\n";
   List.iteri

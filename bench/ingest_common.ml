@@ -128,3 +128,37 @@ let parallel_agm_rate ~n ~updates ~domains =
   let proto = Ds_agm.Agm_sketch.create (Prng.create seed) ~n ~params:(agm_params ~n) in
   Ds_par.Pool.with_pool ~domains (fun pool ->
       rate ~ops:updates (fun () -> Ds_par.Shard_ingest.agm pool proto w))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the instrumented sharded AGM path, registry off
+   vs on.  Instrumentation is batch-granular, so both rates should be
+   within noise of each other; the bench guard enforces < 3%.
+
+   The two configurations are measured interleaved (off, on, off, on,
+   ...) taking the best wall clock of each, so machine-load drift over
+   the measurement window inflates both sides alike instead of being
+   charged to whichever ran second. *)
+
+let metrics_overhead_agm_rates ~n ~updates ~domains =
+  let w = agm_workload ~n ~updates in
+  let proto = Ds_agm.Agm_sketch.create (Prng.create seed) ~n ~params:(agm_params ~n) in
+  Ds_par.Pool.with_pool ~domains (fun pool ->
+      let timed () =
+        Gc.compact ();
+        let t0 = Unix.gettimeofday () in
+        Ds_par.Shard_ingest.agm pool proto w;
+        Unix.gettimeofday () -. t0
+      in
+      let best_off = ref infinity and best_on = ref infinity in
+      for _ = 1 to 9 do
+        Ds_obs.Export.disable ();
+        let off = timed () in
+        if off < !best_off then best_off := off;
+        Ds_obs.Export.enable ();
+        let on = timed () in
+        if on < !best_on then best_on := on
+      done;
+      Ds_obs.Export.disable ();
+      Ds_obs.Export.reset ();
+      let ops = float_of_int updates in
+      (ops /. !best_off, ops /. !best_on))

@@ -867,6 +867,102 @@ let e15 () =
   Fmt.pr "ceil(log2 n) Boruvka rounds it must fund.@."
 
 (* ------------------------------------------------------------------ *)
+(* E16: telemetry — measured space vs closed-form bounds via the ledger *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  header "E16" "Telemetry: measured space vs theorem bounds (space-ledger constants)";
+  let module Obs = Ds_obs in
+  Obs.Export.enable ();
+  Obs.Export.reset ();
+  let ledger_entry phase =
+    List.find_opt (fun e -> e.Obs.Ledger.phase = phase) (Obs.Ledger.entries ())
+  in
+  Fmt.pr "two-pass spanner: pass-1 sketch words vs k n^(1+1/k) log n (Theorem 1)@.";
+  Fmt.pr "%-6s %-3s %-12s %-12s %-12s %-9s %-5s@." "n" "k" "pass1(w)" "ckpt(B)" "bound(w)" "c"
+    "ok";
+  line ();
+  List.iter
+    (fun (n, k) ->
+      Obs.Export.reset ();
+      let rng = Prng.create (master_seed + n + (1000 * k)) in
+      let g = Gen.connected_gnp (Prng.split rng) ~n ~p:(12.0 /. float_of_int n) in
+      let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:(Graph.num_edges g) g in
+      ignore
+        (Two_pass_spanner.run (Prng.split rng) ~n
+           ~params:(Two_pass_spanner.default_params ~k)
+           stream);
+      (match ledger_entry "two_pass.pass1" with
+      | Some e ->
+          Fmt.pr "%-6d %-3d %-12d %-12d %-12.0f %-9.2f %-5b@." n k e.Obs.Ledger.words
+            e.Obs.Ledger.wire_bytes e.Obs.Ledger.bound_words e.Obs.Ledger.constant
+            (Obs.Ledger.check e)
+      | None -> Fmt.pr "%-6d %-3d (no ledger entry)@." n k);
+      Gc.compact ())
+    [ (64, 2); (128, 2); (256, 2); (64, 3); (128, 3); (256, 3); (384, 3); (128, 4); (256, 4) ];
+  Fmt.pr "expected: at fixed k the constant c stays flat as n doubles (measured state tracks@.";
+  Fmt.pr "the n^(1+1/k) curve); polylog slack keeps c well under the ledger tolerance.@.";
+  Fmt.pr "@.additive spanner: total sketch words vs n d log n (Theorem 3)@.";
+  Fmt.pr "%-6s %-3s %-12s %-12s %-12s %-9s %-5s@." "n" "d" "words" "agm-wire(B)" "bound(w)" "c"
+    "ok";
+  line ();
+  List.iter
+    (fun (n, d) ->
+      Obs.Export.reset ();
+      let rng = Prng.create (master_seed + n + d) in
+      let g = Gen.connected_gnp (Prng.split rng) ~n ~p:(10.0 /. float_of_int n) in
+      let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:(Graph.num_edges g) g in
+      ignore
+        (Additive_spanner.run (Prng.split rng) ~n
+           ~params:(Additive_spanner.default_params ~n ~d)
+           stream);
+      (match ledger_entry "additive.total" with
+      | Some e ->
+          Fmt.pr "%-6d %-3d %-12d %-12d %-12.0f %-9.2f %-5b@." n d e.Obs.Ledger.words
+            e.Obs.Ledger.wire_bytes e.Obs.Ledger.bound_words e.Obs.Ledger.constant
+            (Obs.Ledger.check e)
+      | None -> Fmt.pr "%-6d %-3d (no ledger entry)@." n d);
+      Gc.compact ())
+    [ (128, 2); (128, 4); (128, 8); (256, 4) ];
+  (* The healing counters of E15, replayed through the metrics registry:
+     the same numbers dynospan chaos --metrics exports, so the two
+     experiment tables share one export path. *)
+  Fmt.pr "@.chaos healing counters via the registry (one export path with E15):@.";
+  Obs.Export.reset ();
+  let n = 128 in
+  let rng = Prng.create (master_seed + 15) in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.06 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:(Graph.num_edges g) g in
+  let module CS = Ds_sim.Cluster_sim in
+  let r =
+    CS.run_supervised
+      ~plan:(Ds_fault.Fault_plan.random ~seed:(master_seed + 4) ~rate:0.2)
+      (Prng.create (master_seed + 15))
+      ~n ~servers:4 ~partition:CS.Round_robin stream
+  in
+  let snap = Obs.Metrics.snapshot () in
+  let c name = Option.value ~default:0 (List.assoc_opt name snap.Obs.Metrics.counters) in
+  let gauge name = Option.value ~default:0 (List.assoc_opt name snap.Obs.Metrics.gauges) in
+  Fmt.pr "%-28s %-10s %-10s@." "counter" "registry" "report";
+  line ();
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.attempts" (c "cluster.attempts") r.CS.sup_attempts;
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.faults" (c "cluster.faults") r.CS.sup_faults;
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.retries" (c "cluster.retries") r.CS.sup_retries;
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.healed_servers" (c "cluster.healed_servers")
+    (List.length r.CS.sup_reingested_servers);
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.reingested_updates" (c "cluster.reingested_updates")
+    r.CS.sup_reingested_updates;
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.recovery_bytes" (c "cluster.recovery_bytes")
+    r.CS.sup_recovery_bytes;
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.lost_servers" (c "cluster.lost_servers")
+    (List.length r.CS.sup_lost_servers);
+  Fmt.pr "%-28s %-10d %-10d@." "cluster.quorum (gauge)" (gauge "cluster.quorum") r.CS.sup_quorum;
+  Fmt.pr "expected: registry equals report column for column -- the metrics path is a view@.";
+  Fmt.pr "over the same accounting, not a second bookkeeping.@.";
+  Obs.Export.disable ();
+  Obs.Export.reset ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -885,6 +981,7 @@ let experiments =
     ("e13", e13);
     ("e14", e14);
     ("e15", e15);
+    ("e16", e16);
   ]
 
 let () =
@@ -901,5 +998,5 @@ let () =
       | Some f ->
           f ();
           Gc.compact ()
-      | None -> Fmt.epr "unknown experiment %S (known: e1..e15)@." name)
+      | None -> Fmt.epr "unknown experiment %S (known: e1..e16)@." name)
     requested

@@ -53,6 +53,40 @@ let decoys_arg =
     & info [ "decoys" ] ~docv:"D"
         ~doc:"Decoy edges inserted and later deleted (stream churn). 0 = insert-only.")
 
+(* Telemetry flags, shared by every subcommand.  Off by default so the
+   default output of every command (which the chaos and checkpoint CI
+   smoke tests diff byte-for-byte) is unchanged. *)
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Enable the telemetry registry (counters, spans, space ledger) and print a summary \
+           plus a JSON report after the run.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Enable telemetry and write the combined JSON report (metrics + spans + space \
+           ledger) to $(docv). Implies $(b,--metrics).")
+
+let with_obs ~metrics ~metrics_out f =
+  let on = metrics || metrics_out <> None in
+  if on then Ds_obs.Export.enable ();
+  let r = f () in
+  if on then begin
+    Fmt.pr "%a" Ds_obs.Export.pp_summary ();
+    match metrics_out with
+    | Some path ->
+        Ds_obs.Export.write_report ~path;
+        Fmt.pr "metrics: wrote %s@." path
+    | None -> print_string (Ds_obs.Export.report_json ())
+  end;
+  r
+
 let setup ~family ~n ~p ~seed ~decoys =
   let rng = Prng.create seed in
   let g = make_graph (Prng.split rng) ~family ~n ~p in
@@ -117,7 +151,8 @@ let k_spanner_arg =
   Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch exponent (2^k).")
 
 let spanner_cmd =
-  let run family n p seed decoys k =
+  let run family n p seed decoys k metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let r =
       Two_pass_spanner.run (Prng.split rng) ~n:(Graph.n g)
@@ -128,7 +163,9 @@ let spanner_cmd =
   in
   Cmd.v
     (Cmd.info "spanner" ~doc:"Two-pass 2^k multiplicative spanner (Theorem 1).")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg
+      $ metrics_arg $ metrics_out_arg)
 
 (* checkpoint/resume: the same workload is re-derived from the same CLI
    arguments (the whole pipeline is seed-deterministic), so the two
@@ -142,7 +179,8 @@ let file_arg =
     & info [ "file" ] ~docv:"PATH" ~doc:"Checkpoint file path.")
 
 let checkpoint_cmd =
-  let run family n p seed decoys k file =
+  let run family n p seed decoys k file metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let ck =
       Two_pass_spanner.checkpoint (Prng.split rng) ~n:(Graph.n g)
@@ -160,7 +198,8 @@ let checkpoint_cmd =
          "Run pass 1 of the two-pass spanner and serialise the pass boundary to a file. Resume \
           in a fresh process with the same arguments.")
     Term.(
-      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg)
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg
+      $ metrics_arg $ metrics_out_arg)
 
 (* A damaged checkpoint is an operational condition, not a crash: print one
    diagnostic line on stderr and exit 2, never an OCaml backtrace. *)
@@ -175,7 +214,8 @@ let read_checkpoint_file file =
     exit 2
 
 let resume_cmd =
-  let run family n p seed decoys k file recover =
+  let run family n p seed decoys k file recover metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let params = Two_pass_spanner.default_params ~k in
     let checkpoint = read_checkpoint_file file in
@@ -222,10 +262,11 @@ let resume_cmd =
           $(b,--recover) is given).")
     Term.(
       const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_spanner_arg $ file_arg
-      $ recover_arg)
+      $ recover_arg $ metrics_arg $ metrics_out_arg)
 
 let chaos_cmd =
-  let run family n p seed decoys servers rate fault_seed no_heal =
+  let run family n p seed decoys servers rate fault_seed no_heal metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let plan =
       if rate <= 0.0 then Ds_fault.Fault_plan.none
@@ -272,10 +313,11 @@ let chaos_cmd =
           is wrong.")
     Term.(
       const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ servers_arg $ rate_arg
-      $ fault_seed_arg $ no_heal_arg)
+      $ fault_seed_arg $ no_heal_arg $ metrics_arg $ metrics_out_arg)
 
 let additive_cmd =
-  let run family n p seed decoys d =
+  let run family n p seed decoys d metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let r =
       Additive_spanner.run (Prng.split rng) ~n:(Graph.n g)
@@ -299,10 +341,13 @@ let additive_cmd =
   let d_arg = Arg.(value & opt int 4 & info [ "d" ] ~docv:"D" ~doc:"Space/distortion knob.") in
   Cmd.v
     (Cmd.info "additive" ~doc:"Single-pass n/d-additive spanner (Theorem 3).")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ d_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ d_arg $ metrics_arg
+      $ metrics_out_arg)
 
 let sparsify_cmd =
-  let run family n p seed decoys k eps rounds =
+  let run family n p seed decoys k eps rounds metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let n = Graph.n g in
     let prm = Sparsify.default_params ~k ~eps ~n in
@@ -328,10 +373,11 @@ let sparsify_cmd =
     (Cmd.info "sparsify" ~doc:"Two-pass spectral sparsifier (Corollary 2).")
     Term.(
       const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg $ eps_arg
-      $ rounds_arg)
+      $ rounds_arg $ metrics_arg $ metrics_out_arg)
 
 let forest_cmd =
-  let run family n p seed decoys =
+  let run family n p seed decoys metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let n = Graph.n g in
     let t =
@@ -350,10 +396,13 @@ let forest_cmd =
   in
   Cmd.v
     (Cmd.info "forest" ~doc:"AGM spanning forest from linear sketches.")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ metrics_arg
+      $ metrics_out_arg)
 
 let kconn_cmd =
-  let run family n p seed decoys k =
+  let run family n p seed decoys k metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let n = Graph.n g in
     let t =
@@ -376,10 +425,13 @@ let kconn_cmd =
   let k_arg = Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"Connectivity to certify.") in
   Cmd.v
     (Cmd.info "kconn" ~doc:"k-edge-connectivity certificate from sketches.")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg $ metrics_arg
+      $ metrics_out_arg)
 
 let mst_cmd =
-  let run family n p seed gamma =
+  let run family n p seed gamma metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng = Prng.create seed in
     let g = make_graph (Prng.split rng) ~family ~n ~p in
     let n = Graph.n g in
@@ -412,10 +464,13 @@ let mst_cmd =
   in
   Cmd.v
     (Cmd.info "mst" ~doc:"Approximate minimum spanning forest from sketches.")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ gamma_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ gamma_arg $ metrics_arg
+      $ metrics_out_arg)
 
 let bipartite_cmd =
-  let run family n p seed decoys =
+  let run family n p seed decoys metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
     let n = Graph.n g in
     let t =
@@ -434,10 +489,13 @@ let bipartite_cmd =
   in
   Cmd.v
     (Cmd.info "bipartite" ~doc:"Bipartiteness test from sketches.")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ metrics_arg
+      $ metrics_out_arg)
 
 let offline_cmd =
-  let run family n p seed algo k =
+  let run family n p seed algo k metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let rng = Prng.create seed in
     let g = make_graph (Prng.split rng) ~family ~n ~p in
     let spanner, name, bound =
@@ -464,7 +522,66 @@ let offline_cmd =
   let k_arg = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Stretch parameter.") in
   Cmd.v
     (Cmd.info "offline" ~doc:"Offline reference spanners (baselines).")
-    Term.(const run $ family_arg $ n_arg $ p_arg $ seed_arg $ algo_arg $ k_arg)
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ algo_arg $ k_arg $ metrics_arg
+      $ metrics_out_arg)
+
+(* Replay a seeded workload with span tracing on and export the spans.
+   Replay, not attach: the whole pipeline is seed-deterministic, so
+   re-running the same arguments reproduces the same work (up to wall
+   clock) and tracing needs no always-on recording in the algorithms. *)
+let trace_cmd =
+  let run family n p seed decoys algo k out =
+    Ds_obs.Export.enable ();
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let n = Graph.n g in
+    (match algo with
+    | "spanner" ->
+        ignore
+          (Two_pass_spanner.run (Prng.split rng) ~n
+             ~params:(Two_pass_spanner.default_params ~k)
+             stream)
+    | "additive" ->
+        ignore
+          (Additive_spanner.run (Prng.split rng) ~n
+             ~params:(Additive_spanner.default_params ~n ~d:k)
+             stream)
+    | "cluster" ->
+        ignore
+          (Ds_sim.Cluster_sim.run (Prng.split rng) ~n ~servers:4
+             ~partition:Ds_sim.Cluster_sim.Round_robin stream)
+    | other -> invalid_arg (Printf.sprintf "unknown trace workload %S" other));
+    let jsonl = Ds_obs.Trace.to_jsonl () in
+    match out with
+    | Some path ->
+        write_file path jsonl;
+        Fmt.pr "trace: %d spans -> %s@." (List.length (Ds_obs.Trace.spans ())) path
+    | None -> print_string jsonl
+  in
+  let algo_arg =
+    Arg.(
+      value & opt string "spanner"
+      & info [ "algo" ] ~docv:"A" ~doc:"Workload to replay: spanner, additive, or cluster.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "k" ] ~docv:"K" ~doc:"Stretch exponent (spanner) or d (additive).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write span JSON-lines to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a seeded workload with span tracing enabled and export the recorded spans as \
+          JSON-lines (one span object per line, monotonic-clock timestamps).")
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ algo_arg $ k_arg
+      $ out_arg)
 
 let () =
   let doc = "spanners and sparsifiers in dynamic streams (Kapralov-Woodruff, PODC 2014)" in
@@ -477,6 +594,7 @@ let () =
             checkpoint_cmd;
             resume_cmd;
             chaos_cmd;
+            trace_cmd;
             additive_cmd;
             sparsify_cmd;
             forest_cmd;

@@ -42,6 +42,10 @@ let space_bound ~n ~d =
   let nf = float_of_int n in
   nf *. float_of_int d *. log (max 2.0 nf) /. log 2.0
 
+let m_updates = Ds_obs.Metrics.counter "additive.updates"
+let m_misclassified = Ds_obs.Metrics.counter "additive.degree_misclassified"
+let m_orphans = Ds_obs.Metrics.counter "additive.orphan_high"
+
 let run rng ~n ~params:prm stream =
   if prm.d < 1 then invalid_arg "Additive_spanner.run: d must be >= 1";
   let rng = Prng.split_named rng "additive_spanner" in
@@ -67,18 +71,20 @@ let run rng ~n ~params:prm stream =
   in
   let agm = Agm_sketch.create (Prng.split_named rng "agm") ~n ~params:prm.agm in
   (* ---- The single pass. ---- *)
-  Array.iter
-    (fun (u : Update.t) ->
-      let delta = Update.delta u in
-      let touch a b =
-        Sparse_recovery.update nbr_sketch.(a) ~index:b ~delta;
-        F0.update deg_est.(a) ~index:b ~delta;
-        if is_center.(b) then L0_sampler.update center_sampler.(a) ~index:b ~delta
-      in
-      touch u.Update.u u.Update.v;
-      touch u.Update.v u.Update.u;
-      Agm_sketch.update agm ~u:u.Update.u ~v:u.Update.v ~delta)
-    stream;
+  Ds_obs.Metrics.incr m_updates (Array.length stream);
+  (Ds_obs.Trace.with_span "additive.pass" @@ fun () ->
+   Array.iter
+     (fun (u : Update.t) ->
+       let delta = Update.delta u in
+       let touch a b =
+         Sparse_recovery.update nbr_sketch.(a) ~index:b ~delta;
+         F0.update deg_est.(a) ~index:b ~delta;
+         if is_center.(b) then L0_sampler.update center_sampler.(a) ~index:b ~delta
+       in
+       touch u.Update.u u.Update.v;
+       touch u.Update.v u.Update.u;
+       Agm_sketch.update agm ~u:u.Update.u ~v:u.Update.v ~delta)
+     stream);
   (* ---- Post-processing. ---- *)
   let spanner = Graph.create n in
   let add a b = if a <> b && not (Graph.mem_edge spanner a b) then Graph.add_edge spanner a b in
@@ -121,6 +127,15 @@ let run rng ~n ~params:prm stream =
     + Array.fold_left (fun acc s -> acc + L0_sampler.space_in_words s) 0 center_sampler
     + Agm_sketch.space_in_words agm
   in
+  if Ds_obs.Metrics.enabled () then begin
+    Ds_obs.Metrics.incr m_misclassified !misclassified;
+    Ds_obs.Metrics.incr m_orphans !orphan;
+    (* Wire bytes: the AGM sketch is the dominant shippable state; the
+       per-vertex recovery sketches live coordinator-side only. *)
+    Ds_obs.Ledger.record ~phase:"additive.total" ~words:space
+      ~wire_bytes:(String.length (Agm_sketch.serialize agm))
+      (space_bound ~n ~d:prm.d)
+  end;
   {
     spanner;
     space_words = space;

@@ -44,6 +44,19 @@ let space_bound ~n ~k =
   let nf = float_of_int n and kf = float_of_int k in
   kf *. (nf ** (1.0 +. (1.0 /. kf))) *. log (max 2.0 nf) /. log 2.0
 
+(* Telemetry: per-pass counters and the space ledger (all no-ops unless
+   Ds_obs.Metrics is enabled).  Qualified [Ds_obs.Trace] throughout —
+   [open Ds_stream] is in scope. *)
+let m_p1_updates = Ds_obs.Metrics.counter "spanner.pass1.updates"
+let m_p2_updates = Ds_obs.Metrics.counter "spanner.pass2.updates"
+let m_fail_pass1 = Ds_obs.Metrics.counter "spanner.decode_fail.pass1"
+let m_fail_table = Ds_obs.Metrics.counter "spanner.decode_fail.table"
+let m_fail_payload = Ds_obs.Metrics.counter "spanner.decode_fail.payload"
+let m_recovered = Ds_obs.Metrics.counter "spanner.recovered_edges"
+let m_ckpt_bytes = Ds_obs.Metrics.counter "spanner.checkpoint.bytes"
+let m_resume_ok = Ds_obs.Metrics.counter "spanner.resume.ok"
+let m_resume_rejected = Ds_obs.Metrics.counter "spanner.resume.rejected"
+
 (* ------------------------------------------------------------------ *)
 (* Pass 1: the S^r_j sketches and the cluster forest.                   *)
 (* ------------------------------------------------------------------ *)
@@ -128,6 +141,8 @@ let merge_sketches dst src =
     src
 
 let pass1_fill p ~ingest stream =
+  Ds_obs.Metrics.incr m_p1_updates (Array.length stream);
+  Ds_obs.Trace.with_span "spanner.pass1" @@ fun () ->
   match ingest with
   | `Sequential -> Array.iter (pass1_update p) stream
   | `Parallel pool ->
@@ -385,19 +400,26 @@ let derive rng ~n ~prm =
   let rng = Prng.split_named rng "two_pass_spanner" in
   (rng, make_pass1 (Prng.split_named rng "pass1") ~n ~prm)
 
+(* Space of pass 1: per-vertex cells plus one shared hash set per (r, j).
+   Shared with the space ledger, which reports the measured constant of
+   this quantity against [space_bound]. *)
+let pass1_space_words p1 =
+  let per_sketch =
+    if p1.prm.k > 1 then Sparse_recovery.space_in_words p1.sketches.(0).(0).(0)
+    else 0
+  in
+  p1.n * (p1.prm.k - 1) * p1.levels * per_sketch
+
 let finish rng p1 ~n ~prm stream =
   let clustering =
+    Ds_obs.Trace.with_span "spanner.clustering" @@ fun () ->
     Clustering.build ~n ~k:prm.k ~centers:p1.centers ~attach:(attach p1)
   in
-  (* Space of pass 1: per-vertex cells plus one shared hash set per (r, j). *)
-  let pass1_space =
-    let per_sketch =
-      if prm.k > 1 then Sparse_recovery.space_in_words p1.sketches.(0).(0).(0) else 0
-    in
-    n * (prm.k - 1) * p1.levels * per_sketch
-  in
+  let pass1_space = pass1_space_words p1 in
   let p2 = make_pass2 (Prng.split_named rng "pass2") ~n ~prm clustering in
-  Array.iter (pass2_update p2) stream;
+  Ds_obs.Metrics.incr m_p2_updates (Array.length stream);
+  (Ds_obs.Trace.with_span "spanner.pass2" @@ fun () ->
+   Array.iter (pass2_update p2) stream);
   (* Assemble the spanner. *)
   let spanner = Graph.create n in
   let add a b = if a <> b && not (Graph.mem_edge spanner a b) then Graph.add_edge spanner a b in
@@ -439,6 +461,20 @@ let finish rng p1 ~n ~prm stream =
     (fun { Clustering.level; _ } ->
       terminals_per_level.(level) <- terminals_per_level.(level) + 1)
     clustering.Clustering.terminals;
+  if Ds_obs.Metrics.enabled () then begin
+    Ds_obs.Metrics.incr m_fail_pass1 p1.decode_failures;
+    Ds_obs.Metrics.incr m_fail_table !table_failures;
+    Ds_obs.Metrics.incr m_fail_payload !payload_failures;
+    Ds_obs.Metrics.incr m_recovered !recovered;
+    (* The checkpoint blob is exactly the pass-1 state on the wire, so
+       its length is the serialized-bytes column of the ledger entry. *)
+    let bound = space_bound ~n ~k:prm.k in
+    Ds_obs.Ledger.record ~phase:"two_pass.pass1" ~words:pass1_space
+      ~wire_bytes:(String.length (serialize_pass1 p1))
+      bound;
+    Ds_obs.Ledger.record ~phase:"two_pass.total"
+      ~words:(pass1_space + pass2_space) bound
+  end;
   {
     spanner;
     accessed_edges = !accessed;
@@ -462,13 +498,19 @@ let run ?(ingest = `Sequential) rng ~n ~params:prm stream =
 let checkpoint ?(ingest = `Sequential) rng ~n ~params:prm stream =
   let _rng, p1 = derive rng ~n ~prm in
   pass1_fill p1 ~ingest stream;
-  serialize_pass1 p1
+  let data = Ds_obs.Trace.with_span "spanner.checkpoint" (fun () -> serialize_pass1 p1) in
+  Ds_obs.Metrics.incr m_ckpt_bytes (String.length data);
+  data
 
 let resume_result rng ~n ~params:prm ~checkpoint stream =
   let rng, p1 = derive rng ~n ~prm in
-  match load_pass1_result p1 checkpoint with
-  | Ok () -> Ok (finish rng p1 ~n ~prm stream)
-  | Error e -> Error e
+  match Ds_obs.Trace.with_span "spanner.resume.load" (fun () -> load_pass1_result p1 checkpoint) with
+  | Ok () ->
+      Ds_obs.Metrics.incr m_resume_ok 1;
+      Ok (finish rng p1 ~n ~prm stream)
+  | Error e ->
+      Ds_obs.Metrics.incr m_resume_rejected 1;
+      Error e
 
 let resume rng ~n ~params:prm ~checkpoint stream =
   match resume_result rng ~n ~params:prm ~checkpoint stream with

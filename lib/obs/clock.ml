@@ -1,0 +1,3 @@
+external now_ns : unit -> int64 = "ds_obs_clock_now_ns"
+
+let elapsed_ns t0 = Int64.sub (now_ns ()) t0

@@ -1,0 +1,8 @@
+(** Monotonic clock. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary fixed origin ([CLOCK_MONOTONIC]).
+    Only differences between two readings are meaningful. *)
+
+val elapsed_ns : int64 -> int64
+(** [elapsed_ns t0] is [now_ns () - t0]. *)

@@ -1,0 +1,53 @@
+let enable () =
+  Metrics.set_enabled true;
+  Trace.set_enabled true
+
+let disable () =
+  Metrics.set_enabled false;
+  Trace.set_enabled false
+
+let active () = Metrics.enabled () || Trace.enabled ()
+
+let reset () =
+  Metrics.reset ();
+  Trace.reset ();
+  Ledger.reset ()
+
+let report_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"schema\":\"ds_obs/v1\",\"metrics\":";
+  Buffer.add_string b (Metrics.to_json (Metrics.snapshot ()));
+  Buffer.add_string b ",\"spans\":[";
+  List.iteri
+    (fun i (sp : Trace.span) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"domain\":%d}"
+           sp.name sp.start_ns sp.dur_ns sp.domain))
+    (Trace.spans ());
+  Buffer.add_string b "],\"ledger\":";
+  Buffer.add_string b (Ledger.to_json ());
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let write_report ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (report_json ()))
+
+let prometheus () = Metrics.to_prometheus (Metrics.snapshot ())
+
+let pp_summary ppf () =
+  let snap = Metrics.snapshot () in
+  let nonzero = List.filter (fun (_, v) -> v <> 0) snap.Metrics.counters in
+  Format.fprintf ppf "obs: %d counters (%d non-zero), %d spans recorded@."
+    (List.length snap.Metrics.counters)
+    (List.length nonzero) (Trace.recorded ());
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %s = %d@." name v)
+    nonzero;
+  List.iter
+    (fun e -> Format.fprintf ppf "space-ledger: %a@." Ledger.pp_entry e)
+    (Ledger.entries ())

@@ -1,0 +1,58 @@
+type entry = {
+  phase : string;
+  words : int;
+  wire_bytes : int;
+  bound_words : float;
+  constant : float;
+}
+
+(* The asymptotic bounds drop polylog factors and the per-level
+   repetition constants of the l0-sampler stack; measured constants for
+   honest reproductions land well under this. *)
+let default_tolerance = 4096.
+let lock = Mutex.create ()
+let items : entry list ref = ref []
+
+let record ?(wire_bytes = 0) ~phase ~words bound =
+  if Metrics.enabled () then begin
+    if bound <= 0. then invalid_arg "Ds_obs.Ledger.record: bound must be > 0";
+    if words < 0 then invalid_arg "Ds_obs.Ledger.record: words must be >= 0";
+    let e =
+      { phase; words; wire_bytes; bound_words = bound; constant = float_of_int words /. bound }
+    in
+    Mutex.lock lock;
+    items := e :: !items;
+    Mutex.unlock lock
+  end
+
+let entries () =
+  Mutex.lock lock;
+  let l = List.rev !items in
+  Mutex.unlock lock;
+  l
+
+let check ?(tolerance = default_tolerance) e =
+  e.constant >= 0. && e.constant <= tolerance
+
+let reset () =
+  Mutex.lock lock;
+  items := [];
+  Mutex.unlock lock
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s words=%d wire=%dB bound=%.1f c=%.3f ok=%b" e.phase
+    e.words e.wire_bytes e.bound_words e.constant (check e)
+
+let to_json () =
+  let b = Buffer.create 256 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"phase\":\"%s\",\"words\":%d,\"wire_bytes\":%d,\"bound_words\":%.3f,\"constant\":%.6f,\"within_bound\":%b}"
+           e.phase e.words e.wire_bytes e.bound_words e.constant (check e)))
+    (entries ());
+  Buffer.add_char b ']';
+  Buffer.contents b

@@ -1,0 +1,237 @@
+let shards = 32
+let shard_mask = shards - 1
+let n_buckets = 63
+
+type counter = { c_name : string; c_cells : int Atomic.t array }
+type gauge = { g_name : string; g_cell : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  (* cells.(s) holds [n_buckets] bucket slots followed by one sum slot. *)
+  h_cells : int Atomic.t array array;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let cells n = Array.init n (fun _ -> Atomic.make 0)
+
+let register name ~kind ~make ~cast =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match cast m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Ds_obs.Metrics: %S already registered as a different kind \
+                    (wanted %s)"
+                   name kind))
+      | None ->
+          let v, m = make () in
+          Hashtbl.add registry name m;
+          v)
+
+let counter name =
+  register name ~kind:"counter"
+    ~make:(fun () ->
+      let c = { c_name = name; c_cells = cells shards } in
+      (c, C c))
+    ~cast:(function C c -> Some c | _ -> None)
+
+let gauge name =
+  register name ~kind:"gauge"
+    ~make:(fun () ->
+      let g = { g_name = name; g_cell = Atomic.make 0 } in
+      (g, G g))
+    ~cast:(function G g -> Some g | _ -> None)
+
+let histogram name =
+  register name ~kind:"histogram"
+    ~make:(fun () ->
+      let h =
+        { h_name = name; h_cells = Array.init shards (fun _ -> cells (n_buckets + 1)) }
+      in
+      (h, H h))
+    ~cast:(function H h -> Some h | _ -> None)
+
+let shard_index () = (Domain.self () :> int) land shard_mask
+
+let incr c n =
+  if Atomic.get enabled_flag then
+    ignore (Atomic.fetch_and_add c.c_cells.(shard_index ()) n)
+
+let set g v = if Atomic.get enabled_flag then Atomic.set g.g_cell v
+
+(* Bucket [b] holds values in [2^b, 2^(b+1)); everything <= 1 lands in
+   bucket 0.  A shift loop, not [log], so samples stay exact. *)
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let b = ref 0 and x = ref v in
+    while !x > 1 do
+      b := !b + 1;
+      x := !x lsr 1
+    done;
+    min !b (n_buckets - 1)
+  end
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let row = h.h_cells.(shard_index ()) in
+    ignore (Atomic.fetch_and_add row.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add row.(n_buckets) v)
+  end
+
+let value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_cells
+let gauge_value g = Atomic.get g.g_cell
+
+type hist_view = {
+  h_count : int;
+  h_sum : int;
+  h_buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_view) list;
+}
+
+let le_of_bucket b = if b >= 62 then max_int else (1 lsl (b + 1)) - 1
+
+let hist_view h =
+  let totals = Array.make (n_buckets + 1) 0 in
+  Array.iter
+    (fun row ->
+      for i = 0 to n_buckets do
+        totals.(i) <- totals.(i) + Atomic.get row.(i)
+      done)
+    h.h_cells;
+  let buckets = ref [] in
+  let count = ref 0 in
+  for b = n_buckets - 1 downto 0 do
+    if totals.(b) > 0 then begin
+      buckets := (le_of_bucket b, totals.(b)) :: !buckets;
+      count := !count + totals.(b)
+    end
+  done;
+  { h_count = !count; h_sum = totals.(n_buckets); h_buckets = !buckets }
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  with_lock (fun () ->
+      let cs = ref [] and gs = ref [] and hs = ref [] in
+      Hashtbl.iter
+        (fun name -> function
+          | C c -> cs := (name, value c) :: !cs
+          | G g -> gs := (name, gauge_value g) :: !gs
+          | H h -> hs := (name, hist_view h) :: !hs)
+        registry;
+      {
+        counters = List.sort by_name !cs;
+        gauges = List.sort by_name !gs;
+        histograms = List.sort by_name !hs;
+      })
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+          | C c -> Array.iter (fun a -> Atomic.set a 0) c.c_cells
+          | G g -> Atomic.set g.g_cell 0
+          | H h ->
+              Array.iter (fun row -> Array.iter (fun a -> Atomic.set a 0) row)
+                h.h_cells)
+        registry)
+
+(* --- exporters ------------------------------------------------------- *)
+
+let escape b s =
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_obj b fields emit =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      escape b name;
+      Buffer.add_string b "\":";
+      emit b v)
+    fields;
+  Buffer.add_char b '}'
+
+let to_json snap =
+  let b = Buffer.create 1024 in
+  let int_emit b v = Buffer.add_string b (string_of_int v) in
+  let hist_emit b h =
+    Buffer.add_string b (Printf.sprintf "{\"count\":%d,\"sum\":%d,\"buckets\":[" h.h_count h.h_sum);
+    List.iteri
+      (fun i (le, n) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "{\"le\":%d,\"count\":%d}" le n))
+      h.h_buckets;
+    Buffer.add_string b "]}"
+  in
+  Buffer.add_string b "{\"counters\":";
+  json_obj b snap.counters int_emit;
+  Buffer.add_string b ",\"gauges\":";
+  json_obj b snap.gauges int_emit;
+  Buffer.add_string b ",\"histograms\":";
+  json_obj b snap.histograms hist_emit;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let sanitize name =
+  String.map (function '.' | '-' | ' ' -> '_' | c -> c) name
+
+let to_prometheus snap =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    snap.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %d\n" n n v))
+    snap.gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = sanitize name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (le, cnt) ->
+          cum := !cum + cnt;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le !cum))
+        h.h_buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n" n
+           h.h_count n h.h_sum n h.h_count))
+    snap.histograms;
+  Buffer.contents b

@@ -1,0 +1,22 @@
+/* Monotonic clock primitive for Ds_obs.Clock.
+
+   CLOCK_MONOTONIC never jumps backwards under NTP adjustments, which is
+   the property span durations need.  Unix.gettimeofday is wall clock and
+   mtime is not vendored, hence this 20-line stub. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ds_obs_clock_now_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL +
+                         (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,61 @@
+type span = { name : string; start_ns : int64; dur_ns : int64; domain : int }
+
+let dummy = { name = ""; start_ns = 0L; dur_ns = 0L; domain = 0 }
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* The ring is an array of boxed records: a slot write is a single
+   pointer store, so concurrent readers never see a torn span.  [next]
+   counts every span ever recorded; slot = next mod capacity. *)
+let ring = ref (Array.make 4096 dummy)
+let next = Atomic.make 0
+let capacity () = Array.length !ring
+
+let reset ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Ds_obs.Trace.reset: capacity must be > 0"
+  | Some c -> ring := Array.make c dummy
+  | None -> Array.fill !ring 0 (Array.length !ring) dummy);
+  Atomic.set next 0
+
+let push sp =
+  let r = !ring in
+  let i = Atomic.fetch_and_add next 1 in
+  r.(i mod Array.length r) <- sp
+
+let record name ~start_ns ~dur_ns =
+  if Atomic.get enabled_flag then
+    push { name; start_ns; dur_ns; domain = (Domain.self () :> int) }
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        record name ~start_ns:t0 ~dur_ns:(Clock.elapsed_ns t0))
+      f
+  end
+
+let recorded () = Atomic.get next
+
+let spans () =
+  let r = !ring in
+  let cap = Array.length r in
+  let total = Atomic.get next in
+  let kept = min total cap in
+  let first = total - kept in
+  List.init kept (fun i -> r.((first + i) mod cap))
+
+let to_jsonl () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun sp ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"domain\":%d}\n"
+           (String.concat "\\\"" (String.split_on_char '"' sp.name))
+           sp.start_ns sp.dur_ns sp.domain))
+    (spans ());
+  Buffer.contents b

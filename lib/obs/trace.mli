@@ -1,0 +1,43 @@
+(** Lightweight span tracing into a fixed-size ring buffer.
+
+    Spans carry monotonic-clock timestamps ({!Clock.now_ns}) and the id
+    of the recording domain.  The ring keeps the most recent
+    [capacity] spans; older ones are overwritten (the total recorded
+    count is still reported, so drops are visible).  Disabled tracing
+    costs one atomic load + branch per [with_span]. *)
+
+type span = {
+  name : string;
+  start_ns : int64;  (** monotonic, arbitrary origin *)
+  dur_ns : int64;
+  domain : int;  (** integer id of the recording domain *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val capacity : unit -> int
+(** Current ring capacity (default 4096). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, when enabled, records a span even
+    if [f] raises. *)
+
+val record : string -> start_ns:int64 -> dur_ns:int64 -> unit
+(** Record a span with explicit timestamps (for replaying external
+    timings).  No-op when disabled. *)
+
+val spans : unit -> span list
+(** The retained spans in recording order (oldest first). *)
+
+val recorded : unit -> int
+(** Total spans recorded since the last [reset], including overwritten
+    ones; [recorded () - List.length (spans ())] spans were dropped. *)
+
+val reset : ?capacity:int -> unit -> unit
+(** Clear the ring; optionally resize it.
+    @raise Invalid_argument on non-positive capacity. *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line:
+    [{"name":..,"start_ns":..,"dur_ns":..,"domain":..}]. *)

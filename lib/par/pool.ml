@@ -1,5 +1,12 @@
 type job = Job of (unit -> unit) | Quit
 
+(* Telemetry (no-ops unless Ds_obs.Metrics is enabled).  The queue-depth
+   gauge is only written inside [pool.lock], so the last write after a
+   drain is always the pop that emptied the queue: quiesced snapshots
+   are deterministic. *)
+let m_jobs = Ds_obs.Metrics.counter "par.pool.jobs"
+let m_depth = Ds_obs.Metrics.gauge "par.pool.queue_depth"
+
 type t = {
   size : int;
   jobs : job Queue.t;
@@ -16,11 +23,13 @@ let worker pool =
       Condition.wait pool.has_job pool.lock
     done;
     let job = Queue.pop pool.jobs in
+    Ds_obs.Metrics.set m_depth (Queue.length pool.jobs);
     Mutex.unlock pool.lock;
     match job with
     | Quit -> ()
     | Job f ->
         f ();
+        Ds_obs.Metrics.incr m_jobs 1;
         loop ()
   in
   loop ()
@@ -54,6 +63,7 @@ let submit pool job =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push (Job job) pool.jobs;
+  Ds_obs.Metrics.set m_depth (Queue.length pool.jobs);
   Condition.signal pool.has_job;
   Mutex.unlock pool.lock
 

@@ -7,6 +7,13 @@ type 'a policy =
 
 let by_vertex : Update.t policy = By_key (fun u -> min u.Update.u u.Update.v)
 
+(* Telemetry is batch-granular: one counter bump per [ingest] call and
+   one histogram sample per shard, never per update, so the enabled
+   overhead on the hot AGM path stays well under the 3% budget. *)
+let m_updates = Ds_obs.Metrics.counter "par.ingest.updates"
+let m_batches = Ds_obs.Metrics.counter "par.ingest.batches"
+let m_batch_size = Ds_obs.Metrics.histogram "par.ingest.batch_size"
+
 let split policy ~shards items =
   if shards < 1 then invalid_arg "Shard_ingest.split: need at least one shard";
   let n = Array.length items in
@@ -41,9 +48,17 @@ let ingest pool ?(policy = Chunked) ~make ~update ~merge items =
   let replicas = Array.init shards (fun _ -> make ()) in
   if Array.length items > 0 then begin
     let parts = split policy ~shards items in
-    ignore
-      (Pool.run pool
-         (List.init shards (fun s () -> update replicas.(s) parts.(s))))
+    if Ds_obs.Metrics.enabled () then begin
+      Ds_obs.Metrics.incr m_updates (Array.length items);
+      Ds_obs.Metrics.incr m_batches shards;
+      Array.iter
+        (fun p -> Ds_obs.Metrics.observe m_batch_size (Array.length p))
+        parts
+    end;
+    Ds_obs.Trace.with_span "par.ingest" (fun () ->
+        ignore
+          (Pool.run pool
+             (List.init shards (fun s () -> update replicas.(s) parts.(s)))))
   end;
   for s = 1 to shards - 1 do
     merge replicas.(0) replicas.(s)

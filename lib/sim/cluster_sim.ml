@@ -5,6 +5,28 @@ open Ds_agm
 
 type partition = Round_robin | By_vertex | Random of int
 
+(* Registry telemetry, published alongside (never instead of) the report
+   records below: the pp_* table output is part of the chaos CI contract
+   and must stay byte-identical, so the registry is a second export path
+   over the same numbers (E15 and E16 share it).  All no-ops unless
+   Ds_obs.Metrics is enabled. *)
+let m_envelopes = Ds_obs.Metrics.counter "cluster.envelopes"
+let m_wire_bytes = Ds_obs.Metrics.counter "cluster.wire_bytes"
+let m_attempts = Ds_obs.Metrics.counter "cluster.attempts"
+let m_faults = Ds_obs.Metrics.counter "cluster.faults"
+let m_retries = Ds_obs.Metrics.counter "cluster.retries"
+let m_backoff_milli = Ds_obs.Metrics.counter "cluster.backoff_milli"
+let m_dup_rejected = Ds_obs.Metrics.counter "cluster.duplicates_rejected"
+let m_decode_errors = Ds_obs.Metrics.counter "cluster.decode_errors"
+let m_crashed = Ds_obs.Metrics.counter "cluster.crashed_servers"
+let m_healed = Ds_obs.Metrics.counter "cluster.healed_servers"
+let m_reingested_updates = Ds_obs.Metrics.counter "cluster.reingested_updates"
+let m_recovery_bytes = Ds_obs.Metrics.counter "cluster.recovery_bytes"
+let m_lost = Ds_obs.Metrics.counter "cluster.lost_servers"
+let g_quorum = Ds_obs.Metrics.gauge "cluster.quorum"
+let g_copies = Ds_obs.Metrics.gauge "cluster.copies"
+let g_delta_ppm = Ds_obs.Metrics.gauge "cluster.degraded_delta_ppm"
+
 type report = {
   servers : int;
   updates_total : int;
@@ -49,6 +71,7 @@ let shard ~route ~servers ~counts stream =
 
 let run ?(mode = `Sequential) rng ~n ~servers ~partition stream =
   if servers < 1 then invalid_arg "Cluster_sim.run: need at least one server";
+  Ds_obs.Trace.with_span "cluster.run" @@ fun () ->
   let params = Agm_sketch.default_params ~n in
   (* Shared randomness: all servers and the coordinator derive identical
      sketch structure from the same seed. *)
@@ -86,12 +109,15 @@ let run ?(mode = `Sequential) rng ~n ~servers ~partition stream =
     messages;
   let forest = Agm_sketch.spanning_forest coordinator in
   let forest_correct = forest_ok ~n stream forest in
+  let bytes_total = Array.fold_left ( + ) 0 bytes_per_server in
+  Ds_obs.Metrics.incr m_envelopes servers;
+  Ds_obs.Metrics.incr m_wire_bytes bytes_total;
   {
     servers;
     updates_total = Array.length stream;
     updates_per_server = counts;
     bytes_per_server;
-    bytes_total = Array.fold_left ( + ) 0 bytes_per_server;
+    bytes_total;
     words_per_server = Agm_sketch.space_in_words shards.(0);
     forest_edges = List.length forest;
     forest_correct;
@@ -145,6 +171,9 @@ let ship (type s) ?(mode = `Sequential) ((module L) : s Linear_sketch.impl) ~mak
   let bytes_per_server = Array.map String.length messages in
   (* Coordinator: deserialize each message and sum (the wire round-trip the
      paper's distributed setting counts). *)
+  Ds_obs.Metrics.incr m_envelopes servers;
+  Ds_obs.Metrics.incr m_wire_bytes
+    (Array.fold_left (fun acc m -> acc + String.length m) 0 messages);
   let coordinator = make () in
   Array.iter (fun m -> Linear_sketch.absorb (module L) coordinator m) messages;
   (* Ground truth: the same updates sketched directly in one process. *)
@@ -270,6 +299,22 @@ let faults_by_kind stats =
     (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt stats.by_kind k)))
     Fault_plan.kind_names
 
+(* Fold one run's channel accounting into the registry. *)
+let publish_chan_stats stats =
+  if Ds_obs.Metrics.enabled () then begin
+    Ds_obs.Metrics.incr m_attempts stats.sent;
+    Ds_obs.Metrics.incr m_faults stats.faults;
+    List.iter
+      (fun (k, c) ->
+        if c > 0 then Ds_obs.Metrics.incr (Ds_obs.Metrics.counter ("cluster.fault." ^ k)) c)
+      (faults_by_kind stats);
+    Ds_obs.Metrics.incr m_retries stats.retries;
+    Ds_obs.Metrics.incr m_backoff_milli (int_of_float ((stats.backoff *. 1000.) +. 0.5));
+    Ds_obs.Metrics.incr m_dup_rejected stats.duplicates_rejected;
+    Ds_obs.Metrics.incr m_decode_errors stats.decode_errors;
+    Ds_obs.Metrics.incr m_wire_bytes stats.bytes
+  end
+
 (* Push one message through the faulted channel with retries. [absorb]
    validates-and-merges delivered bytes into the coordinator (untouched on
    [Error], so the same destination can be retried). Crashes are sticky:
@@ -347,6 +392,7 @@ type supervised_report = {
 let run_supervised ?(mode = `Sequential) ?(policy = Supervisor.default)
     ?(allow_reingest = true) ~plan rng ~n ~servers ~partition stream =
   if servers < 1 then invalid_arg "Cluster_sim.run_supervised: need at least one server";
+  Ds_obs.Trace.with_span "cluster.run_supervised" @@ fun () ->
   let params = Agm_sketch.default_params ~n in
   (* Same seed chain as [run]: with full recovery the coordinator's merged
      state is byte-identical to the fault-free protocol's. *)
@@ -434,6 +480,20 @@ let run_supervised ?(mode = `Sequential) ?(policy = Supervisor.default)
   let crashed_servers =
     List.filter (fun s -> crashed.(s)) (List.init servers (fun s -> s))
   in
+  if Ds_obs.Metrics.enabled () then begin
+    publish_chan_stats stats;
+    Ds_obs.Metrics.incr m_envelopes (servers * copies);
+    Ds_obs.Metrics.incr m_crashed (List.length crashed_servers);
+    Ds_obs.Metrics.incr m_healed (List.length !reingested);
+    Ds_obs.Metrics.incr m_reingested_updates !reingested_updates;
+    Ds_obs.Metrics.incr m_recovery_bytes !recovery_bytes;
+    Ds_obs.Metrics.incr m_lost (List.length !lost);
+    Ds_obs.Metrics.set g_quorum (List.length quorum);
+    Ds_obs.Metrics.set g_copies copies;
+    Ds_obs.Metrics.set g_delta_ppm
+      (int_of_float
+         (Agm_sketch.certified_delta ~n ~copies:(List.length quorum) *. 1e6))
+  end;
   {
     sup_servers = servers;
     sup_updates_total = Array.length stream;
@@ -550,6 +610,14 @@ let ship_supervised (type s) ?(mode = `Sequential) ?(policy = Supervisor.default
   let crashed_servers =
     List.filter (fun s -> crashed.(s)) (List.init servers (fun s -> s))
   in
+  if Ds_obs.Metrics.enabled () then begin
+    publish_chan_stats stats;
+    Ds_obs.Metrics.incr m_envelopes servers;
+    Ds_obs.Metrics.incr m_crashed (List.length crashed_servers);
+    Ds_obs.Metrics.incr m_healed (List.length !reingested);
+    Ds_obs.Metrics.incr m_recovery_bytes !recovery_bytes;
+    Ds_obs.Metrics.incr m_lost (List.length !lost)
+  end;
   {
     ss_family = L.family;
     ss_servers = servers;

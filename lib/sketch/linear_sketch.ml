@@ -21,6 +21,13 @@ let version = 1
 let magic = "LSK1"
 let checksum_bytes = 8
 
+(* Decode/encode telemetry: one counter bump per envelope, never per
+   byte (no-ops unless Ds_obs.Metrics is enabled). *)
+let m_ser_count = Ds_obs.Metrics.counter "sketch.serialize.count"
+let m_ser_bytes = Ds_obs.Metrics.counter "sketch.serialize.bytes"
+let m_dec_ok = Ds_obs.Metrics.counter "sketch.decode.ok"
+let m_dec_err = Ds_obs.Metrics.counter "sketch.decode.err"
+
 let serialize (type a) ((module L) : a impl) (t : a) =
   let sink = Wire.sink () in
   Wire.write_tag sink magic;
@@ -30,7 +37,10 @@ let serialize (type a) ((module L) : a impl) (t : a) =
   let payload = Wire.contents sink in
   let tail = Wire.sink () in
   Wire.write_fixed64 tail (Wire.fnv1a64 payload);
-  payload ^ Wire.contents tail
+  let msg = payload ^ Wire.contents tail in
+  Ds_obs.Metrics.incr m_ser_count 1;
+  Ds_obs.Metrics.incr m_ser_bytes (String.length msg);
+  msg
 
 type error =
   | Truncated of { length : int; min_length : int }
@@ -68,6 +78,14 @@ let stored_checksum data pos =
 
 let deserialize_result (type a) ((module L) : a impl) (t : a) data =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let count r =
+    (match r with
+    | Ok () -> Ds_obs.Metrics.incr m_dec_ok 1
+    | Error _ -> Ds_obs.Metrics.incr m_dec_err 1);
+    r
+  in
+  count
+  @@
   let len = String.length data in
   let min_length = checksum_bytes + String.length magic + 2 in
   let* () = if len < min_length then Error (Truncated { length = len; min_length }) else Ok () in

@@ -2,8 +2,12 @@ let words_to_bits w = w * 63
 let words_to_mib w = float_of_int (w * 8) /. (1024.0 *. 1024.0)
 
 let pp_words ppf w =
-  let fw = float_of_int w in
-  if fw >= 1e9 then Format.fprintf ppf "%.2f Gw" (fw /. 1e9)
-  else if fw >= 1e6 then Format.fprintf ppf "%.2f Mw" (fw /. 1e6)
-  else if fw >= 1e3 then Format.fprintf ppf "%.1f Kw" (fw /. 1e3)
-  else Format.fprintf ppf "%d w" w
+  if w < 0 then
+    invalid_arg (Printf.sprintf "Space.pp_words: negative word count (%d)" w);
+  if w = 0 then Format.pp_print_string ppf "0 w"
+  else
+    let fw = float_of_int w in
+    if fw >= 1e9 then Format.fprintf ppf "%.2f Gw" (fw /. 1e9)
+    else if fw >= 1e6 then Format.fprintf ppf "%.2f Mw" (fw /. 1e6)
+    else if fw >= 1e3 then Format.fprintf ppf "%.1f Kw" (fw /. 1e3)
+    else Format.fprintf ppf "%d w" w

@@ -12,4 +12,6 @@ val words_to_mib : int -> float
 (** Machine words to mebibytes (8 bytes per word). *)
 
 val pp_words : Format.formatter -> int -> unit
-(** Human-readable rendering, e.g. ["12.3 Kw"]. *)
+(** Human-readable rendering, e.g. ["12.3 Kw"]; [0] prints ["0 w"].
+    @raise Invalid_argument on a negative word count (a negative count
+    is always an accounting bug; printing ["-3 w"] would hide it). *)

@@ -302,9 +302,39 @@ let prop_random_mutation_detected =
         let b = make () in
         fails_with_failure (fun () -> P.deserialize_into b mutated))
 
+(* The space-accounting invariant behind the ledger (lib/obs): the wire
+   body is the counters and nothing else, so it can never exceed
+   [space_in_words] machine words, and the envelope around it is exactly
+   the documented LSK1 header plus the 8-byte checksum -- no hidden
+   state rides along when a sketch is shipped. *)
+let prop_space_accounting =
+  QCheck.Test.make ~name:"wire body <= 8 * space_in_words; envelope is exactly LSK1 header"
+    ~count:60
+    QCheck.(pair (make family_gen) small_nat)
+    (fun (name, seed) ->
+      let a = (maker name) () in
+      apply_random_updates seed a;
+      let msg = P.serialize a in
+      let (P.T ((module L), sk)) = a in
+      let body =
+        let s = Wire.sink () in
+        L.write_body sk s;
+        String.length (Wire.contents s)
+      in
+      let envelope =
+        let s = Wire.sink () in
+        Wire.write_tag s "LSK1";
+        Wire.write_tag s (P.family a);
+        Wire.write_array s (P.shape a);
+        String.length (Wire.contents s) + 8
+      in
+      String.length msg = envelope + body
+      && body > 0
+      && body <= 8 * P.space_in_words a)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_roundtrip; prop_absorb_linear; prop_random_mutation_detected ]
+    [ prop_roundtrip; prop_absorb_linear; prop_random_mutation_detected; prop_space_accounting ]
 
 let () =
   let per_family mk =

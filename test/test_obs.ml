@@ -1,0 +1,278 @@
+(* The telemetry subsystem (lib/obs): registry semantics, merge-under-domains
+   determinism, trace-ring wraparound, space-ledger bound checks and the
+   exporters.  Everything here must hold with the registry both off (no-ops)
+   and on (exact counts), because production code keeps the instrumentation
+   compiled in unconditionally. *)
+
+open Ds_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Each test owns the global registry state for its duration. *)
+let with_obs f =
+  Ds_obs.Export.enable ();
+  Ds_obs.Export.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Ds_obs.Export.disable ();
+      Ds_obs.Export.reset ())
+    f
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* -------------------- metrics registry -------------------- *)
+
+let test_counter_disabled_noop () =
+  Ds_obs.Export.disable ();
+  Ds_obs.Export.reset ();
+  let c = Ds_obs.Metrics.counter "test.noop" in
+  Ds_obs.Metrics.incr c 5;
+  check_int "disabled incr does not count" 0 (Ds_obs.Metrics.value c)
+
+let test_counter_enabled () =
+  with_obs (fun () ->
+      let c = Ds_obs.Metrics.counter "test.basic" in
+      Ds_obs.Metrics.incr c 3;
+      Ds_obs.Metrics.incr c 4;
+      check_int "counts sum" 7 (Ds_obs.Metrics.value c);
+      Ds_obs.Metrics.reset ();
+      check_int "reset zeroes, keeps registration" 0 (Ds_obs.Metrics.value c))
+
+let test_register_idempotent () =
+  with_obs (fun () ->
+      let a = Ds_obs.Metrics.counter "test.same" in
+      let b = Ds_obs.Metrics.counter "test.same" in
+      Ds_obs.Metrics.incr a 1;
+      Ds_obs.Metrics.incr b 1;
+      check_int "both handles hit one cell set" 2 (Ds_obs.Metrics.value a);
+      check_bool "kind clash rejected" true
+        (match Ds_obs.Metrics.gauge "test.same" with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_gauge_last_writer () =
+  with_obs (fun () ->
+      let g = Ds_obs.Metrics.gauge "test.gauge" in
+      Ds_obs.Metrics.set g 41;
+      Ds_obs.Metrics.set g 17;
+      check_int "last write wins" 17 (Ds_obs.Metrics.gauge_value g))
+
+let test_histogram_buckets () =
+  with_obs (fun () ->
+      let h = Ds_obs.Metrics.histogram "test.hist" in
+      List.iter (Ds_obs.Metrics.observe h) [ 1; 2; 3; 1000 ];
+      let snap = Ds_obs.Metrics.snapshot () in
+      let v = List.assoc "test.hist" snap.Ds_obs.Metrics.histograms in
+      check_int "count" 4 v.Ds_obs.Metrics.h_count;
+      check_int "sum" 1006 v.Ds_obs.Metrics.h_sum;
+      (* 1 -> bucket [1,2) le=1; 2,3 -> [2,4) le=3; 1000 -> [512,1024) le=1023 *)
+      check_int "le=1" 1 (List.assoc 1 v.Ds_obs.Metrics.h_buckets);
+      check_int "le=3" 2 (List.assoc 3 v.Ds_obs.Metrics.h_buckets);
+      check_int "le=1023" 1 (List.assoc 1023 v.Ds_obs.Metrics.h_buckets))
+
+(* Sharded counters merged at read must be exact (not sampled) no matter
+   how the increments were spread over domains, and two identical runs
+   must export identical snapshots. *)
+let test_merge_under_domains_exact_and_deterministic () =
+  with_obs (fun () ->
+      let c = Ds_obs.Metrics.counter "test.domains" in
+      let run () =
+        Ds_obs.Metrics.reset ();
+        let domains =
+          Array.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 10_000 do
+                    Ds_obs.Metrics.incr c (1 + (d mod 2))
+                  done))
+        in
+        Array.iter Domain.join domains;
+        Ds_obs.Metrics.to_json (Ds_obs.Metrics.snapshot ())
+      in
+      let json1 = run () in
+      check_int "exact total across domains" ((2 * 10_000 * 1) + (2 * 10_000 * 2))
+        (Ds_obs.Metrics.value c);
+      let json2 = run () in
+      check_string "identical runs export identical snapshots" json1 json2)
+
+(* -------------------- trace ring -------------------- *)
+
+let test_trace_disabled_noop () =
+  Ds_obs.Export.disable ();
+  Ds_obs.Trace.reset ();
+  let r = Ds_obs.Trace.with_span "test.span" (fun () -> 42) in
+  check_int "body still runs" 42 r;
+  check_int "nothing recorded" 0 (Ds_obs.Trace.recorded ())
+
+let test_trace_records_and_raises () =
+  with_obs (fun () ->
+      let r = Ds_obs.Trace.with_span "ok" (fun () -> 7) in
+      check_int "result threaded" 7 r;
+      (match Ds_obs.Trace.with_span "boom" (fun () -> failwith "boom") with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception must propagate");
+      let spans = Ds_obs.Trace.spans () in
+      check_int "both spans kept (raising included)" 2 (List.length spans);
+      check_string "order preserved" "ok" (List.hd spans).Ds_obs.Trace.name)
+
+let test_trace_ring_wraparound () =
+  with_obs (fun () ->
+      Ds_obs.Trace.reset ~capacity:8 ();
+      for i = 1 to 11 do
+        Ds_obs.Trace.record (Printf.sprintf "s%d" i) ~start_ns:(Int64.of_int i) ~dur_ns:1L
+      done;
+      check_int "all recordings counted" 11 (Ds_obs.Trace.recorded ());
+      let spans = Ds_obs.Trace.spans () in
+      check_int "ring keeps the last capacity spans" 8 (List.length spans);
+      List.iteri
+        (fun i s ->
+          check_string
+            (Printf.sprintf "slot %d oldest-first" i)
+            (Printf.sprintf "s%d" (i + 4))
+            s.Ds_obs.Trace.name)
+        spans;
+      check_bool "invalid capacity rejected" true
+        (match Ds_obs.Trace.reset ~capacity:0 () with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      Ds_obs.Trace.reset ())
+
+let test_trace_jsonl () =
+  with_obs (fun () ->
+      Ds_obs.Trace.record "alpha" ~start_ns:10L ~dur_ns:5L;
+      let jsonl = Ds_obs.Trace.to_jsonl () in
+      check_string "one line per span"
+        "{\"name\":\"alpha\",\"start_ns\":10,\"dur_ns\":5,\"domain\":0}\n" jsonl)
+
+(* -------------------- space ledger -------------------- *)
+
+let test_ledger_constant_and_check () =
+  with_obs (fun () ->
+      Ds_obs.Ledger.record ~wire_bytes:64 ~phase:"test.phase" ~words:500 100.0;
+      match Ds_obs.Ledger.entries () with
+      | [ e ] ->
+          check_string "phase" "test.phase" e.Ds_obs.Ledger.phase;
+          check_int "words" 500 e.Ds_obs.Ledger.words;
+          check_int "wire" 64 e.Ds_obs.Ledger.wire_bytes;
+          Alcotest.(check (float 1e-9)) "constant = words / bound" 5.0 e.Ds_obs.Ledger.constant;
+          check_bool "within default tolerance" true (Ds_obs.Ledger.check e);
+          check_bool "fails a tight tolerance" false (Ds_obs.Ledger.check ~tolerance:2.0 e)
+      | es -> Alcotest.failf "expected one entry, got %d" (List.length es))
+
+let test_ledger_rejects_bad_bounds () =
+  with_obs (fun () ->
+      check_bool "bound <= 0 rejected" true
+        (match Ds_obs.Ledger.record ~phase:"bad" ~words:1 0.0 with
+        | exception Invalid_argument _ -> true
+        | _ -> false);
+      check_bool "negative words rejected" true
+        (match Ds_obs.Ledger.record ~phase:"bad" ~words:(-1) 10.0 with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let test_ledger_disabled_noop () =
+  Ds_obs.Export.disable ();
+  Ds_obs.Export.reset ();
+  Ds_obs.Ledger.record ~phase:"off" ~words:1 10.0;
+  check_int "no entry recorded while disabled" 0 (List.length (Ds_obs.Ledger.entries ()))
+
+(* -------------------- exporters -------------------- *)
+
+let test_exporters_smoke () =
+  with_obs (fun () ->
+      let c = Ds_obs.Metrics.counter "exp.count" in
+      let g = Ds_obs.Metrics.gauge "exp.gauge" in
+      let h = Ds_obs.Metrics.histogram "exp.hist" in
+      Ds_obs.Metrics.incr c 2;
+      Ds_obs.Metrics.set g 9;
+      Ds_obs.Metrics.observe h 3;
+      Ds_obs.Trace.record "exp.span" ~start_ns:1L ~dur_ns:2L;
+      Ds_obs.Ledger.record ~phase:"exp.phase" ~words:10 100.0;
+      let json = Ds_obs.Export.report_json () in
+      List.iter
+        (fun needle -> check_bool ("json has " ^ needle) true (contains ~needle json))
+        [
+          "\"schema\":\"ds_obs/v1\"";
+          "\"exp.count\":2";
+          "\"exp.gauge\":9";
+          "\"exp.span\"";
+          "\"exp.phase\"";
+          "\"within_bound\":true";
+        ];
+      let prom = Ds_obs.Export.prometheus () in
+      List.iter
+        (fun needle -> check_bool ("prometheus has " ^ needle) true (contains ~needle prom))
+        [
+          "# TYPE exp_count counter";
+          "exp_count 2";
+          "exp_gauge 9";
+          "exp_hist_bucket{le=\"+Inf\"} 1";
+          "exp_hist_sum 3";
+          "exp_hist_count 1";
+        ])
+
+(* -------------------- end-to-end: instrumented spanner -------------------- *)
+
+let test_spanner_files_ledger_entries () =
+  with_obs (fun () ->
+      let n = 48 and k = 2 in
+      let rng = Prng.create 2014 in
+      let g = Ds_graph.Gen.connected_gnp (Prng.split rng) ~n ~p:0.15 in
+      let stream = Ds_stream.Stream_gen.with_churn (Prng.split rng) ~decoys:100 g in
+      let _r =
+        Ds_core.Two_pass_spanner.run (Prng.split rng) ~n
+          ~params:(Ds_core.Two_pass_spanner.default_params ~k)
+          stream
+      in
+      let entries = Ds_obs.Ledger.entries () in
+      let find phase = List.find (fun e -> e.Ds_obs.Ledger.phase = phase) entries in
+      let p1 = find "two_pass.pass1" and total = find "two_pass.total" in
+      check_bool "pass1 words positive" true (p1.Ds_obs.Ledger.words > 0);
+      check_bool "pass1 wire bytes positive" true (p1.Ds_obs.Ledger.wire_bytes > 0);
+      check_bool "pass1 within bound" true (Ds_obs.Ledger.check p1);
+      check_bool "total >= pass1" true
+        (total.Ds_obs.Ledger.words >= p1.Ds_obs.Ledger.words);
+      let snap = Ds_obs.Metrics.snapshot () in
+      let counter name = List.assoc name snap.Ds_obs.Metrics.counters in
+      check_int "pass1 saw every update" (Array.length stream) (counter "spanner.pass1.updates");
+      check_int "pass2 saw every update" (Array.length stream) (counter "spanner.pass2.updates");
+      check_bool "passes traced" true
+        (List.exists
+           (fun s -> s.Ds_obs.Trace.name = "spanner.pass2")
+           (Ds_obs.Trace.spans ())))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_counter_disabled_noop;
+          Alcotest.test_case "counter" `Quick test_counter_enabled;
+          Alcotest.test_case "register idempotent" `Quick test_register_idempotent;
+          Alcotest.test_case "gauge" `Quick test_gauge_last_writer;
+          Alcotest.test_case "histogram" `Quick test_histogram_buckets;
+          Alcotest.test_case "merge under domains" `Quick
+            test_merge_under_domains_exact_and_deterministic;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled no-op" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "records and raises" `Quick test_trace_records_and_raises;
+          Alcotest.test_case "ring wraparound" `Quick test_trace_ring_wraparound;
+          Alcotest.test_case "jsonl" `Quick test_trace_jsonl;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "constant and check" `Quick test_ledger_constant_and_check;
+          Alcotest.test_case "rejects bad bounds" `Quick test_ledger_rejects_bad_bounds;
+          Alcotest.test_case "disabled no-op" `Quick test_ledger_disabled_noop;
+        ] );
+      ("export", [ Alcotest.test_case "json + prometheus" `Quick test_exporters_smoke ]);
+      ( "end-to-end",
+        [ Alcotest.test_case "spanner ledger + counters" `Quick test_spanner_files_ledger_entries ]
+      );
+    ]

@@ -230,6 +230,20 @@ let test_space () =
   check_int "bits" 63 (Space.words_to_bits 1);
   check_bool "mib positive" true (Space.words_to_mib 1024 > 0.0)
 
+let pp_words_str w = Format.asprintf "%a" Space.pp_words w
+
+let test_space_pp_words () =
+  Alcotest.(check string) "zero" "0 w" (pp_words_str 0);
+  Alcotest.(check string) "below Kw" "999 w" (pp_words_str 999);
+  Alcotest.(check string) "Kw boundary" "1.0 Kw" (pp_words_str 1000);
+  Alcotest.(check string) "Mw" "2.50 Mw" (pp_words_str 2_500_000);
+  Alcotest.(check string) "Gw" "3.00 Gw" (pp_words_str 3_000_000_000)
+
+let test_space_pp_words_negative () =
+  Alcotest.check_raises "negative raises"
+    (Invalid_argument "Space.pp_words: negative word count (-1)") (fun () ->
+      ignore (pp_words_str (-1)))
+
 let () =
   Alcotest.run "util"
     [
@@ -275,5 +289,10 @@ let () =
           Alcotest.test_case "compact zeros" `Quick test_wire_compact;
           QCheck_alcotest.to_alcotest prop_wire_roundtrip;
         ] );
-      ("space", [ Alcotest.test_case "conversions" `Quick test_space ]);
+      ( "space",
+        [
+          Alcotest.test_case "conversions" `Quick test_space;
+          Alcotest.test_case "pp_words rendering" `Quick test_space_pp_words;
+          Alcotest.test_case "pp_words negative" `Quick test_space_pp_words_negative;
+        ] );
     ]
