@@ -4,8 +4,9 @@
 
    Compares a freshly measured BENCH_ingest.json against the committed
    baseline: every single-thread kernel throughput must be within
-   TOLERANCE (default 25%) of the baseline, and the telemetry overhead
-   recorded in the fresh file (metrics enabled vs disabled on the
+   TOLERANCE (default 25%) of the baseline, and the telemetry overheads
+   recorded in the fresh file (metrics enabled vs disabled, and span
+   tracing enabled vs disabled, each measured interleaved on the
    sharded AGM path) must be under 3%.  Parallel rates are not compared
    — they depend on how many cores the runner has.
 
@@ -76,13 +77,19 @@ let () =
         (100.0 *. ((now /. base) -. 1.0))
         verdict)
     throughput_keys;
-  (* Overhead is checked on the fresh run only: older baselines predate
-     the telemetry subsystem and legitimately lack the key. *)
-  let overhead = require fresh fresh_path "enabled_overhead_frac" in
-  let verdict =
-    if overhead < max_overhead then "ok" else (incr failures; "TOO HIGH")
-  in
-  Printf.printf "guard: %-40s %.2f%% (limit %.0f%%)  %s\n" "metrics_enabled_overhead"
-    (100.0 *. overhead) (100.0 *. max_overhead) verdict;
+  (* Overheads are checked on the fresh run only: older baselines predate
+     the telemetry subsystem and legitimately lack the keys. *)
+  List.iter
+    (fun (label, key) ->
+      let overhead = require fresh fresh_path key in
+      let verdict =
+        if overhead < max_overhead then "ok" else (incr failures; "TOO HIGH")
+      in
+      Printf.printf "guard: %-40s %.2f%% (limit %.0f%%)  %s\n" label (100.0 *. overhead)
+        (100.0 *. max_overhead) verdict)
+    [
+      ("metrics_enabled_overhead", "enabled_overhead_frac");
+      ("tracing_enabled_overhead", "tracing_overhead_frac");
+    ];
   if !failures > 0 then fail "%d check(s) failed" !failures;
   print_endline "guard: all checks passed"

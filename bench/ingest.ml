@@ -65,14 +65,18 @@ let () =
         (domains, r))
       domain_counts
   in
-  let obs_off, obs_on =
+  let obs_off, obs_on, obs_overhead =
     (* One domain: the point is instrumentation overhead, and pool
        scheduling noise at higher domain counts would drown the signal. *)
     C.metrics_overhead_agm_rates ~n:agm_n ~updates:agm_updates ~domains:1
   in
-  let obs_overhead = (obs_off -. obs_on) /. obs_off in
-  Fmt.pr "  metrics overhead  off %.0f ops/s, on %.0f ops/s (%+.2f%%)@." obs_off obs_on
+  Fmt.pr "  metrics overhead  off %.0f ops/s, on %.0f ops/s (%+.2f%% median)@." obs_off obs_on
     (100. *. obs_overhead);
+  let tr_off, tr_on, tr_overhead =
+    C.tracing_overhead_agm_rates ~n:agm_n ~updates:agm_updates ~domains:1
+  in
+  Fmt.pr "  tracing overhead  off %.0f ops/s, on %.0f ops/s (%+.2f%% median)@." tr_off tr_on
+    (100. *. tr_overhead);
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": \"bench_ingest/v1\",\n";
@@ -102,6 +106,11 @@ let () =
   p "    \"agm_ops_per_sec_disabled\": %.0f,\n" obs_off;
   p "    \"agm_ops_per_sec_enabled\": %.0f,\n" obs_on;
   p "    \"enabled_overhead_frac\": %.4f\n" obs_overhead;
+  p "  },\n";
+  p "  \"tracing_overhead\": {\n";
+  p "    \"agm_ops_per_sec_disabled\": %.0f,\n" tr_off;
+  p "    \"agm_ops_per_sec_enabled\": %.0f,\n" tr_on;
+  p "    \"tracing_overhead_frac\": %.4f\n" tr_overhead;
   p "  },\n";
   p "  \"parallel_agm\": [\n";
   List.iteri

@@ -963,6 +963,126 @@ let e16 () =
   Obs.Export.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* E17: causal tracing — critical-path breakdown and counter cross-check *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  header "E17"
+    "Causal tracing: critical-path breakdown (pass1/pass2/ship/decode) vs k and shard count";
+  let module Obs = Ds_obs in
+  let module T = Obs.Trace_tree in
+  Obs.Export.enable ();
+  (* Run a workload with a clean registry + ring; hand back the span
+     forest, its main root, and the metrics snapshot of the same run so
+     trace-derived numbers can be checked against the counters. *)
+  let traced f =
+    Obs.Export.reset ();
+    f ();
+    let forest = T.of_spans (Obs.Trace.spans ()) in
+    let root = Option.get (T.main_root forest) in
+    (forest, root, Obs.Metrics.snapshot ())
+  in
+  (* Critical-path nanoseconds attributed to each span name. *)
+  let phase_table root =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun { T.p_node; p_ns } ->
+        let name = p_node.T.span.Obs.Trace.name in
+        Hashtbl.replace tbl name
+          (Int64.add p_ns (Option.value ~default:0L (Hashtbl.find_opt tbl name))))
+      (T.critical_path root);
+    tbl
+  in
+  let pct root tbl name =
+    let ns = Option.value ~default:0L (Hashtbl.find_opt tbl name) in
+    100.0 *. Int64.to_float ns /. Int64.to_float (max 1L root.T.span.Obs.Trace.dur_ns)
+  in
+  let span_count forest name =
+    let c = ref 0 in
+    T.iter_forest (fun n -> if n.T.span.Obs.Trace.name = name then incr c) forest;
+    !c
+  in
+  Fmt.pr "two-pass spanner: where the wall clock goes as k grows (n fixed)@.";
+  Fmt.pr "%-6s %-3s %-10s %-8s %-8s %-10s %-8s %-9s %-8s %-9s@." "n" "k" "root(ms)" "derive%"
+    "pass1%" "cluster%" "pass2%" "extract%" "other%" "path=root";
+  line ();
+  List.iter
+    (fun (n, k) ->
+      let forest, root, _snap =
+        traced (fun () ->
+            let rng = Prng.create (master_seed + n + (1000 * k)) in
+            let g = Gen.connected_gnp (Prng.split rng) ~n ~p:(12.0 /. float_of_int n) in
+            let stream =
+              Stream_gen.with_churn (Prng.split rng) ~decoys:(Graph.num_edges g) g
+            in
+            ignore
+              (Two_pass_spanner.run (Prng.split rng) ~n
+                 ~params:(Two_pass_spanner.default_params ~k)
+                 stream))
+      in
+      ignore (span_count forest "spanner.run");
+      let tbl = phase_table root in
+      let path_eq_root =
+        T.path_total (T.critical_path root) = root.T.span.Obs.Trace.dur_ns
+      in
+      Fmt.pr "%-6d %-3d %-10.2f %-8.1f %-8.1f %-10.1f %-8.1f %-9.1f %-8.1f %-9b@." n k
+        (Int64.to_float root.T.span.Obs.Trace.dur_ns /. 1e6)
+        (pct root tbl "spanner.derive")
+        (pct root tbl "spanner.pass1")
+        (pct root tbl "spanner.clustering")
+        (pct root tbl "spanner.pass2")
+        (pct root tbl "spanner.extract")
+        (pct root tbl "spanner.run") path_eq_root;
+      Gc.compact ())
+    [ (256, 2); (256, 3); (256, 4) ];
+  Fmt.pr "expected: table decode (extract) and structure building (derive) dominate; the@.";
+  Fmt.pr "ingestion passes' share grows with k (more levels of sketches per update); the@.";
+  Fmt.pr "critical path always partitions the root span exactly (path=root).@.";
+  Fmt.pr "@.supervised shipping: critical path vs shard count, trace vs registry cross-check@.";
+  Fmt.pr "%-8s %-10s %-9s %-7s %-9s %-18s %-18s %-18s@." "servers" "root(ms)" "sketch%"
+    "ship%" "deliver%" "attempts(tr/reg)" "ships(tr/reg)" "decodes(tr/reg)";
+  line ();
+  List.iter
+    (fun servers ->
+      let n = 128 in
+      let forest, root, snap =
+        traced (fun () ->
+            let rng = Prng.create (master_seed + 17) in
+            let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.06 in
+            let stream =
+              Stream_gen.with_churn (Prng.split rng) ~decoys:(Graph.num_edges g) g
+            in
+            ignore
+              (Ds_sim.Cluster_sim.run_supervised
+                 ~plan:(Ds_fault.Fault_plan.random ~seed:(master_seed + 5) ~rate:0.1)
+                 (Prng.split rng) ~n ~servers ~partition:Ds_sim.Cluster_sim.Round_robin
+                 stream))
+      in
+      let c name = Option.value ~default:0 (List.assoc_opt name snap.Obs.Metrics.counters) in
+      let tbl = phase_table root in
+      let attempts_tr = span_count forest "fault.attempt" in
+      let ships_tr = span_count forest "cluster.ship" in
+      let decodes_tr = span_count forest "sketch.decode" in
+      Fmt.pr "%-8d %-10.2f %-9.1f %-7.1f %-9.1f %-18s %-18s %-18s@." servers
+        (Int64.to_float root.T.span.Obs.Trace.dur_ns /. 1e6)
+        (pct root tbl "cluster.sketch") (pct root tbl "cluster.ship")
+        (pct root tbl "cluster.deliver" +. pct root tbl "fault.attempt")
+        (Printf.sprintf "%d/%d%s" attempts_tr (c "cluster.attempts")
+           (if attempts_tr = c "cluster.attempts" then "=" else "!"))
+        (Printf.sprintf "%d/%d%s" ships_tr (c "cluster.envelopes")
+           (if ships_tr = c "cluster.envelopes" then "=" else "!"))
+        (Printf.sprintf "%d/%d%s" decodes_tr (c "sketch.decode.ok")
+           (if decodes_tr = c "sketch.decode.ok" then "=" else "!"));
+      Gc.compact ())
+    [ 2; 4; 8 ];
+  Fmt.pr "expected: every trace-derived count matches its registry counter (marked '=') —@.";
+  Fmt.pr "one fault.attempt span per send attempt, one cluster.ship span per serialized@.";
+  Fmt.pr "envelope, one sketch.decode span per successfully decoded envelope; sketch/ship@.";
+  Fmt.pr "share of the critical path shrinks as servers spread the sketching work.@.";
+  Obs.Export.disable ();
+  Obs.Export.reset ()
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -982,6 +1102,7 @@ let experiments =
     ("e14", e14);
     ("e15", e15);
     ("e16", e16);
+    ("e17", e17);
   ]
 
 let () =
@@ -998,5 +1119,5 @@ let () =
       | Some f ->
           f ();
           Gc.compact ()
-      | None -> Fmt.epr "unknown experiment %S (known: e1..e16)@." name)
+      | None -> Fmt.epr "unknown experiment %S (known: e1..e17)@." name)
     requested

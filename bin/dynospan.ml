@@ -550,6 +550,10 @@ let trace_cmd =
         ignore
           (Ds_sim.Cluster_sim.run (Prng.split rng) ~n ~servers:4
              ~partition:Ds_sim.Cluster_sim.Round_robin stream)
+    | "supervised" ->
+        ignore
+          (Ds_sim.Cluster_sim.run_supervised ~plan:Ds_fault.Fault_plan.none (Prng.split rng)
+             ~n ~servers:4 ~partition:Ds_sim.Cluster_sim.Round_robin stream)
     | other -> invalid_arg (Printf.sprintf "unknown trace workload %S" other));
     let jsonl = Ds_obs.Trace.to_jsonl () in
     match out with
@@ -561,7 +565,8 @@ let trace_cmd =
   let algo_arg =
     Arg.(
       value & opt string "spanner"
-      & info [ "algo" ] ~docv:"A" ~doc:"Workload to replay: spanner, additive, or cluster.")
+      & info [ "algo" ] ~docv:"A"
+          ~doc:"Workload to replay: spanner, additive, cluster, or supervised.")
   in
   let k_arg =
     Arg.(
@@ -583,6 +588,100 @@ let trace_cmd =
       const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ algo_arg $ k_arg
       $ out_arg)
 
+(* Offline analysis of trace files: rebuild the span forest, find the
+   critical path of the longest trace, roll up per-phase time, and
+   export viewer formats.  Works on one file or several concatenated
+   (multi-domain/multi-process) files — causal ids are globally
+   unique, so the spans just pool. *)
+let trace_analyze_cmd =
+  let run files perfetto folded =
+    let module T = Ds_obs.Trace_tree in
+    let spans =
+      List.concat_map
+        (fun path ->
+          try T.parse_jsonl (read_file path)
+          with
+          | Sys_error msg ->
+              Fmt.epr "dynospan: cannot read trace: %s@." msg;
+              exit 2
+          | Failure msg ->
+              Fmt.epr "dynospan: bad trace %s: %s@." path msg;
+              exit 2)
+        files
+    in
+    if spans = [] then begin
+      Fmt.epr "dynospan: no spans in %s@." (String.concat ", " files);
+      exit 2
+    end;
+    let forest = T.of_spans spans in
+    Fmt.pr "== trace analysis: %d spans from %d file(s) ==@." forest.T.node_count
+      (List.length files);
+    Fmt.pr "forest: %d roots, %d orphans, %d cycles broken@."
+      (List.length forest.T.roots) forest.T.orphans forest.T.cycles_broken;
+    let root = Option.get (T.main_root forest) in
+    let root_ns = root.T.span.Ds_obs.Trace.dur_ns in
+    let ms ns = Int64.to_float ns /. 1e6 in
+    let pct ns =
+      if root_ns = 0L then 0.0 else 100.0 *. Int64.to_float ns /. Int64.to_float root_ns
+    in
+    Fmt.pr "@.critical path of %S (%.3f ms):@." root.T.span.Ds_obs.Trace.name (ms root_ns);
+    let path = T.critical_path root in
+    List.iter
+      (fun { T.p_node; p_ns } ->
+        Fmt.pr "  %-28s %10.3f ms  %5.1f%%  (domain %d, pid %d)@."
+          p_node.T.span.Ds_obs.Trace.name (ms p_ns) (pct p_ns)
+          p_node.T.span.Ds_obs.Trace.domain p_node.T.span.Ds_obs.Trace.pid)
+      path;
+    let total = T.path_total path in
+    Fmt.pr "critical-path total: %.3f ms = %.2f%% of root span@." (ms total) (pct total);
+    Fmt.pr "@.per-phase rollup (self time, descending):@.";
+    Fmt.pr "  %-28s %6s %12s %12s %12s@." "span" "count" "total ms" "self ms" "max ms";
+    List.iter
+      (fun r ->
+        Fmt.pr "  %-28s %6d %12.3f %12.3f %12.3f@." r.T.r_name r.T.r_count (ms r.T.r_total_ns)
+          (ms r.T.r_self_ns) (ms r.T.r_max_ns))
+      (T.rollups forest);
+    write_file perfetto (T.to_chrome_json spans);
+    Fmt.pr "@.perfetto: %d events -> %s (open in ui.perfetto.dev or chrome://tracing)@."
+      forest.T.node_count perfetto;
+    match folded with
+    | Some path ->
+        write_file path (T.to_folded forest);
+        Fmt.pr "folded stacks -> %s (flamegraph.pl / speedscope)@." path
+    | None -> ()
+  in
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"TRACE.jsonl"
+          ~doc:
+            "Trace files written by $(b,dynospan trace --out) (or $(b,--metrics-out) span \
+             JSONL). Several files — e.g. one per process — are merged before analysis.")
+  in
+  let perfetto_arg =
+    Arg.(
+      value
+      & opt string "trace.perfetto.json"
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:"Write Chrome trace-event JSON (Perfetto/chrome://tracing) to $(docv).")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:"Also write folded-stack lines (flamegraph.pl / speedscope) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace-analyze"
+       ~doc:
+         "Reconstruct the span forest from trace JSONL files, print the critical path of the \
+          longest trace and a per-phase self-time rollup, and write a Perfetto-loadable Chrome \
+          trace-event file. The critical-path segments partition the root span exactly, so \
+          their total always equals the root duration — the printed percentage is a \
+          self-check.")
+    Term.(const run $ files_arg $ perfetto_arg $ folded_arg)
+
 let () =
   let doc = "spanners and sparsifiers in dynamic streams (Kapralov-Woodruff, PODC 2014)" in
   let info = Cmd.info "dynospan" ~version:"1.0.0" ~doc in
@@ -595,6 +694,7 @@ let () =
             resume_cmd;
             chaos_cmd;
             trace_cmd;
+            trace_analyze_cmd;
             additive_cmd;
             sparsify_cmd;
             forest_cmd;

@@ -215,7 +215,7 @@ module Linear = struct
   let read_body = read_into
 end
 
-let serialize t = Ds_sketch.Linear_sketch.serialize (module Linear) t
+let serialize ?trace t = Ds_sketch.Linear_sketch.serialize ?trace (module Linear) t
 let deserialize_into t data = Ds_sketch.Linear_sketch.deserialize_into (module Linear) t data
 let deserialize_result t data = Ds_sketch.Linear_sketch.deserialize_result (module Linear) t data
 
@@ -287,7 +287,7 @@ module Copy = struct
     let read_body s src = Array.iter (fun sk -> L0_sampler.read_into sk src) s.row
   end
 
-  let serialize s = Ds_sketch.Linear_sketch.serialize (module Linear) s
+  let serialize ?trace s = Ds_sketch.Linear_sketch.serialize ?trace (module Linear) s
 
   let absorb_result s data = Ds_sketch.Linear_sketch.absorb_result (module Linear) s data
 end

@@ -94,11 +94,13 @@ module Linear : Ds_sketch.Linear_sketch.S with type t = t
     multiplicity update of that edge (both endpoints' signed incidence
     vectors move together). *)
 
-val serialize : t -> string
+val serialize : ?trace:Ds_obs.Trace.context -> t -> string
 (** Wire form of the counters only — what a server ships to the coordinator
     (the structure is rebuilt from the shared seed on the other side).
     Equal to [Linear_sketch.serialize (module Linear)]: the versioned,
-    checksummed envelope. *)
+    checksummed envelope.  [?trace] embeds a trace-context extension
+    (see {!Ds_sketch.Linear_sketch.serialize}); omitted, the bytes are
+    unchanged from previous versions. *)
 
 val deserialize_into : t -> string -> unit
 (** Overwrite [t]'s counters with a serialised sketch. [t] must have been
@@ -130,7 +132,7 @@ module Copy : sig
       rejected by any other repetition's slice, because each repetition
       derives independent hash structure from its own seed chain. *)
 
-  val serialize : slice -> string
+  val serialize : ?trace:Ds_obs.Trace.context -> slice -> string
 
   val absorb_result : slice -> string -> (unit, Ds_sketch.Linear_sketch.error) result
   (** Validate-and-sum one repetition envelope into the parent sketch. *)

@@ -397,6 +397,7 @@ let load_pass1_result p1 data =
    checkpointing one from the same caller seed. *)
 let derive rng ~n ~prm =
   if prm.k < 1 then invalid_arg "Two_pass_spanner: k must be >= 1";
+  Ds_obs.Trace.with_span "spanner.derive" @@ fun () ->
   let rng = Prng.split_named rng "two_pass_spanner" in
   (rng, make_pass1 (Prng.split_named rng "pass1") ~n ~prm)
 
@@ -416,7 +417,10 @@ let finish rng p1 ~n ~prm stream =
     Clustering.build ~n ~k:prm.k ~centers:p1.centers ~attach:(attach p1)
   in
   let pass1_space = pass1_space_words p1 in
-  let p2 = make_pass2 (Prng.split_named rng "pass2") ~n ~prm clustering in
+  let p2 =
+    Ds_obs.Trace.with_span "spanner.derive" (fun () ->
+        make_pass2 (Prng.split_named rng "pass2") ~n ~prm clustering)
+  in
   Ds_obs.Metrics.incr m_p2_updates (Array.length stream);
   (Ds_obs.Trace.with_span "spanner.pass2" @@ fun () ->
    Array.iter (pass2_update p2) stream);
@@ -425,26 +429,27 @@ let finish rng p1 ~n ~prm stream =
   let add a b = if a <> b && not (Graph.mem_edge spanner a b) then Graph.add_edge spanner a b in
   List.iter (fun (a, b) -> add a b) clustering.Clustering.witnesses;
   let table_failures = ref 0 and payload_failures = ref 0 and recovered = ref 0 in
-  Array.iter
-    (fun tt ->
-      match Sketch_table.decode tt.table with
-      | None -> incr table_failures
-      | Some entries ->
-          List.iter
-            (fun (key, weight, payload) ->
-              if weight > 0 then
-                match tt.payload_cfg with
-                | None ->
-                    incr recovered;
-                    add tt.members.(0) key
-                | Some cfg -> (
-                    match Packed_l0.decode cfg payload ~off:0 with
-                    | Some (rank, _) ->
+  Ds_obs.Trace.with_span "spanner.extract" (fun () ->
+      Array.iter
+        (fun tt ->
+          match Sketch_table.decode tt.table with
+          | None -> incr table_failures
+          | Some entries ->
+              List.iter
+                (fun (key, weight, payload) ->
+                  if weight > 0 then
+                    match tt.payload_cfg with
+                    | None ->
                         incr recovered;
-                        add tt.members.(rank) key
-                    | None -> incr payload_failures))
-            entries)
-    p2.tables;
+                        add tt.members.(0) key
+                    | Some cfg -> (
+                        match Packed_l0.decode cfg payload ~off:0 with
+                        | Some (rank, _) ->
+                            incr recovered;
+                            add tt.members.(rank) key
+                        | None -> incr payload_failures))
+                entries)
+        p2.tables);
   let pass2_space =
     Array.fold_left (fun acc tt -> acc + Sketch_table.space_in_words tt.table) 0 p2.tables
   in
@@ -490,12 +495,17 @@ let finish rng p1 ~n ~prm stream =
       };
   }
 
+(* Every entry point runs under one "spanner.run" root span, so a whole
+   two-pass run (including a checkpoint/resume pair) reconstructs as a
+   single trace tree with pass 1 / clustering / pass 2 as children. *)
 let run ?(ingest = `Sequential) rng ~n ~params:prm stream =
+  Ds_obs.Trace.with_span "spanner.run" @@ fun () ->
   let rng, p1 = derive rng ~n ~prm in
   pass1_fill p1 ~ingest stream;
   finish rng p1 ~n ~prm stream
 
 let checkpoint ?(ingest = `Sequential) rng ~n ~params:prm stream =
+  Ds_obs.Trace.with_span "spanner.run" @@ fun () ->
   let _rng, p1 = derive rng ~n ~prm in
   pass1_fill p1 ~ingest stream;
   let data = Ds_obs.Trace.with_span "spanner.checkpoint" (fun () -> serialize_pass1 p1) in
@@ -503,6 +513,7 @@ let checkpoint ?(ingest = `Sequential) rng ~n ~params:prm stream =
   data
 
 let resume_result rng ~n ~params:prm ~checkpoint stream =
+  Ds_obs.Trace.with_span "spanner.run" @@ fun () ->
   let rng, p1 = derive rng ~n ~prm in
   match Ds_obs.Trace.with_span "spanner.resume.load" (fun () -> load_pass1_result p1 checkpoint) with
   | Ok () ->

@@ -23,7 +23,9 @@ let retry p f =
   if p.max_attempts < 1 then invalid_arg "Supervisor.retry: max_attempts must be >= 1";
   let rec go attempt backoff =
     let backoff = backoff +. delay_before p ~attempt in
-    match f ~attempt with
+    (* Each attempt is a child span, so retries show up individually on
+       the trace's critical path. *)
+    match Ds_obs.Trace.with_span "fault.attempt" (fun () -> f ~attempt) with
     | Ok _ as ok -> (ok, { attempts = attempt + 1; backoff })
     | Error _ as err ->
         if attempt + 1 >= p.max_attempts then (err, { attempts = attempt + 1; backoff })

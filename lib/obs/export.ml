@@ -21,12 +21,9 @@ let report_json () =
   List.iteri
     (fun i (sp : Trace.span) ->
       if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b
-        (Printf.sprintf
-           "{\"name\":\"%s\",\"start_ns\":%Ld,\"dur_ns\":%Ld,\"domain\":%d}"
-           sp.name sp.start_ns sp.dur_ns sp.domain))
+      Buffer.add_string b (Trace.span_to_json sp))
     (Trace.spans ());
-  Buffer.add_string b "],\"ledger\":";
+  Buffer.add_string b (Printf.sprintf "],\"spans_dropped\":%d,\"ledger\":" (Trace.dropped ()));
   Buffer.add_string b (Ledger.to_json ());
   Buffer.add_string b "}\n";
   Buffer.contents b
@@ -45,6 +42,11 @@ let pp_summary ppf () =
   Format.fprintf ppf "obs: %d counters (%d non-zero), %d spans recorded@."
     (List.length snap.Metrics.counters)
     (List.length nonzero) (Trace.recorded ());
+  let dropped = Trace.dropped () in
+  if dropped > 0 then
+    Format.fprintf ppf
+      "  WARNING: span ring overwrote %d spans (capacity %d) — older spans lost@."
+      dropped (Trace.capacity ());
   List.iter
     (fun (name, v) -> Format.fprintf ppf "  %s = %d@." name v)
     nonzero;

@@ -12,9 +12,10 @@ val reset : unit -> unit
     Registrations persist. *)
 
 val report_json : unit -> string
-(** [{"schema":"ds_obs/v1","metrics":{..},"spans":[..],"ledger":[..]}]
-    — spans inline as objects (same fields as the JSONL export),
-    trailing newline included. *)
+(** [{"schema":"ds_obs/v1","metrics":{..},"spans":[..],
+     "spans_dropped":N,"ledger":[..]}] — spans inline as objects (same
+    fields as the JSONL export, causal ids included); [spans_dropped]
+    counts spans lost to ring wraparound.  Trailing newline included. *)
 
 val write_report : path:string -> unit
 (** Write {!report_json} to [path] (truncating). *)
@@ -23,5 +24,6 @@ val prometheus : unit -> string
 (** Prometheus text format of the current metrics snapshot. *)
 
 val pp_summary : Format.formatter -> unit -> unit
-(** Human-oriented digest: non-zero counters, span count, and one
-    ledger line per entry with the measured constant. *)
+(** Human-oriented digest: non-zero counters, span count (with a
+    warning when the ring overwrote spans), and one ledger line per
+    entry with the measured constant. *)

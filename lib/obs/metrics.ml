@@ -204,8 +204,19 @@ let to_json snap =
   Buffer.add_char b '}';
   Buffer.contents b
 
+(* Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*.  Map
+   every out-of-charset byte to '_' and prefix '_' when the first byte
+   is a digit, so arbitrary registry names (dots, slashes, unicode)
+   always export as legal families. *)
 let sanitize name =
-  String.map (function '.' | '-' | ' ' -> '_' | c -> c) name
+  let ok_rest = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+    | _ -> false
+  in
+  let mapped = String.map (fun c -> if ok_rest c then c else '_') name in
+  if mapped = "" then "_"
+  else
+    match mapped.[0] with '0' .. '9' -> "_" ^ mapped | _ -> mapped
 
 let to_prometheus snap =
   let b = Buffer.create 1024 in

@@ -20,3 +20,15 @@ CAMLprim value ds_obs_clock_now_ns(value unit)
   return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL +
                          (int64_t)ts.tv_nsec);
 }
+
+/* Process id for span identity: merged trace files from several
+   processes must not collide on span ids, so the id stream is keyed by
+   (pid, counter).  Avoids a unix-library dependency for one syscall. */
+
+#include <unistd.h>
+
+CAMLprim value ds_obs_getpid(value unit)
+{
+  (void)unit;
+  return Val_int((int)getpid());
+}

@@ -1,0 +1,383 @@
+(* Span-forest reconstruction and critical-path analysis over causal
+   traces (Trace spans from the live ring, or parsed back from JSONL
+   trace files of one or more domains/processes). *)
+
+type node = {
+  span : Trace.span;
+  mutable children : node list; (* sorted by start_ns *)
+  mutable parent : node option;
+}
+
+type forest = {
+  roots : node list; (* sorted by start_ns *)
+  node_count : int;
+  orphans : int; (* parent_id set but not present in the span set *)
+  cycles_broken : int; (* nodes promoted to roots to break parent cycles *)
+}
+
+let end_ns n = Int64.add n.span.Trace.start_ns n.span.Trace.dur_ns
+
+let by_start a b =
+  match Int64.compare a.span.Trace.start_ns b.span.Trace.start_ns with
+  | 0 -> Int64.compare a.span.Trace.span_id b.span.Trace.span_id
+  | c -> c
+
+(* Build the forest: link children to parents by id, treat unresolvable
+   parents as roots (counting them), then break any parent cycles (possible
+   only in hand-edited or adversarial trace files) by promoting the
+   earliest unreachable node to a root until every node is reachable.  The
+   returned forest is therefore always acyclic with every edge resolvable. *)
+let of_spans spans =
+  let nodes = List.map (fun span -> { span; children = []; parent = None }) spans in
+  let tbl = Hashtbl.create (List.length nodes * 2) in
+  List.iter (fun n -> Hashtbl.replace tbl n.span.Trace.span_id n) nodes;
+  let roots = ref [] and orphans = ref 0 in
+  List.iter
+    (fun n ->
+      let pid = n.span.Trace.parent_id in
+      if pid = 0L then roots := n :: !roots
+      else
+        match Hashtbl.find_opt tbl pid with
+        | Some p when p != n ->
+            n.parent <- Some p;
+            p.children <- n :: p.children
+        | _ ->
+            incr orphans;
+            roots := n :: !roots)
+    nodes;
+  (* Reachability sweep; detach-and-promote breaks cycles. *)
+  let visited = Hashtbl.create (List.length nodes * 2) in
+  let rec mark n =
+    if not (Hashtbl.mem visited n.span.Trace.span_id) then begin
+      Hashtbl.replace visited n.span.Trace.span_id n;
+      List.iter mark n.children
+    end
+  in
+  let cycles = ref 0 in
+  let rec sweep () =
+    List.iter mark !roots;
+    let unreached =
+      List.filter (fun n -> not (Hashtbl.mem visited n.span.Trace.span_id)) nodes
+    in
+    match List.sort by_start unreached with
+    | [] -> ()
+    | n :: _ ->
+        (match n.parent with
+        | Some p ->
+            p.children <- List.filter (fun c -> c != n) p.children;
+            n.parent <- None
+        | None -> ());
+        incr cycles;
+        roots := n :: !roots;
+        sweep ()
+  in
+  sweep ();
+  List.iter (fun n -> n.children <- List.sort by_start n.children) nodes;
+  {
+    roots = List.sort by_start !roots;
+    node_count = List.length nodes;
+    orphans = !orphans;
+    cycles_broken = !cycles;
+  }
+
+let rec iter f node =
+  f node;
+  List.iter (iter f) node.children
+
+let iter_forest f forest = List.iter (iter f) forest.roots
+
+(* Self time: the node's duration minus the union of its children's
+   intervals clamped to its own.  Children may overlap (parallel shards on
+   other domains), so intervals are merged, never summed. *)
+let self_ns node =
+  let s = node.span.Trace.start_ns and e = end_ns node in
+  let clamped =
+    List.filter_map
+      (fun c ->
+        let cs = max s c.span.Trace.start_ns and ce = min e (end_ns c) in
+        if Int64.compare ce cs > 0 then Some (cs, ce) else None)
+      node.children
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int64.compare a b) clamped in
+  let covered = ref 0L and cursor = ref s in
+  List.iter
+    (fun (cs, ce) ->
+      let cs = max cs !cursor in
+      if Int64.compare ce cs > 0 then begin
+        covered := Int64.add !covered (Int64.sub ce cs);
+        cursor := ce
+      end)
+    sorted;
+  Int64.sub node.span.Trace.dur_ns !covered
+
+(* -------------------- per-phase rollups -------------------- *)
+
+type rollup = {
+  r_name : string;
+  r_count : int;
+  r_total_ns : int64; (* sum of span durations *)
+  r_self_ns : int64; (* sum of self times *)
+  r_max_ns : int64; (* longest single span *)
+}
+
+let rollups forest =
+  let tbl = Hashtbl.create 64 in
+  iter_forest
+    (fun n ->
+      let name = n.span.Trace.name in
+      let prev =
+        Option.value
+          (Hashtbl.find_opt tbl name)
+          ~default:{ r_name = name; r_count = 0; r_total_ns = 0L; r_self_ns = 0L; r_max_ns = 0L }
+      in
+      Hashtbl.replace tbl name
+        {
+          prev with
+          r_count = prev.r_count + 1;
+          r_total_ns = Int64.add prev.r_total_ns n.span.Trace.dur_ns;
+          r_self_ns = Int64.add prev.r_self_ns (self_ns n);
+          r_max_ns = max prev.r_max_ns n.span.Trace.dur_ns;
+        })
+    forest;
+  Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+  |> List.sort (fun a b -> Int64.compare b.r_self_ns a.r_self_ns)
+
+(* -------------------- critical path -------------------- *)
+
+(* Backward walk from the root's end: at each instant the blocking span is
+   the child with the latest end before the cursor; gaps between children
+   are the parent's own time.  The produced segments partition the root's
+   interval exactly, so their durations sum to the root duration by
+   construction — the cross-check `trace-analyze` reports. *)
+let critical_segments root =
+  let segs = ref [] in
+  let rec walk node ~floor ~until =
+    let rec consume t =
+      if Int64.compare t floor <= 0 then ()
+      else begin
+        let best =
+          List.fold_left
+            (fun acc c ->
+              if Int64.compare c.span.Trace.start_ns t < 0 then
+                let ce = min (end_ns c) t in
+                if Int64.compare ce floor > 0 then
+                  match acc with
+                  | Some b when Int64.compare (min (end_ns b) t) ce >= 0 -> acc
+                  | _ -> Some c
+                else acc
+              else acc)
+            None node.children
+        in
+        match best with
+        | None -> segs := (node, Int64.sub t floor) :: !segs
+        | Some c ->
+            let c_end = min (end_ns c) t in
+            if Int64.compare c_end t < 0 then segs := (node, Int64.sub t c_end) :: !segs;
+            let c_floor = max floor c.span.Trace.start_ns in
+            walk c ~floor:c_floor ~until:c_end;
+            consume c_floor
+      end
+    in
+    ignore until;
+    consume until
+  in
+  walk root ~floor:root.span.Trace.start_ns ~until:(end_ns root);
+  !segs (* ascending in time: built by prepending as the cursor moves back *)
+
+type path_step = { p_node : node; p_ns : int64 }
+
+(* One entry per span on the path (a span interrupted by children appears
+   once, with its segments summed), ordered by first appearance in time. *)
+let critical_path root =
+  let segs = critical_segments root in
+  let order = Hashtbl.create 16 and totals = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun (n, d) ->
+      let id = n.span.Trace.span_id in
+      if not (Hashtbl.mem order id) then begin
+        Hashtbl.replace order id (!next, n);
+        incr next
+      end;
+      Hashtbl.replace totals id
+        (Int64.add d (Option.value ~default:0L (Hashtbl.find_opt totals id))))
+    segs;
+  Hashtbl.fold (fun id (rank, n) acc -> (rank, { p_node = n; p_ns = Hashtbl.find totals id }) :: acc) order []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let path_total path = List.fold_left (fun acc s -> Int64.add acc s.p_ns) 0L path
+
+(* Longest root = the run under analysis, when several traces share a file. *)
+let main_root forest =
+  List.fold_left
+    (fun acc n ->
+      match acc with
+      | Some b when Int64.compare b.span.Trace.dur_ns n.span.Trace.dur_ns >= 0 -> acc
+      | _ -> Some n)
+    None forest.roots
+
+(* -------------------- JSONL parsing -------------------- *)
+
+(* Minimal parser for the flat one-object-per-line format Trace.to_jsonl
+   writes: string and integer values only.  Unknown keys are ignored and
+   missing causal ids default to 0, so pre-causal trace files still load. *)
+let parse_object line =
+  let len = String.length line in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "Trace_tree.parse: %s at byte %d" msg !pos) in
+  let skip_ws () =
+    while !pos < len && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect ch =
+    skip_ws ();
+    if !pos >= len || line.[!pos] <> ch then fail (Printf.sprintf "expected %C" ch);
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      match line.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          if !pos + 1 >= len then fail "dangling escape";
+          (match line.[!pos + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 5 >= len then fail "short unicode escape";
+              let code = int_of_string ("0x" ^ String.sub line (!pos + 2) 4) in
+              Buffer.add_char b (Char.chr (code land 0xff));
+              pos := !pos + 4
+          | c -> Buffer.add_char b c);
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if !pos < len && line.[!pos] = '-' then incr pos;
+    while !pos < len && line.[!pos] >= '0' && line.[!pos] <= '9' do incr pos done;
+    if !pos = start then fail "expected integer";
+    Int64.of_string (String.sub line start (!pos - start))
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if !pos < len && line.[!pos] = '}' then incr pos
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      skip_ws ();
+      let v =
+        if !pos < len && line.[!pos] = '"' then `Str (parse_string ()) else `Int (parse_int ())
+      in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      if !pos < len && line.[!pos] = ',' then begin
+        incr pos;
+        members ()
+      end
+      else expect '}'
+    in
+    members ()
+  end;
+  !fields
+
+let span_of_fields fields =
+  let int_field key default =
+    match List.assoc_opt key fields with Some (`Int v) -> v | _ -> default
+  in
+  let str_field key default =
+    match List.assoc_opt key fields with Some (`Str v) -> v | _ -> default
+  in
+  {
+    Trace.name = str_field "name" "?";
+    start_ns = int_field "start_ns" 0L;
+    dur_ns = int_field "dur_ns" 0L;
+    domain = Int64.to_int (int_field "domain" 0L);
+    pid = Int64.to_int (int_field "pid" 0L);
+    trace_id = int_field "trace_id" 0L;
+    span_id = int_field "span_id" 0L;
+    parent_id = int_field "parent_id" 0L;
+  }
+
+let parse_jsonl data =
+  String.split_on_char '\n' data
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l -> span_of_fields (parse_object l))
+
+(* -------------------- exporters -------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Chrome trace-event JSON (the array form): complete events ("ph":"X")
+   with microsecond timestamps, pid/tid from the recording process/domain.
+   Loads directly in Perfetto and chrome://tracing. *)
+let to_chrome_json spans =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (sp : Trace.span) ->
+      if i > 0 then Buffer.add_string b ",\n ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"trace_id\":\"%Lx\",\"span_id\":\"%Lx\",\"parent_id\":\"%Lx\"}}"
+           (json_escape sp.Trace.name)
+           (Int64.to_float sp.Trace.start_ns /. 1e3)
+           (Int64.to_float sp.Trace.dur_ns /. 1e3)
+           sp.Trace.pid sp.Trace.domain sp.Trace.trace_id sp.Trace.span_id sp.Trace.parent_id))
+    spans;
+  Buffer.add_string b "]\n";
+  Buffer.contents b
+
+(* Folded-stack output for flamegraph.pl / speedscope: one line per
+   distinct root-to-node chain, weighted by summed self time in ns. *)
+let to_folded forest =
+  let clean name =
+    String.map (function ';' | ' ' -> '_' | c -> c) name
+  in
+  let tbl = Hashtbl.create 64 in
+  let rec go prefix n =
+    let stack =
+      if prefix = "" then clean n.span.Trace.name
+      else prefix ^ ";" ^ clean n.span.Trace.name
+    in
+    let self = self_ns n in
+    if Int64.compare self 0L > 0 then
+      Hashtbl.replace tbl stack
+        (Int64.add self (Option.value ~default:0L (Hashtbl.find_opt tbl stack)));
+    List.iter (go stack) n.children
+  in
+  List.iter (go "") forest.roots;
+  let lines = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (stack, ns) -> Buffer.add_string b (Printf.sprintf "%s %Ld\n" stack ns))
+    (List.sort compare lines);
+  Buffer.contents b

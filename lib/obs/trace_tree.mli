@@ -1,0 +1,87 @@
+(** Span-forest reconstruction and critical-path analysis.
+
+    Works over any span list: the live ring ({!Trace.spans}) or spans
+    parsed back from one or more JSONL trace files ({!parse_jsonl}) —
+    files from different domains or processes can simply be
+    concatenated, since causal ids are globally unique.
+
+    The forest is always well-formed: spans whose [parent_id] is 0 or
+    unresolvable become roots (counted in [orphans]), and parent cycles
+    (possible only in corrupted or hand-edited files) are broken by
+    promoting nodes to roots (counted in [cycles_broken]). *)
+
+type node = {
+  span : Trace.span;
+  mutable children : node list;  (** sorted by start time *)
+  mutable parent : node option;
+}
+
+type forest = {
+  roots : node list;  (** sorted by start time *)
+  node_count : int;
+  orphans : int;  (** spans with an unresolvable non-zero parent *)
+  cycles_broken : int;  (** nodes promoted to roots to break cycles *)
+}
+
+val of_spans : Trace.span list -> forest
+val end_ns : node -> int64
+val iter : (node -> unit) -> node -> unit
+val iter_forest : (node -> unit) -> forest -> unit
+
+val self_ns : node -> int64
+(** Span duration minus the union of its children's intervals clamped
+    to its own (overlapping children — parallel work on other domains —
+    are merged, not double-counted). *)
+
+(** {1 Per-phase rollups} *)
+
+type rollup = {
+  r_name : string;
+  r_count : int;
+  r_total_ns : int64;  (** sum of span durations *)
+  r_self_ns : int64;  (** sum of self times *)
+  r_max_ns : int64;  (** longest single span *)
+}
+
+val rollups : forest -> rollup list
+(** One row per span name, sorted by total self time (descending). *)
+
+(** {1 Critical path} *)
+
+type path_step = { p_node : node; p_ns : int64 }
+
+val critical_path : node -> path_step list
+(** The blocking chain of a root span, computed by a backward walk: at
+    each instant the blocking span is the child with the latest end
+    before the cursor, and gaps between children are the parent's own
+    time.  Each span appears at most once (its blocking segments
+    summed), in order of first appearance in time.  The step durations
+    partition the root's interval exactly:
+    [path_total (critical_path r) = r.span.dur_ns]. *)
+
+val path_total : path_step list -> int64
+
+val main_root : forest -> node option
+(** The longest root span — the run under analysis when a file holds
+    several traces.  [None] on an empty forest. *)
+
+(** {1 JSONL parsing} *)
+
+val parse_jsonl : string -> Trace.span list
+(** Parse {!Trace.to_jsonl} output (one flat JSON object per line;
+    blank lines skipped).  Unknown keys are ignored and missing causal
+    ids default to 0, so pre-causal trace files still load.
+    @raise Failure on a malformed line. *)
+
+(** {1 Exporters} *)
+
+val to_chrome_json : Trace.span list -> string
+(** Chrome trace-event JSON (array form): complete events ([ph:"X"])
+    with microsecond [ts]/[dur], [pid]/[tid] from the recording
+    process/domain, causal ids under [args].  Loads in Perfetto and
+    chrome://tracing. *)
+
+val to_folded : forest -> string
+(** Folded-stack lines ["root;child;leaf <self_ns>"] for
+    flamegraph.pl / speedscope (semicolons and spaces in span names are
+    mapped to ['_']). *)

@@ -57,6 +57,15 @@ let create ?domains () =
 let size pool = pool.size
 
 let submit pool job =
+  (* Capture the submitter's trace context so spans recorded by the
+     worker domain parent under the submitting span.  Free when tracing
+     is off ([current_context] returns [None] without touching DLS). *)
+  let ctx = Ds_obs.Trace.current_context () in
+  let job =
+    match ctx with
+    | None -> job
+    | Some _ -> fun () -> Ds_obs.Trace.with_context ctx job
+  in
   Mutex.lock pool.lock;
   if pool.closed then begin
     Mutex.unlock pool.lock;

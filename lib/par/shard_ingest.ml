@@ -55,10 +55,14 @@ let ingest pool ?(policy = Chunked) ~make ~update ~merge items =
         (fun p -> Ds_obs.Metrics.observe m_batch_size (Array.length p))
         parts
     end;
+    (* [Pool.submit] captures the "par.ingest" context, so each shard's
+       span links under it even though it runs on a worker domain. *)
     Ds_obs.Trace.with_span "par.ingest" (fun () ->
         ignore
           (Pool.run pool
-             (List.init shards (fun s () -> update replicas.(s) parts.(s)))))
+             (List.init shards (fun s () ->
+                  Ds_obs.Trace.with_span "par.shard" (fun () ->
+                      update replicas.(s) parts.(s))))))
   end;
   for s = 1 to shards - 1 do
     merge replicas.(0) replicas.(s)

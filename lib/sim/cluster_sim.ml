@@ -86,10 +86,19 @@ let run ?(mode = `Sequential) rng ~n ~servers ~partition stream =
      communication the paper counts). In [`Parallel] mode the servers run
      concurrently on real domains; replicas are compatible by shared seed,
      so the mode cannot change any measured or decoded quantity. *)
+  (* Each serialize runs under its own "cluster.ship" span and embeds
+     that span's context in the envelope, so the coordinator's decode
+     spans link back to the shipping server.  With tracing disabled
+     [current_context] is [None] and the bytes are unchanged. *)
   let sketch_server updates =
     let sk = fresh () in
-    Agm_sketch.update_batch sk updates;
-    (sk, Agm_sketch.serialize sk)
+    Ds_obs.Trace.with_span "cluster.sketch" (fun () ->
+        Agm_sketch.update_batch sk updates);
+    let msg =
+      Ds_obs.Trace.with_span "cluster.ship" (fun () ->
+          Agm_sketch.serialize ?trace:(Ds_obs.Trace.current_context ()) sk)
+    in
+    (sk, msg)
   in
   let server_results =
     match mode with
@@ -102,11 +111,12 @@ let run ?(mode = `Sequential) rng ~n ~servers ~partition stream =
   (* Coordinator: absorb and sum. *)
   let coordinator = fresh () in
   let scratch = fresh () in
-  Array.iter
-    (fun m ->
-      Agm_sketch.deserialize_into scratch m;
-      Agm_sketch.add coordinator scratch)
-    messages;
+  Ds_obs.Trace.with_span "cluster.merge" (fun () ->
+      Array.iter
+        (fun m ->
+          Agm_sketch.deserialize_into scratch m;
+          Agm_sketch.add coordinator scratch)
+        messages);
   let forest = Agm_sketch.spanning_forest coordinator in
   let forest_correct = forest_ok ~n stream forest in
   let bytes_total = Array.fold_left ( + ) 0 bytes_per_server in
@@ -151,6 +161,7 @@ type ship_report = {
 let ship (type s) ?(mode = `Sequential) ((module L) : s Linear_sketch.impl) ~make
     ~servers (updates : (int * int) array) =
   if servers < 1 then invalid_arg "Cluster_sim.ship: need at least one server";
+  Ds_obs.Trace.with_span "cluster.ship_run" @@ fun () ->
   (* Round-robin shards; any partition gives the same coordinator state by
      linearity, so the routing is not a parameter here. *)
   let shards =
@@ -160,8 +171,12 @@ let ship (type s) ?(mode = `Sequential) ((module L) : s Linear_sketch.impl) ~mak
   in
   let sketch_server part =
     let sk : s = make () in
-    Array.iter (fun (index, delta) -> L.update sk ~index ~delta) part;
-    Linear_sketch.serialize (module L) sk
+    Ds_obs.Trace.with_span "cluster.sketch" (fun () ->
+        Array.iter (fun (index, delta) -> L.update sk ~index ~delta) part);
+    Ds_obs.Trace.with_span "cluster.ship" (fun () ->
+        Linear_sketch.serialize
+          ?trace:(Ds_obs.Trace.current_context ())
+          (module L) sk)
   in
   let messages =
     match mode with
@@ -406,10 +421,14 @@ let run_supervised ?(mode = `Sequential) ?(policy = Supervisor.default)
      unit of loss, so one fault costs one repetition, not a whole sketch. *)
   let sketch_server updates =
     let sk = fresh () in
-    Agm_sketch.update_batch sk updates;
+    Ds_obs.Trace.with_span "cluster.sketch" (fun () ->
+        Agm_sketch.update_batch sk updates);
     let envs =
       Array.init (Agm_sketch.copies sk) (fun c ->
-          Agm_sketch.Copy.serialize (Agm_sketch.Copy.slice sk c))
+          Ds_obs.Trace.with_span "cluster.ship" (fun () ->
+              Agm_sketch.Copy.serialize
+                ?trace:(Ds_obs.Trace.current_context ())
+                (Agm_sketch.Copy.slice sk c)))
     in
     (sk, envs)
   in
@@ -427,15 +446,17 @@ let run_supervised ?(mode = `Sequential) ?(policy = Supervisor.default)
   let stats = fresh_chan_stats () in
   let crashed = Array.make servers false in
   let merged = Array.make_matrix servers copies false in
-  for s = 0 to servers - 1 do
-    for c = 0 to copies - 1 do
-      if not crashed.(s) then
-        merged.(s).(c) <-
-          deliver ~plan ~policy ~stats ~crashed ~server:s ~message:c
-            envelopes.(s).(c)
-            ~absorb:(Agm_sketch.Copy.absorb_result (Agm_sketch.Copy.slice coordinator c))
-    done
-  done;
+  Ds_obs.Trace.with_span "cluster.deliver" (fun () ->
+      for s = 0 to servers - 1 do
+        for c = 0 to copies - 1 do
+          if not crashed.(s) then
+            merged.(s).(c) <-
+              deliver ~plan ~policy ~stats ~crashed ~server:s ~message:c
+                envelopes.(s).(c)
+                ~absorb:
+                  (Agm_sketch.Copy.absorb_result (Agm_sketch.Copy.slice coordinator c))
+        done
+      done);
   (* Recovery by linearity: the coordinator re-sketches a failed server's
      shard from the trace and sums the missing repetitions into its state —
      no global restart, no re-send protocol, and the recovered sum equals
@@ -449,21 +470,21 @@ let run_supervised ?(mode = `Sequential) ?(policy = Supervisor.default)
       List.filter (fun c -> not merged.(s).(c)) (List.init copies (fun c -> c))
     in
     if missing <> [] then
-      if allow_reingest then begin
-        let replica = fresh () in
-        Agm_sketch.update_batch replica shard_updates.(s);
-        List.iter
-          (fun c ->
-            Agm_sketch.Copy.Linear.add
-              (Agm_sketch.Copy.slice coordinator c)
-              (Agm_sketch.Copy.slice replica c);
-            merged.(s).(c) <- true)
-          missing;
-        reingested := s :: !reingested;
-        reingested_updates := !reingested_updates + Array.length shard_updates.(s);
-        recovery_bytes :=
-          !recovery_bytes + (update_wire_bytes * Array.length shard_updates.(s))
-      end
+      if allow_reingest then
+        Ds_obs.Trace.with_span "cluster.recover" (fun () ->
+            let replica = fresh () in
+            Agm_sketch.update_batch replica shard_updates.(s);
+            List.iter
+              (fun c ->
+                Agm_sketch.Copy.Linear.add
+                  (Agm_sketch.Copy.slice coordinator c)
+                  (Agm_sketch.Copy.slice replica c);
+                merged.(s).(c) <- true)
+              missing;
+            reingested := s :: !reingested;
+            reingested_updates := !reingested_updates + Array.length shard_updates.(s);
+            recovery_bytes :=
+              !recovery_bytes + (update_wire_bytes * Array.length shard_updates.(s)))
       else lost := s :: !lost
   done;
   (* Quorum decode: a repetition is trustworthy only if every server's
@@ -565,6 +586,7 @@ let ship_supervised (type s) ?(mode = `Sequential) ?(policy = Supervisor.default
     ?(allow_reingest = true) ~plan ((module L) : s Linear_sketch.impl) ~make ~servers
     (updates : (int * int) array) =
   if servers < 1 then invalid_arg "Cluster_sim.ship_supervised: need at least one server";
+  Ds_obs.Trace.with_span "cluster.ship_supervised" @@ fun () ->
   let shards =
     Array.init servers (fun s ->
         let len = (Array.length updates - s + servers - 1) / servers in
@@ -572,8 +594,12 @@ let ship_supervised (type s) ?(mode = `Sequential) ?(policy = Supervisor.default
   in
   let sketch_shard part =
     let sk : s = make () in
-    Array.iter (fun (index, delta) -> L.update sk ~index ~delta) part;
-    Linear_sketch.serialize (module L) sk
+    Ds_obs.Trace.with_span "cluster.sketch" (fun () ->
+        Array.iter (fun (index, delta) -> L.update sk ~index ~delta) part);
+    Ds_obs.Trace.with_span "cluster.ship" (fun () ->
+        Linear_sketch.serialize
+          ?trace:(Ds_obs.Trace.current_context ())
+          (module L) sk)
   in
   let messages =
     match mode with
@@ -584,25 +610,26 @@ let ship_supervised (type s) ?(mode = `Sequential) ?(policy = Supervisor.default
   let stats = fresh_chan_stats () in
   let crashed = Array.make servers false in
   let merged = Array.make servers false in
-  Array.iteri
-    (fun s msg ->
-      merged.(s) <-
-        deliver ~plan ~policy ~stats ~crashed ~server:s ~message:0 msg
-          ~absorb:(Linear_sketch.absorb_result (module L) coordinator))
-    messages;
+  Ds_obs.Trace.with_span "cluster.deliver" (fun () ->
+      Array.iteri
+        (fun s msg ->
+          merged.(s) <-
+            deliver ~plan ~policy ~stats ~crashed ~server:s ~message:0 msg
+              ~absorb:(Linear_sketch.absorb_result (module L) coordinator))
+        messages);
   let reingested = ref [] in
   let recovery_bytes = ref 0 in
   let lost = ref [] in
   for s = servers - 1 downto 0 do
     if not merged.(s) then
-      if allow_reingest then begin
-        let replica = make () in
-        Array.iter (fun (index, delta) -> L.update replica ~index ~delta) shards.(s);
-        L.add coordinator replica;
-        merged.(s) <- true;
-        reingested := s :: !reingested;
-        recovery_bytes := !recovery_bytes + (update_wire_bytes * Array.length shards.(s))
-      end
+      if allow_reingest then
+        Ds_obs.Trace.with_span "cluster.recover" (fun () ->
+            let replica = make () in
+            Array.iter (fun (index, delta) -> L.update replica ~index ~delta) shards.(s);
+            L.add coordinator replica;
+            merged.(s) <- true;
+            reingested := s :: !reingested;
+            recovery_bytes := !recovery_bytes + (update_wire_bytes * Array.length shards.(s)))
       else lost := s :: !lost
   done;
   let direct = make () in

@@ -21,6 +21,14 @@ let version = 1
 let magic = "LSK1"
 let checksum_bytes = 8
 
+(* Optional trace-context extension: appended after the body, inside the
+   checksummed payload, so a corrupted extension is caught by the same
+   integrity check as the counters.  Plain envelopes (no [?trace]) are
+   byte-identical to version-1 messages without the extension, and
+   readers that predate it would see it as trailing bytes — both
+   directions of compatibility are property-tested in test_trace.ml. *)
+let trace_ext_tag = "TCTX"
+
 (* Decode/encode telemetry: one counter bump per envelope, never per
    byte (no-ops unless Ds_obs.Metrics is enabled). *)
 let m_ser_count = Ds_obs.Metrics.counter "sketch.serialize.count"
@@ -28,12 +36,18 @@ let m_ser_bytes = Ds_obs.Metrics.counter "sketch.serialize.bytes"
 let m_dec_ok = Ds_obs.Metrics.counter "sketch.decode.ok"
 let m_dec_err = Ds_obs.Metrics.counter "sketch.decode.err"
 
-let serialize (type a) ((module L) : a impl) (t : a) =
+let serialize (type a) ?trace ((module L) : a impl) (t : a) =
   let sink = Wire.sink () in
   Wire.write_tag sink magic;
   Wire.write_tag sink L.family;
   Wire.write_array sink (L.shape t);
   L.write_body t sink;
+  (match trace with
+  | Some { Ds_obs.Trace.trace_id; span_id } ->
+      Wire.write_tag sink trace_ext_tag;
+      Wire.write_fixed64 sink trace_id;
+      Wire.write_fixed64 sink span_id
+  | None -> ());
   let payload = Wire.contents sink in
   let tail = Wire.sink () in
   Wire.write_fixed64 tail (Wire.fnv1a64 payload);
@@ -84,6 +98,8 @@ let deserialize_result (type a) ((module L) : a impl) (t : a) data =
     | Error _ -> Ds_obs.Metrics.incr m_dec_err 1);
     r
   in
+  let tracing = Ds_obs.Trace.enabled () in
+  let t0 = if tracing then Ds_obs.Clock.now_ns () else 0L in
   count
   @@
   let len = String.length data in
@@ -113,7 +129,24 @@ let deserialize_result (type a) ((module L) : a impl) (t : a) data =
     else Ok ()
   in
   let* () = try Ok (L.read_body t src) with Failure m -> Error (Malformed_body m) in
-  match Wire.remaining src with 0 -> Ok () | n -> Error (Trailing_bytes n)
+  match Wire.remaining src with
+  | 0 -> Ok ()
+  | n -> (
+      (* Anything after the body must be exactly one trace-context
+         extension; otherwise it is trailing garbage as before. *)
+      match (try Ok (Wire.read_tag src) with Failure _ -> Error (Trailing_bytes n)) with
+      | Ok tag when tag = trace_ext_tag && Wire.remaining src = 16 ->
+          let trace_id = Wire.read_fixed64 src in
+          let span_id = Wire.read_fixed64 src in
+          (* The decode span parents under the *sender's* shipping span
+             via the carried context, linking the receiving process into
+             the coordinator's trace. *)
+          if tracing then
+            Ds_obs.Trace.record_linked "sketch.decode"
+              { Ds_obs.Trace.trace_id; span_id }
+              ~start_ns:t0 ~dur_ns:(Ds_obs.Clock.elapsed_ns t0);
+          Ok ()
+      | Ok _ | Error _ -> Error (Trailing_bytes n))
 
 let deserialize_into impl t data =
   match deserialize_result impl t data with
@@ -147,7 +180,7 @@ module Packed = struct
   let space_in_words (T ((module L), v)) = L.space_in_words v
   let update (T ((module L), v)) ~index ~delta = L.update v ~index ~delta
   let clone_zero (T ((module L), v)) = T ((module L), L.clone_zero v)
-  let serialize (T (impl, v)) = serialize impl v
+  let serialize ?trace (T (impl, v)) = serialize ?trace impl v
   let deserialize_into (T (impl, v)) data = deserialize_into impl v data
   let deserialize_result (T (impl, v)) data = deserialize_result impl v data
   let absorb (T (impl, v)) data = absorb impl v data

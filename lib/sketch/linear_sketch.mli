@@ -77,8 +77,23 @@ type 'a impl = (module S with type t = 'a)
 val version : int
 (** Wire-format version (bumped with the magic tag). *)
 
-val serialize : 'a impl -> 'a -> string
-(** The sketch's counters in the versioned envelope described above. *)
+val serialize : ?trace:Ds_obs.Trace.context -> 'a impl -> 'a -> string
+(** The sketch's counters in the versioned envelope described above.
+
+    [?trace] appends an optional trace-context extension after the
+    body, inside the checksummed payload:
+
+    {v
+    tag  "TCTX"            extension marker
+    fixed64 trace_id       the shipping run's trace
+    fixed64 span_id        the shipping span (decode spans parent here)
+    v}
+
+    Without [?trace] the envelope is byte-identical to what this module
+    always produced — merge-equality comparisons and checkpoint hashes
+    are unaffected.  A reader finding the extension records a
+    ["sketch.decode"] span linked to the carried context (when tracing
+    is enabled) and otherwise ignores it. *)
 
 (** Why a decode was rejected — the typed face of envelope validation, in
     the order the checks run. A supervising coordinator branches on this
@@ -95,7 +110,9 @@ type error =
   | Malformed_body of string
       (** the body failed to parse despite a valid checksum (forged or
           writer bug); the destination may be partially overwritten *)
-  | Trailing_bytes of int  (** the body did not consume the message *)
+  | Trailing_bytes of int
+      (** the body did not consume the message (and what follows is not
+          a well-formed trace-context extension) *)
 
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
@@ -141,7 +158,7 @@ module Packed : sig
   val space_in_words : t -> int
   val update : t -> index:int -> delta:int -> unit
   val clone_zero : t -> t
-  val serialize : t -> string
+  val serialize : ?trace:Ds_obs.Trace.context -> t -> string
 
   val deserialize_into : t -> string -> unit
   (** @raise Failure as the statically-typed {!deserialize_into}. *)

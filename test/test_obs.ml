@@ -145,8 +145,159 @@ let test_trace_jsonl () =
   with_obs (fun () ->
       Ds_obs.Trace.record "alpha" ~start_ns:10L ~dur_ns:5L;
       let jsonl = Ds_obs.Trace.to_jsonl () in
-      check_string "one line per span"
-        "{\"name\":\"alpha\",\"start_ns\":10,\"dur_ns\":5,\"domain\":0}\n" jsonl)
+      (* Ids are fresh per run, so check the line through the parser
+         instead of as a literal string. *)
+      check_int "one line per span" 1
+        (List.length (String.split_on_char '\n' (String.trim jsonl)));
+      (match Ds_obs.Trace_tree.parse_jsonl jsonl with
+      | [ sp ] ->
+          check_string "name survives" "alpha" sp.Ds_obs.Trace.name;
+          check_bool "timestamps survive" true
+            (sp.Ds_obs.Trace.start_ns = 10L && sp.Ds_obs.Trace.dur_ns = 5L);
+          check_bool "span id assigned" true (sp.Ds_obs.Trace.span_id <> 0L);
+          check_bool "root span" true (sp.Ds_obs.Trace.parent_id = 0L)
+      | spans -> Alcotest.failf "expected one span, parsed %d" (List.length spans));
+      (* Pre-causal trace lines (no id fields) must still load. *)
+      match
+        Ds_obs.Trace_tree.parse_jsonl
+          "{\"name\":\"old\",\"start_ns\":1,\"dur_ns\":2,\"domain\":0}\n"
+      with
+      | [ sp ] ->
+          check_string "old-format name" "old" sp.Ds_obs.Trace.name;
+          check_bool "old-format ids default to 0" true
+            (sp.Ds_obs.Trace.span_id = 0L && sp.Ds_obs.Trace.trace_id = 0L)
+      | spans -> Alcotest.failf "expected one old span, parsed %d" (List.length spans))
+
+let test_trace_nesting_and_propagation () =
+  with_obs (fun () ->
+      Ds_obs.Trace.reset ();
+      let inner_ctx = ref None in
+      Ds_obs.Trace.with_span "outer" (fun () ->
+          Ds_obs.Trace.with_span "inner" (fun () ->
+              inner_ctx := Ds_obs.Trace.current_context ()));
+      (match Ds_obs.Trace.spans () with
+      | [ inner; outer ] ->
+          (* spans are pushed on close: inner first *)
+          check_string "inner closes first" "inner" inner.Ds_obs.Trace.name;
+          check_bool "inner parented under outer" true
+            (inner.Ds_obs.Trace.parent_id = outer.Ds_obs.Trace.span_id);
+          check_bool "same trace" true
+            (inner.Ds_obs.Trace.trace_id = outer.Ds_obs.Trace.trace_id);
+          check_bool "outer is a root" true (outer.Ds_obs.Trace.parent_id = 0L);
+          check_bool "context captured inner" true
+            (match !inner_ctx with
+            | Some c -> c.Ds_obs.Trace.span_id = inner.Ds_obs.Trace.span_id
+            | None -> false)
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+      (* Carried context parents a span recorded on another "domain". *)
+      Ds_obs.Trace.reset ();
+      Ds_obs.Trace.with_span "root" (fun () ->
+          let ctx = Option.get (Ds_obs.Trace.current_context ()) in
+          Ds_obs.Trace.with_context (Some ctx) (fun () ->
+              Ds_obs.Trace.with_span "remote" (fun () -> ())));
+      match Ds_obs.Trace.spans () with
+      | [ remote; root ] ->
+          check_bool "remote links under carried context" true
+            (remote.Ds_obs.Trace.parent_id = root.Ds_obs.Trace.span_id
+            && remote.Ds_obs.Trace.trace_id = root.Ds_obs.Trace.trace_id)
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let test_trace_pool_propagation () =
+  with_obs (fun () ->
+      Ds_obs.Trace.reset ();
+      Ds_par.Pool.with_pool ~domains:2 (fun pool ->
+          Ds_obs.Trace.with_span "submit.root" (fun () ->
+              ignore
+                (Ds_par.Pool.run pool
+                   (List.init 4 (fun i () ->
+                        Ds_obs.Trace.with_span "submit.task" (fun () -> i))))));
+      let spans = Ds_obs.Trace.spans () in
+      let root =
+        List.find (fun s -> s.Ds_obs.Trace.name = "submit.root") spans
+      in
+      let tasks =
+        List.filter (fun s -> s.Ds_obs.Trace.name = "submit.task") spans
+      in
+      check_int "all worker spans recorded" 4 (List.length tasks);
+      List.iter
+        (fun t ->
+          check_bool "task parented under submitter" true
+            (t.Ds_obs.Trace.parent_id = root.Ds_obs.Trace.span_id);
+          check_bool "task in submitter's trace" true
+            (t.Ds_obs.Trace.trace_id = root.Ds_obs.Trace.trace_id))
+        tasks)
+
+(* -------------------- trace tree + critical path -------------------- *)
+
+let test_trace_tree_and_critical_path () =
+  with_obs (fun () ->
+      Ds_obs.Trace.reset ();
+      Ds_obs.Trace.with_span "root" (fun () ->
+          Ds_obs.Trace.with_span "a" (fun () ->
+              Ds_obs.Trace.with_span "a1" (fun () -> Unix.sleepf 0.002));
+          Ds_obs.Trace.with_span "b" (fun () -> Unix.sleepf 0.001));
+      let forest = Ds_obs.Trace_tree.of_spans (Ds_obs.Trace.spans ()) in
+      check_int "one root" 1 (List.length forest.Ds_obs.Trace_tree.roots);
+      check_int "no orphans" 0 forest.Ds_obs.Trace_tree.orphans;
+      check_int "no cycles" 0 forest.Ds_obs.Trace_tree.cycles_broken;
+      let root = Option.get (Ds_obs.Trace_tree.main_root forest) in
+      check_string "root name" "root" root.Ds_obs.Trace_tree.span.Ds_obs.Trace.name;
+      check_int "root has two children" 2
+        (List.length root.Ds_obs.Trace_tree.children);
+      let path = Ds_obs.Trace_tree.critical_path root in
+      let total = Ds_obs.Trace_tree.path_total path in
+      check_bool "critical path partitions the root exactly" true
+        (total = root.Ds_obs.Trace_tree.span.Ds_obs.Trace.dur_ns);
+      (* self time of root = dur - children (they don't overlap here) *)
+      let rollups = Ds_obs.Trace_tree.rollups forest in
+      check_int "one rollup row per name" 4 (List.length rollups);
+      let r_a1 =
+        List.find (fun r -> r.Ds_obs.Trace_tree.r_name = "a1") rollups
+      in
+      check_int "a1 count" 1 r_a1.Ds_obs.Trace_tree.r_count;
+      check_bool "a1 self = total (leaf)" true
+        (r_a1.Ds_obs.Trace_tree.r_self_ns = r_a1.Ds_obs.Trace_tree.r_total_ns);
+      (* Exporters on the same spans. *)
+      let chrome = Ds_obs.Trace_tree.to_chrome_json (Ds_obs.Trace.spans ()) in
+      List.iter
+        (fun needle -> check_bool ("chrome has " ^ needle) true (contains ~needle chrome))
+        [ "\"ph\":\"X\""; "\"ts\":"; "\"dur\":"; "\"pid\":"; "\"tid\":" ];
+      let folded = Ds_obs.Trace_tree.to_folded forest in
+      check_bool "folded has root;a;a1 stack" true
+        (contains ~needle:"root;a;a1 " folded))
+
+let test_spans_dropped_reported () =
+  with_obs (fun () ->
+      Ds_obs.Trace.reset ~capacity:4 ();
+      for i = 1 to 10 do
+        Ds_obs.Trace.record (Printf.sprintf "d%d" i) ~start_ns:(Int64.of_int i) ~dur_ns:1L
+      done;
+      check_int "dropped = recorded - kept" 6 (Ds_obs.Trace.dropped ());
+      let json = Ds_obs.Export.report_json () in
+      check_bool "report_json has spans_dropped" true
+        (contains ~needle:"\"spans_dropped\":6" json);
+      let summary = Format.asprintf "%a" Ds_obs.Export.pp_summary () in
+      check_bool "pp_summary warns about drops" true
+        (contains ~needle:"WARNING" summary && contains ~needle:"6" summary);
+      Ds_obs.Trace.reset ();
+      let clean = Format.asprintf "%a" Ds_obs.Export.pp_summary () in
+      check_bool "no warning without drops" false (contains ~needle:"WARNING" clean))
+
+let test_prometheus_sanitize () =
+  with_obs (fun () ->
+      let c = Ds_obs.Metrics.counter "weird/name:with.bad chars-1" in
+      Ds_obs.Metrics.incr c 1;
+      let prom = Ds_obs.Export.prometheus () in
+      check_bool "sanitized family" true
+        (contains ~needle:"# TYPE weird_name:with_bad_chars_1 counter" prom);
+      check_bool "sanitized sample" true
+        (contains ~needle:"weird_name:with_bad_chars_1 1" prom);
+      (* every exported name obeys the Prometheus charset *)
+      let ok_first = function 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false in
+      String.split_on_char '\n' prom
+      |> List.iter (fun line ->
+             if line <> "" && not (String.length line >= 1 && line.[0] = '#') then
+               check_bool ("legal first char: " ^ line) true (ok_first line.[0])))
 
 (* -------------------- space ledger -------------------- *)
 
@@ -264,6 +415,13 @@ let () =
           Alcotest.test_case "records and raises" `Quick test_trace_records_and_raises;
           Alcotest.test_case "ring wraparound" `Quick test_trace_ring_wraparound;
           Alcotest.test_case "jsonl" `Quick test_trace_jsonl;
+          Alcotest.test_case "nesting + carried context" `Quick
+            test_trace_nesting_and_propagation;
+          Alcotest.test_case "pool propagation" `Quick test_trace_pool_propagation;
+          Alcotest.test_case "tree + critical path" `Quick
+            test_trace_tree_and_critical_path;
+          Alcotest.test_case "spans dropped surfaced" `Quick test_spans_dropped_reported;
+          Alcotest.test_case "prometheus sanitize" `Quick test_prometheus_sanitize;
         ] );
       ( "ledger",
         [
