@@ -1083,6 +1083,66 @@ let e17 () =
   Obs.Export.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* E18: parallel scaling curve of the work-stealing ingest engine       *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  header "E18" "Work-stealing ingest: scaling curve, efficiency and steal traffic (Sec 1)";
+  let module C = Ingest_common in
+  let module Obs = Ds_obs in
+  let agm_n = 256 and agm_updates = 20_000 in
+  let host_cores = Domain.recommended_domain_count () in
+  Fmt.pr "workload: AGM end-to-end n=%d (%d updates); host cores=%d@." agm_n agm_updates
+    host_cores;
+  let kernel_agm = C.kernel_agm_rate ~n:agm_n ~updates:agm_updates in
+  Fmt.pr "sequential kernel: %.0f updates/sec (speedup denominator)@." kernel_agm;
+  Fmt.pr "%-10s %-14s %-10s %-12s %-14s@." "domains" "updates/sec" "speedup" "efficiency"
+    "v1 speedup";
+  line ();
+  (* The v1 engine's measured curve on this workload (committed with the
+     first BENCH_ingest.json): materialized per-shard copies, eager
+     replicas, serial merge.  Kept inline as the before/after anchor. *)
+  let v1_speedups = [ (1, 0.784); (2, 0.550); (4, 0.342); (8, 0.215) ] in
+  List.iter
+    (fun domains ->
+      let r = C.parallel_agm_rate ~n:agm_n ~updates:agm_updates ~domains in
+      let speedup = r /. kernel_agm in
+      let eff = speedup /. float_of_int (min domains host_cores) in
+      Fmt.pr "%-10d %-14.0f %-10.2f %-12.2f %-14s@." domains r speedup eff
+        (match List.assoc_opt domains v1_speedups with
+        | Some s -> Printf.sprintf "%.3f" s
+        | None -> "-"))
+    [ 1; 2; 4; 8 ];
+  (* Steal traffic under a skewed deal: a star stream routed By_key lands
+     every chunk on one worker's deque; the steals counter shows the
+     other workers draining it. *)
+  let module U = Ds_stream.Update in
+  let star =
+    Array.init agm_updates (fun i -> U.insert 0 (1 + (i mod (agm_n - 1))))
+  in
+  let proto =
+    Ds_agm.Agm_sketch.create (Ds_util.Prng.create 7) ~n:agm_n
+      ~params:(Ds_agm.Agm_sketch.default_params ~n:agm_n)
+  in
+  Obs.Export.enable ();
+  Ds_par.Pool.with_pool ~domains:4 (fun pool ->
+      Ds_par.Shard_ingest.agm pool ~policy:Ds_par.Shard_ingest.by_vertex ~workers:4 proto
+        star);
+  let count name =
+    match List.assoc_opt name (Obs.Metrics.snapshot ()).Obs.Metrics.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  Fmt.pr "skewed By_key star stream, 4 workers: %d chunks, %d stolen@."
+    (count "par.ingest.batches") (count "par.ingest.steals");
+  Obs.Export.disable ();
+  Obs.Export.reset ();
+  Fmt.pr "expected: on multi-core hosts speedup grows to ~cores and efficiency stays@.";
+  Fmt.pr "above ~0.5; on 1-core hosts the curve is flat near 1.0x (the v1 engine fell@.";
+  Fmt.pr "to 0.2x at 8 domains on the same machine). Steals > 0 under skew shows the@.";
+  Fmt.pr "deques rebalancing a one-hot partition instead of serializing on its owner.@."
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1103,6 +1163,7 @@ let experiments =
     ("e15", e15);
     ("e16", e16);
     ("e17", e17);
+    ("e18", e18);
   ]
 
 let () =
@@ -1119,5 +1180,5 @@ let () =
       | Some f ->
           f ();
           Gc.compact ()
-      | None -> Fmt.epr "unknown experiment %S (known: e1..e17)@." name)
+      | None -> Fmt.epr "unknown experiment %S (known: e1..e18)@." name)
     requested

@@ -66,35 +66,45 @@ let update t ~u ~v ~delta =
     L0_sampler.update_prepared_pair_pows su sv ~index:idx ~x ~x2 ~x4 ~level ~delta:du
   done
 
-let update_batch t updates =
+let update_slice t updates ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length updates then
+    invalid_arg "Agm_sketch.update_slice: range out of bounds";
   let module U = Ds_stream.Update in
   let apply (e : U.t) = update t ~u:e.U.u ~v:e.U.v ~delta:(U.delta e) in
-  let m = Array.length updates in
-  if m < 64 then Array.iter apply updates
+  if len < 64 then
+    for i = pos to pos + len - 1 do
+      apply updates.(i)
+    done
   else begin
-    (* Group the batch by lower endpoint before applying: one vertex's
+    (* Group the slice by lower endpoint before applying: one vertex's
        sampler column is a small, cache-resident slice of the whole sketch,
        so consecutive same-vertex updates hit warm lines instead of paging
        through all n columns. The sketch is linear — every update is a pure
        counter addition — so the reordered application yields the
        bit-identical final state. *)
     let counts = Array.make t.n 0 in
-    Array.iter (fun (e : U.t) -> let k = min e.U.u e.U.v in counts.(k) <- counts.(k) + 1) updates;
+    for i = pos to pos + len - 1 do
+      let e = updates.(i) in
+      let k = min e.U.u e.U.v in
+      counts.(k) <- counts.(k) + 1
+    done;
     let next = Array.make t.n 0 in
     let acc = ref 0 in
     for k = 0 to t.n - 1 do
       next.(k) <- !acc;
       acc := !acc + counts.(k)
     done;
-    let sorted = Array.make m updates.(0) in
-    Array.iter
-      (fun (e : U.t) ->
-        let k = min e.U.u e.U.v in
-        sorted.(next.(k)) <- e;
-        next.(k) <- next.(k) + 1)
-      updates;
+    let sorted = Array.make len updates.(pos) in
+    for i = pos to pos + len - 1 do
+      let e = updates.(i) in
+      let k = min e.U.u e.U.v in
+      sorted.(next.(k)) <- e;
+      next.(k) <- next.(k) + 1
+    done;
     Array.iter apply sorted
   end
+
+let update_batch t updates = update_slice t updates ~pos:0 ~len:(Array.length updates)
 
 let subtract_graph t g =
   if Graph.n g <> t.n then invalid_arg "Agm_sketch.subtract_graph: size mismatch";

@@ -54,6 +54,13 @@ val update_batch : t -> Ds_stream.Update.t array -> unit
     lower endpoint for cache locality before applying — sound because the
     sketch is linear, so application order cannot matter. *)
 
+val update_slice : t -> Ds_stream.Update.t array -> pos:int -> len:int -> unit
+(** {!update_batch} restricted to [updates.(pos .. pos+len-1)], without
+    copying the slice — the chunk-granular entry point of the parallel
+    ingestion engine; large slices get the same lower-endpoint locality
+    regrouping.
+    @raise Invalid_argument if the range is out of bounds. *)
+
 val clone_zero : t -> t
 (** A fresh empty sketch compatible with [t] (same seed-derived structure,
     physically shared hash functions and fingerprint ladders, zero

@@ -149,7 +149,10 @@ let pass1_fill p ~ingest stream =
       let filled =
         Ds_par.Shard_ingest.ingest pool
           ~make:(fun () -> { p with sketches = clone_sketches_zero p })
-          ~update:(fun replica shard -> Array.iter (pass1_update replica) shard)
+          ~update:(fun replica stream ~pos ~len ->
+            for i = pos to pos + len - 1 do
+              pass1_update replica stream.(i)
+            done)
           ~merge:(fun a b -> merge_sketches a.sketches b.sketches)
           stream
       in

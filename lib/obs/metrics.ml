@@ -23,7 +23,14 @@ let with_lock f =
   Mutex.lock registry_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
-let cells n = Array.init n (fun _ -> Atomic.make 0)
+(* Counter shards exist precisely so domains don't contend, which only
+   works if each shard's cell sits on its own cache line — unpadded,
+   [Array.init] packs the 32 atomics into 2-3 lines and hammering
+   domains false-share them.  Histogram bucket rows stay unpadded: a
+   row is already private to one shard index, and padding 64 slots per
+   shard would multiply histogram space 16x for no contention win. *)
+let cells n = Ds_util.Padding.array n 0
+let dense_cells n = Array.init n (fun _ -> Atomic.make 0)
 
 let register name ~kind ~make ~cast =
   with_lock (fun () ->
@@ -52,7 +59,7 @@ let counter name =
 let gauge name =
   register name ~kind:"gauge"
     ~make:(fun () ->
-      let g = { g_name = name; g_cell = Atomic.make 0 } in
+      let g = { g_name = name; g_cell = Ds_util.Padding.atomic 0 } in
       (g, G g))
     ~cast:(function G g -> Some g | _ -> None)
 
@@ -60,7 +67,7 @@ let histogram name =
   register name ~kind:"histogram"
     ~make:(fun () ->
       let h =
-        { h_name = name; h_cells = Array.init shards (fun _ -> cells (n_buckets + 1)) }
+        { h_name = name; h_cells = Array.init shards (fun _ -> dense_cells (n_buckets + 1)) }
       in
       (h, H h))
     ~cast:(function H h -> Some h | _ -> None)

@@ -1,20 +1,32 @@
 type job = Job of (unit -> unit) | Quit
 
 (* Telemetry (no-ops unless Ds_obs.Metrics is enabled).  The queue-depth
-   gauge is only written inside [pool.lock], so the last write after a
-   drain is always the pop that emptied the queue: quiesced snapshots
-   are deterministic. *)
+   gauge used to be written under [pool.lock] on every submit and pop,
+   which serialized all workers on the gauge's cache line whenever
+   metrics were on.  It is now *sampled*: one write per
+   [depth_sample_every] queue operations, performed outside the lock.
+   [Queue.length] is a field read (queues track their length), so the
+   unlocked read is a benign race — the gauge is an observability
+   signal, not a synchronization primitive, and a sampled value from a
+   few operations ago is exactly as useful. *)
 let m_jobs = Ds_obs.Metrics.counter "par.pool.jobs"
 let m_depth = Ds_obs.Metrics.gauge "par.pool.queue_depth"
+let depth_sample_every = 32
 
 type t = {
   size : int;
   jobs : job Queue.t;
   lock : Mutex.t;
   has_job : Condition.t;
+  ops : int Atomic.t; (* padded: submit/pop tick counter for gauge sampling *)
   mutable workers : unit Domain.t array;
   mutable closed : bool;
 }
+
+let sample_depth pool =
+  if Ds_obs.Metrics.enabled () then
+    if Atomic.fetch_and_add pool.ops 1 land (depth_sample_every - 1) = 0 then
+      Ds_obs.Metrics.set m_depth (Queue.length pool.jobs)
 
 let worker pool =
   let rec loop () =
@@ -23,8 +35,8 @@ let worker pool =
       Condition.wait pool.has_job pool.lock
     done;
     let job = Queue.pop pool.jobs in
-    Ds_obs.Metrics.set m_depth (Queue.length pool.jobs);
     Mutex.unlock pool.lock;
+    sample_depth pool;
     match job with
     | Quit -> ()
     | Job f ->
@@ -47,6 +59,7 @@ let create ?domains () =
       jobs = Queue.create ();
       lock = Mutex.create ();
       has_job = Condition.create ();
+      ops = Ds_util.Padding.atomic 0;
       workers = [||];
       closed = false;
     }
@@ -72,9 +85,9 @@ let submit pool job =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push (Job job) pool.jobs;
-  Ds_obs.Metrics.set m_depth (Queue.length pool.jobs);
   Condition.signal pool.has_job;
-  Mutex.unlock pool.lock
+  Mutex.unlock pool.lock;
+  sample_depth pool
 
 let run pool thunks =
   match thunks with

@@ -9,8 +9,12 @@
 
     Scheduling is deliberately minimal (one mutex, one condition variable,
     FIFO queue): ingestion jobs are long and coarse, so queue contention is
-    irrelevant. Do {e not} call {!run} from inside a job — a worker waiting
-    on its own pool can deadlock when every other worker is busy. *)
+    irrelevant — the fine-grained balancing lives in {!Shard_ingest}'s
+    work-stealing chunk deques, not here. Telemetry on the submit/pop path
+    is sampled (one gauge write per 32 queue operations, outside the lock)
+    so enabling metrics cannot serialize the workers. Do {e not} call
+    {!run} from inside a job — a worker waiting on its own pool can
+    deadlock when every other worker is busy. *)
 
 type t
 

@@ -1,4 +1,4 @@
-(** Domain-parallel sketch ingestion by shard-and-sum.
+(** Domain-parallel sketch ingestion: shard-and-sum with work stealing.
 
     Linear sketches commute with stream partitioning: for any split of the
     update array into shards, the sum of per-shard sketches equals the
@@ -8,15 +8,28 @@
     what makes this module's output bit-identical to sequential ingestion
     (property-tested in [test/test_par.ml]).
 
-    The engine partitions the update array under a {!policy}, builds one
-    compatible replica per worker domain ({!Ds_agm.Agm_sketch.clone_zero}
-    and friends share the immutable hash state physically, so replicas cost
-    only their counters), ingests shards concurrently, and reduces by
-    linearity. *)
+    The engine turns the update array into a {e chunk plan} — index ranges
+    over the original array (or over one key-grouped permutation for
+    {!By_key}), never per-shard copies — and deals the chunks to worker
+    deques. Each worker owns a {e lazily created} private replica
+    ({!Ds_agm.Agm_sketch.clone_zero} and friends share the immutable hash
+    state physically, so replicas cost only their counters), drains its own
+    deque, then steals chunks from stalled peers (Chase–Lev deques,
+    {!Ws_deque}); a stolen chunk is ingested into the {e thief's} replica,
+    which is sound because any assignment of chunks to replicas sums to the
+    identical sketch. Chunks are sized for the batched [update_slice]
+    kernels, and the final reduction is a log-depth parallel tree merge.
+
+    Work stealing, the chunk size, the number of replicas and the merge
+    order are all invisible in the result: integer counter addition is
+    commutative and associative, so every schedule produces the same bytes. *)
 
 type 'a policy =
-  | Chunked  (** contiguous slices — best cache behaviour, the default *)
-  | Round_robin  (** update [i] to shard [i mod shards] (the paper's figure) *)
+  | Chunked  (** contiguous ranges — best cache behaviour, the default *)
+  | Round_robin
+      (** chunks dealt round-robin: every worker starts on an interleaved
+          sample of the stream (equal to the classic element-stride deal by
+          linearity, without the strided copy) *)
   | By_key of ('a -> int)  (** locality routing, e.g. {!by_vertex} *)
 
 val by_vertex : Ds_stream.Update.t policy
@@ -24,58 +37,128 @@ val by_vertex : Ds_stream.Update.t policy
     shard, mirroring a vertex-partitioned server deployment. *)
 
 val split : 'a policy -> shards:int -> 'a array -> 'a array array
-(** Materialise the partition (exposed for tests and custom drivers). Every
-    element appears in exactly one shard; [Chunked] and [Round_robin]
-    preserve relative order within a shard. *)
+(** Materialise the partition as fresh per-shard arrays. {b Tests and custom
+    drivers only}: the engine itself works on index-range chunk plans
+    ({!plan}) and never pays the per-shard copies — [split] survives as the
+    executable specification of the three policies (every element appears in
+    exactly one shard; [Chunked] and [Round_robin] preserve relative order
+    within a shard) and for callers that genuinely need materialised shards,
+    such as the cluster simulator's per-server update logs. *)
+
+(** {2 Chunk plans} *)
+
+type 'a plan = private {
+  data : 'a array;
+      (** the array chunks index into: the caller's array unchanged
+          ([Chunked]/[Round_robin]) or one key-grouped permutation of it
+          ([By_key] — the only copy the engine ever makes) *)
+  chunk_lo : int array;  (** start of chunk [c] in [data] *)
+  chunk_len : int array;  (** length of chunk [c] *)
+  deal : int array array;  (** [deal.(w)]: chunk ids initially dealt to worker [w] *)
+}
+
+val plan : ?chunk:int -> 'a policy -> workers:int -> 'a array -> 'a plan
+(** Build the zero-copy chunk plan the engine runs on (exposed for tests and
+    custom drivers). Every index of the input appears in exactly one chunk;
+    every chunk is dealt to exactly one worker. [chunk] overrides the chunk
+    size (default: sized so each worker's deal is several kernel-friendly
+    batches, at least 512 elements per chunk).
+    @raise Invalid_argument if [workers < 1] or [chunk < 1]. *)
+
+(** {2 Ingestion} *)
 
 val ingest :
   Pool.t ->
   ?policy:'a policy ->
+  ?chunk:int ->
+  ?workers:int ->
   make:(unit -> 's) ->
-  update:('s -> 'a array -> unit) ->
+  update:('s -> 'a array -> pos:int -> len:int -> unit) ->
   merge:('s -> 's -> unit) ->
   'a array ->
   's
-(** [ingest pool ~make ~update ~merge items] builds [min (size pool)
-    (length items)] replicas with [make] (called in the calling domain — it
-    may read shared seeds without locking), applies each shard with [update]
-    on a worker domain, merges right-to-left into the first replica with
-    [merge] and returns it. [make] must produce {e compatible} replicas:
-    sketches whose structure derives from the same seed. *)
+(** [ingest pool ~make ~update ~merge items] ingests [items] on the pool and
+    returns the merged result. [update s data ~pos ~len] must apply
+    [data.(pos .. pos+len-1)] to [s]; [make] must produce {e compatible}
+    replicas (structure derived from the same seed) and is called lazily on
+    a worker's own domain the first time that worker wins a chunk, so it
+    must be safe to call concurrently from several domains (reading shared
+    seeds/prototypes without mutation is fine). [workers] overrides the
+    replica/worker count, which defaults to
+    [min (Pool.size pool) (Domain.recommended_domain_count ())] — never more
+    replicas than can run concurrently, since each costs a clone and a
+    merge. *)
 
 val ingest_into :
   Pool.t ->
   ?policy:'a policy ->
+  ?chunk:int ->
+  ?workers:int ->
   clone_zero:('s -> 's) ->
-  update:('s -> 'a array -> unit) ->
+  update:('s -> 'a array -> pos:int -> len:int -> unit) ->
   add:('s -> 's -> unit) ->
   's ->
   'a array ->
   unit
-(** Like {!ingest}, but replicas are [clone_zero] copies of an existing
-    sketch and the reduced result is added into it — the convenient form
-    when a consumer owns a long-lived sketch. *)
+(** Like {!ingest}, but the reduction lands in an existing sketch: worker
+    slot 0 ingests directly into it (clone-free and merge-free when one
+    worker ends up doing all the work), other workers' replicas are
+    [clone_zero] copies merged in at the end. [clone_zero] must return a
+    physically fresh sketch. If [update] raises, the sketch may be left with
+    a partially applied stream (the exception still propagates). *)
 
 val linear :
   Pool.t ->
   ?policy:(int * int) policy ->
+  ?chunk:int ->
+  ?workers:int ->
   's Ds_sketch.Linear_sketch.impl ->
   's ->
   (int * int) array ->
   unit
 (** [linear pool impl sketch pairs] shard-ingests an [(index, delta)] array
     into {e any} sketch implementing {!Ds_sketch.Linear_sketch.S} — the one
-    generic entry point. Replicas are [clone_zero] copies, shards are applied
-    with the interface's [update], the reduction is [add]; bit-identical to
-    applying [pairs] sequentially. *)
+    generic entry point; bit-identical to applying [pairs] sequentially. *)
 
 (** {2 Sketch-specific wrappers}
 
-    [agm] and [connectivity] take edge-update arrays and keep their
-    locality-regrouping [update_batch] fast path; the rest are one-line
-    instantiations of {!linear}. *)
+    [agm] and [connectivity] route every chunk through the locality-sorted
+    [update_slice] batched kernels — the same fast path, key-power tables
+    included, as single-thread ingestion; the rest chunk through their
+    [update_slice] without any per-shard copy. *)
 
-val agm : Pool.t -> ?policy:Ds_stream.Update.t policy -> Ds_agm.Agm_sketch.t -> Ds_stream.Update.t array -> unit
-val connectivity : Pool.t -> ?policy:Ds_stream.Update.t policy -> Ds_agm.Connectivity.t -> Ds_stream.Update.t array -> unit
-val l0_sampler : Pool.t -> ?policy:(int * int) policy -> Ds_sketch.L0_sampler.t -> (int * int) array -> unit
-val sparse_recovery : Pool.t -> ?policy:(int * int) policy -> Ds_sketch.Sparse_recovery.t -> (int * int) array -> unit
+val agm :
+  Pool.t ->
+  ?policy:Ds_stream.Update.t policy ->
+  ?chunk:int ->
+  ?workers:int ->
+  Ds_agm.Agm_sketch.t ->
+  Ds_stream.Update.t array ->
+  unit
+
+val connectivity :
+  Pool.t ->
+  ?policy:Ds_stream.Update.t policy ->
+  ?chunk:int ->
+  ?workers:int ->
+  Ds_agm.Connectivity.t ->
+  Ds_stream.Update.t array ->
+  unit
+
+val l0_sampler :
+  Pool.t ->
+  ?policy:(int * int) policy ->
+  ?chunk:int ->
+  ?workers:int ->
+  Ds_sketch.L0_sampler.t ->
+  (int * int) array ->
+  unit
+
+val sparse_recovery :
+  Pool.t ->
+  ?policy:(int * int) policy ->
+  ?chunk:int ->
+  ?workers:int ->
+  Ds_sketch.Sparse_recovery.t ->
+  (int * int) array ->
+  unit

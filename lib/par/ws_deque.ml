@@ -1,0 +1,61 @@
+(* Chase–Lev work-stealing deque, specialised to the ingestion engine's
+   needs: the deque is filled once (with chunk ids) before any worker
+   runs, then only consumed — the owner pops from the bottom, thieves
+   steal from the top.  No push ever happens concurrently with take or
+   steal, so the buffer is immutable during the racy phase and the
+   classic growth/ABA hazards of the full algorithm vanish; what remains
+   is the take/steal race on the last element, resolved by CAS on [top].
+
+   OCaml [Atomic] operations are seq_cst, which supplies the fences the
+   original algorithm places explicitly.  [top] and [bottom] are padded
+   cells: an array of deques would otherwise put several owners' hot
+   indices on one cache line and serialize exactly the traffic the deque
+   exists to avoid. *)
+
+type t = {
+  top : int Atomic.t; (* next index thieves steal from (grows) *)
+  bottom : int Atomic.t; (* one past the owner's end (shrinks) *)
+  buf : int array; (* fixed contents, written before workers start *)
+}
+
+let of_array values =
+  {
+    top = Ds_util.Padding.atomic 0;
+    bottom = Ds_util.Padding.atomic (Array.length values);
+    buf = Array.copy values;
+  }
+
+let length d = max 0 (Atomic.get d.bottom - Atomic.get d.top)
+
+(* Owner end.  The bottom decrement must be visible to thieves before we
+   read [top] (seq_cst set/get give exactly that), otherwise a thief
+   could steal the element we are about to return. *)
+let take d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* Empty; restore the canonical empty state bottom = top. *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else if b = t then begin
+    (* Last element: race thieves for it via [top]. *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then Some d.buf.(b) else None
+  end
+  else Some d.buf.(b)
+
+(* Thief end.  A CAS failure means another thief advanced [top]; retry
+   against the new state until the deque is observably empty. *)
+let steal d =
+  let rec loop () =
+    let t = Atomic.get d.top in
+    let b = Atomic.get d.bottom in
+    if t >= b then None
+    else
+      let x = d.buf.(t) in
+      if Atomic.compare_and_set d.top t (t + 1) then Some x else loop ()
+  in
+  loop ()

@@ -1,0 +1,29 @@
+(** A consume-only Chase–Lev work-stealing deque of [int] work ids.
+
+    The ingestion engine deals every worker a deque of chunk ids up
+    front; during the parallel region the owner drains its own deque
+    with {!take} (LIFO) while idle workers {!steal} from the other end
+    (FIFO), so a skewed partition rebalances instead of tail-stalling.
+    Because nothing is pushed after construction, each id is returned
+    {e exactly once} across all [take]/[steal] calls, and once a deque
+    reports empty it stays empty.
+
+    Indices are padded atomics ({!Ds_util.Padding}): arrays of deques do
+    not false-share. *)
+
+type t
+
+val of_array : int array -> t
+(** A deque holding the given ids. The array is copied; {!take} returns
+    ids from the end, {!steal} from the front. *)
+
+val take : t -> int option
+(** Owner-only: pop from the bottom. Must be called by at most one
+    domain (the owner); concurrent {!steal}s are fine. *)
+
+val steal : t -> int option
+(** Thief side: pop from the top. Safe from any number of domains
+    concurrently, including concurrently with the owner's {!take}. *)
+
+val length : t -> int
+(** Snapshot of the current size (racy, for load introspection only). *)

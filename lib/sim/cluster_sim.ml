@@ -38,6 +38,16 @@ type report = {
   forest_correct : bool;
 }
 
+(* Every protocol below fans one function over the per-server shards,
+   sequentially or on the pool.  Shards are materialized arrays here by
+   design — the simulation charges each server for its own copy of the
+   stream — so this stays [Pool.map_array] rather than the zero-copy
+   ingest engine. *)
+let map_mode mode f parts =
+  match mode with
+  | `Sequential -> Array.map f parts
+  | `Parallel pool -> Ds_par.Pool.map_array pool f parts
+
 let assign partition ~servers =
   match partition with
   | Round_robin -> fun i _u -> i mod servers
@@ -100,11 +110,7 @@ let run ?(mode = `Sequential) rng ~n ~servers ~partition stream =
     in
     (sk, msg)
   in
-  let server_results =
-    match mode with
-    | `Sequential -> Array.map sketch_server shard_updates
-    | `Parallel pool -> Ds_par.Pool.map_array pool sketch_server shard_updates
-  in
+  let server_results = map_mode mode sketch_server shard_updates in
   let shards = Array.map fst server_results in
   let messages = Array.map snd server_results in
   let bytes_per_server = Array.map String.length messages in
@@ -163,12 +169,10 @@ let ship (type s) ?(mode = `Sequential) ((module L) : s Linear_sketch.impl) ~mak
   if servers < 1 then invalid_arg "Cluster_sim.ship: need at least one server";
   Ds_obs.Trace.with_span "cluster.ship_run" @@ fun () ->
   (* Round-robin shards; any partition gives the same coordinator state by
-     linearity, so the routing is not a parameter here. *)
-  let shards =
-    Array.init servers (fun s ->
-        let len = (Array.length updates - s + servers - 1) / servers in
-        Array.init len (fun i -> updates.(s + (i * servers))))
-  in
+     linearity, so the routing is not a parameter here.  [split] is the
+     materializing partition kept exactly for custom drivers like this
+     one, where each server owns its shard. *)
+  let shards = Ds_par.Shard_ingest.(split Round_robin) ~shards:servers updates in
   let sketch_server part =
     let sk : s = make () in
     Ds_obs.Trace.with_span "cluster.sketch" (fun () ->
@@ -178,11 +182,7 @@ let ship (type s) ?(mode = `Sequential) ((module L) : s Linear_sketch.impl) ~mak
           ?trace:(Ds_obs.Trace.current_context ())
           (module L) sk)
   in
-  let messages =
-    match mode with
-    | `Sequential -> Array.map sketch_server shards
-    | `Parallel pool -> Ds_par.Pool.map_array pool sketch_server shards
-  in
+  let messages = map_mode mode sketch_server shards in
   let bytes_per_server = Array.map String.length messages in
   (* Coordinator: deserialize each message and sum (the wire round-trip the
      paper's distributed setting counts). *)
@@ -432,11 +432,7 @@ let run_supervised ?(mode = `Sequential) ?(policy = Supervisor.default)
     in
     (sk, envs)
   in
-  let server_results =
-    match mode with
-    | `Sequential -> Array.map sketch_server shard_updates
-    | `Parallel pool -> Ds_par.Pool.map_array pool sketch_server shard_updates
-  in
+  let server_results = map_mode mode sketch_server shard_updates in
   let envelopes = Array.map snd server_results in
   let copies = Agm_sketch.copies (fst server_results.(0)) in
   (* The coordinator ingests envelopes through the faulted channel. Fault
@@ -587,11 +583,7 @@ let ship_supervised (type s) ?(mode = `Sequential) ?(policy = Supervisor.default
     (updates : (int * int) array) =
   if servers < 1 then invalid_arg "Cluster_sim.ship_supervised: need at least one server";
   Ds_obs.Trace.with_span "cluster.ship_supervised" @@ fun () ->
-  let shards =
-    Array.init servers (fun s ->
-        let len = (Array.length updates - s + servers - 1) / servers in
-        Array.init len (fun i -> updates.(s + (i * servers))))
-  in
+  let shards = Ds_par.Shard_ingest.(split Round_robin) ~shards:servers updates in
   let sketch_shard part =
     let sk : s = make () in
     Ds_obs.Trace.with_span "cluster.sketch" (fun () ->
@@ -601,11 +593,7 @@ let ship_supervised (type s) ?(mode = `Sequential) ?(policy = Supervisor.default
           ?trace:(Ds_obs.Trace.current_context ())
           (module L) sk)
   in
-  let messages =
-    match mode with
-    | `Sequential -> Array.map sketch_shard shards
-    | `Parallel pool -> Ds_par.Pool.map_array pool sketch_shard shards
-  in
+  let messages = map_mode mode sketch_shard shards in
   let coordinator = make () in
   let stats = fresh_chan_stats () in
   let crashed = Array.make servers false in

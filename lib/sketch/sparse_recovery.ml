@@ -89,6 +89,14 @@ let update t ~index ~delta =
 let update_batch t updates =
   Array.iter (fun (index, delta) -> update t ~index ~delta) updates
 
+let update_slice t updates ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length updates then
+    invalid_arg "Sparse_recovery.update_slice: range out of bounds";
+  for i = pos to pos + len - 1 do
+    let index, delta = updates.(i) in
+    update t ~index ~delta
+  done
+
 let is_zero t =
   Array.for_all (fun row -> Array.for_all One_sparse.is_zero row) t.cells
 

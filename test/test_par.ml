@@ -14,7 +14,7 @@ let check_string = Alcotest.(check string)
 
 (* One pool shared by every test in this binary: domains are an OS resource
    and alcotest runs cases sequentially, so spawning per-case is pure waste. *)
-let pool = lazy (Pool.create ~domains:3 ())
+let pool = lazy (Pool.create ~domains:4 ())
 let () = at_exit (fun () -> if Lazy.is_val pool then Pool.shutdown (Lazy.force pool))
 let pool () = Lazy.force pool
 
@@ -66,6 +66,140 @@ let test_split_partitions () =
         [ 1; 2; 3; 5 ])
     [ Shard_ingest.Chunked; Shard_ingest.Round_robin; Shard_ingest.By_key (fun x -> 7 * x) ]
 
+(* -------------------- Work-stealing deque -------------------- *)
+
+(* Owner drains its own deque: every element exactly once, LIFO-from-deal
+   order is irrelevant (the engine only needs the exactly-once multiset). *)
+let test_deque_owner_drains () =
+  let d = Ws_deque.of_array (Array.init 57 Fun.id) in
+  check_int "initial length" 57 (Ws_deque.length d);
+  let seen = Array.make 57 0 in
+  let rec go () =
+    match Ws_deque.take d with
+    | Some c ->
+        seen.(c) <- seen.(c) + 1;
+        go ()
+    | None -> ()
+  in
+  go ();
+  check_bool "each chunk exactly once" true (Array.for_all (( = ) 1) seen);
+  check_int "drained" 0 (Ws_deque.length d)
+
+let test_deque_steal_only () =
+  let d = Ws_deque.of_array (Array.init 13 Fun.id) in
+  let seen = Array.make 13 0 in
+  let rec go () =
+    match Ws_deque.steal d with
+    | Some c ->
+        seen.(c) <- seen.(c) + 1;
+        go ()
+    | None -> ()
+  in
+  go ();
+  check_bool "thief alone sees every chunk once" true (Array.for_all (( = ) 1) seen)
+
+(* Owner takes while concurrent thieves steal: the union of everything
+   consumed must be each chunk exactly once — the property run_plan's
+   termination certificate rests on.  (On a single-core host the domains
+   timeshare, which still interleaves take and steal at the CAS level.) *)
+let test_deque_concurrent_exactly_once () =
+  let total = 2_000 in
+  let d = Ws_deque.of_array (Array.init total Fun.id) in
+  let consumed which =
+    let acc = ref [] in
+    let rec go () =
+      match which () with
+      | Some c ->
+          acc := c :: !acc;
+          go ()
+      | None -> ()
+    in
+    go ();
+    !acc
+  in
+  let thieves =
+    List.init 3 (fun _ -> Domain.spawn (fun () -> consumed (fun () -> Ws_deque.steal d)))
+  in
+  let mine = consumed (fun () -> Ws_deque.take d) in
+  let stolen = List.concat_map Domain.join thieves in
+  let all = Array.of_list (mine @ stolen) in
+  check_int "nothing lost, nothing duplicated" total (Array.length all);
+  Array.sort compare all;
+  check_bool "exactly the dealt chunks" true (all = Array.init total Fun.id)
+
+(* -------------------- Chunk plans -------------------- *)
+
+(* Structural invariants of [plan] under adversarial chunk sizes: the
+   chunks tile [0, n) of [data] (in order for index policies; after a
+   permutation for By_key), the deal covers every chunk exactly once, and
+   [data] is a permutation of the input. *)
+let check_plan_invariants ~name items (p : int Shard_ingest.plan) =
+  let n = Array.length items in
+  check_int (name ^ ": data length") n (Array.length p.Shard_ingest.data);
+  let perm = Array.copy p.Shard_ingest.data in
+  let sorted = Array.copy items in
+  Array.sort compare perm;
+  Array.sort compare sorted;
+  check_bool (name ^ ": data is a permutation") true (perm = sorted);
+  let nchunks = Array.length p.Shard_ingest.chunk_lo in
+  check_int (name ^ ": lo/len arrays agree") nchunks (Array.length p.Shard_ingest.chunk_len);
+  let covered = Array.make n 0 in
+  Array.iteri
+    (fun c lo ->
+      let len = p.Shard_ingest.chunk_len.(c) in
+      check_bool (name ^ ": chunk in bounds") true (lo >= 0 && len >= 1 && lo + len <= n);
+      for i = lo to lo + len - 1 do
+        covered.(i) <- covered.(i) + 1
+      done)
+    p.Shard_ingest.chunk_lo;
+  check_bool (name ^ ": chunks tile the data") true (Array.for_all (( = ) 1) covered);
+  let dealt = Array.make nchunks 0 in
+  Array.iter
+    (Array.iter (fun c ->
+         check_bool (name ^ ": dealt chunk exists") true (c >= 0 && c < nchunks);
+         dealt.(c) <- dealt.(c) + 1))
+    p.Shard_ingest.deal;
+  check_bool (name ^ ": every chunk dealt once") true (Array.for_all (( = ) 1) dealt)
+
+let test_plan_invariants () =
+  let items = Array.init 103 (fun i -> (i * 37) mod 11) in
+  let n = Array.length items in
+  List.iter
+    (fun (pname, policy) ->
+      List.iter
+        (fun workers ->
+          List.iter
+            (fun chunk ->
+              let name = Printf.sprintf "%s w=%d c=%d" pname workers chunk in
+              check_plan_invariants ~name items
+                (Shard_ingest.plan ~chunk policy ~workers items))
+            [ 1; 3; n; n + 7 ])
+        [ 1; 2; 5 ])
+    [
+      ("chunked", Shard_ingest.Chunked);
+      ("round_robin", Shard_ingest.Round_robin);
+      ("by_key", Shard_ingest.By_key (fun x -> x));
+    ]
+
+(* By_key must land every chunk of a key's segment on that key's owner:
+   chunk boundaries never split a worker's key set across deques (stealing
+   may move execution, but the deal itself is the routing contract). *)
+let test_plan_by_key_routing () =
+  let items = Array.init 200 (fun i -> (i * 13) mod 7) in
+  let workers = 3 in
+  let p = Shard_ingest.plan ~chunk:4 (Shard_ingest.By_key (fun x -> x)) ~workers items in
+  Array.iteri
+    (fun w chunks ->
+      Array.iter
+        (fun c ->
+          let lo = p.Shard_ingest.chunk_lo.(c) in
+          for i = lo to lo + p.Shard_ingest.chunk_len.(c) - 1 do
+            check_int "item dealt to its key's owner" w
+              ((p.Shard_ingest.data.(i) land max_int) mod workers)
+          done)
+        chunks)
+    p.Shard_ingest.deal
+
 (* -------------------- Serialize-equality properties -------------------- *)
 
 let state_of write t =
@@ -76,19 +210,45 @@ let state_of write t =
 let dim = 200
 let coord_gen = QCheck.(small_list (pair (int_bound (dim - 1)) (int_range (-3) 3)))
 
+(* Zipf-ish coordinates: rank r drawn uniformly, index = exp(u ln dim) so
+   P(index = k) ~ 1/(k+1).  A handful of hot keys carry most of the mass —
+   exactly the distribution that collapses By_key partitions onto one
+   worker and forces the stealing path. *)
+let zipf_index r =
+  let u = float_of_int (r land 0xFFFFF) /. 1048576.0 in
+  min (dim - 1) (int_of_float (exp (u *. log (float_of_int dim))) - 1)
+
+let zipf_coord_gen =
+  QCheck.(
+    small_list (pair (int_bound 0xFFFFF) (int_range (-3) 3))
+    |> map (List.map (fun (r, d) -> (zipf_index r, d))))
+
 let policies = [ ("chunked", Shard_ingest.Chunked); ("round_robin", Shard_ingest.Round_robin) ]
 
-(* Run [w] through a sharded-parallel ingest under every policy and shard
-   count and demand byte-identical serialized state vs the sequential fold. *)
+(* Worker counts past the pool size and chunk sizes that are degenerate
+   (1), prime (7) or default: every combination must still reproduce the
+   sequential bytes. *)
+let worker_counts = [ None; Some 2; Some 5 ]
+let chunk_sizes = [ None; Some 1; Some 7 ]
+
+(* Run [w] through a sharded-parallel ingest under every policy, worker
+   count and chunk size and demand byte-identical serialized state vs the
+   sequential fold. *)
 let sharded_matches ~create ~ingest ~update ~write w =
   let seq = create 11 in
   Array.iter (update seq) w;
   let expect = state_of write seq in
   List.for_all
     (fun (_, policy) ->
-      let par = create 11 in
-      ingest (pool ()) ~policy par w;
-      state_of write par = expect)
+      List.for_all
+        (fun workers ->
+          List.for_all
+            (fun chunk ->
+              let par = create 11 in
+              ingest (pool ()) ~policy ?workers ?chunk par w;
+              state_of write par = expect)
+            chunk_sizes)
+        worker_counts)
     (("by_key", Shard_ingest.By_key (fun (i, _) -> i)) :: policies)
 
 let prop_one_sparse_batch =
@@ -123,24 +283,43 @@ let prop_l0_batch =
       L0_sampler.update_batch b w;
       state_of L0_sampler.write a = state_of L0_sampler.write b)
 
+let sr_create seed = Sparse_recovery.create (Prng.create seed) ~dim ~params:sr_params
+
+let sr_sharded_matches w =
+  sharded_matches w ~create:sr_create
+    ~ingest:(fun p ~policy ?workers ?chunk sk w ->
+      Shard_ingest.sparse_recovery p ~policy ?workers ?chunk sk w)
+    ~update:(fun sk (index, delta) -> Sparse_recovery.update sk ~index ~delta)
+    ~write:Sparse_recovery.write
+
 let prop_sr_sharded =
   QCheck.Test.make ~name:"sparse_recovery sharded+merge = sequential (all policies)"
-    ~count:20 coord_gen (fun coords ->
-      sharded_matches (Array.of_list coords)
-        ~create:(fun seed -> Sparse_recovery.create (Prng.create seed) ~dim ~params:sr_params)
-        ~ingest:(fun p ~policy sk w -> Shard_ingest.sparse_recovery p ~policy sk w)
-        ~update:(fun sk (index, delta) -> Sparse_recovery.update sk ~index ~delta)
-        ~write:Sparse_recovery.write)
+    ~count:10 coord_gen (fun coords -> sr_sharded_matches (Array.of_list coords))
+
+let prop_sr_sharded_zipf =
+  QCheck.Test.make
+    ~name:"sparse_recovery sharded+merge = sequential (zipf-skewed keys)" ~count:10
+    zipf_coord_gen (fun coords -> sr_sharded_matches (Array.of_list coords))
 
 let prop_l0_sharded =
-  QCheck.Test.make ~name:"l0_sampler sharded+merge = sequential (all policies)" ~count:15
+  QCheck.Test.make ~name:"l0_sampler sharded+merge = sequential (all policies)" ~count:8
     coord_gen (fun coords ->
       sharded_matches (Array.of_list coords)
         ~create:(fun seed ->
           L0_sampler.create (Prng.create seed) ~dim ~params:L0_sampler.default_params)
-        ~ingest:(fun p ~policy sk w -> Shard_ingest.l0_sampler p ~policy sk w)
+        ~ingest:(fun p ~policy ?workers ?chunk sk w ->
+          Shard_ingest.l0_sampler p ~policy ?workers ?chunk sk w)
         ~update:(fun sk (index, delta) -> L0_sampler.update sk ~index ~delta)
         ~write:L0_sampler.write)
+
+(* The degenerate streams the chunk math is most likely to get wrong. *)
+let test_sharded_edge_sizes () =
+  List.iter
+    (fun w ->
+      check_bool
+        (Printf.sprintf "len=%d stream matches" (Array.length w))
+        true (sr_sharded_matches w))
+    [ [||]; [| (0, 1) |]; [| (dim - 1, -2) |]; Array.make 3 (5, 1) ]
 
 (* Edge streams for the AGM properties. *)
 let agm_n = 24
@@ -168,19 +347,43 @@ let prop_agm_batch =
       Ds_agm.Agm_sketch.update_batch b w;
       Ds_agm.Agm_sketch.serialize a = Ds_agm.Agm_sketch.serialize b)
 
-let prop_agm_sharded =
-  QCheck.Test.make ~name:"agm sharded+merge = sequential (all policies)" ~count:10 edge_gen
-    (fun edges ->
-      let w = Array.of_list edges in
-      let seq = agm_create 11 in
-      Ds_agm.Agm_sketch.update_batch seq w;
-      let expect = Ds_agm.Agm_sketch.serialize seq in
+let agm_sharded_matches w =
+  let seq = agm_create 11 in
+  Ds_agm.Agm_sketch.update_batch seq w;
+  let expect = Ds_agm.Agm_sketch.serialize seq in
+  List.for_all
+    (fun (_, policy) ->
       List.for_all
-        (fun (_, policy) ->
-          let par = agm_create 11 in
-          Shard_ingest.agm (pool ()) ~policy par w;
-          Ds_agm.Agm_sketch.serialize par = expect)
-        (("by_vertex", Shard_ingest.by_vertex) :: policies))
+        (fun workers ->
+          List.for_all
+            (fun chunk ->
+              let par = agm_create 11 in
+              Shard_ingest.agm (pool ()) ~policy ?workers ?chunk par w;
+              Ds_agm.Agm_sketch.serialize par = expect)
+            chunk_sizes)
+        worker_counts)
+    (("by_vertex", Shard_ingest.by_vertex) :: policies)
+
+let prop_agm_sharded =
+  QCheck.Test.make ~name:"agm sharded+merge = sequential (all policies)" ~count:6 edge_gen
+    (fun edges -> agm_sharded_matches (Array.of_list edges))
+
+(* Star streams around vertex 0: [by_vertex] routes every update to the
+   owner of key 0, so one deque holds the whole stream and the other
+   workers can only contribute by stealing. *)
+let zipf_edge_gen =
+  QCheck.(
+    small_list (pair (int_bound (agm_n - 2)) bool)
+    |> map (fun l ->
+           List.map
+             (fun (dv, ins) ->
+               let v = 1 + dv in
+               if ins then Ds_stream.Update.insert 0 v else Ds_stream.Update.delete 0 v)
+             l))
+
+let prop_agm_sharded_star =
+  QCheck.Test.make ~name:"agm sharded+merge = sequential (single hot vertex)" ~count:6
+    zipf_edge_gen (fun edges -> agm_sharded_matches (Array.of_list edges))
 
 (* -------------------- Consumers -------------------- *)
 
@@ -287,8 +490,10 @@ let qcheck_cases =
       prop_l0_batch;
       prop_agm_batch;
       prop_sr_sharded;
+      prop_sr_sharded_zipf;
       prop_l0_sharded;
       prop_agm_sharded;
+      prop_agm_sharded_star;
     ]
 
 let () =
@@ -301,6 +506,21 @@ let () =
           Alcotest.test_case "reuse" `Quick test_pool_reuse;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
           Alcotest.test_case "split partitions" `Quick test_split_partitions;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "owner drains exactly once" `Quick test_deque_owner_drains;
+          Alcotest.test_case "lone thief steals exactly once" `Quick test_deque_steal_only;
+          Alcotest.test_case "concurrent take+steal exactly once" `Quick
+            test_deque_concurrent_exactly_once;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "invariants under adversarial chunks" `Quick
+            test_plan_invariants;
+          Alcotest.test_case "by_key routes chunks to owners" `Quick
+            test_plan_by_key_routing;
+          Alcotest.test_case "empty and tiny streams" `Quick test_sharded_edge_sizes;
         ] );
       ("linearity", qcheck_cases);
       ( "consumers",
