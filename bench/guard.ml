@@ -100,6 +100,31 @@ let () =
       ("metrics_enabled_overhead", "enabled_overhead_frac");
       ("tracing_enabled_overhead", "tracing_overhead_frac");
     ];
+  (* GC gate (v3 schema). The fresh file must show the arena paying for
+     itself: recycled replicas must at least halve the major-heap garbage
+     of fresh clones on the parallel AGM path. A v2 baseline has no GC
+     keys — the trajectory starts with the first v3 file — and a v2
+     fresh file (older binary) skips the gate entirely. When both files
+     are v3, the fresh run's arena-path allocation must not blow up
+     against the recorded baseline (loose 2x: allocation is near
+     deterministic, GC bookkeeping noise is not). *)
+  (match find_number fresh "arena_major_words_ratio" with
+  | None -> print_endline "guard: no GC section in fresh file (pre-v3), skipping"
+  | Some ratio ->
+      let verdict = if ratio <= 0.5 then "ok" else (incr failures; "TOO HIGH") in
+      Printf.printf "guard: %-40s %.3fx (limit 0.50x)  %s\n" "arena_major_words_ratio" ratio
+        verdict;
+      (match
+         ( find_number baseline "parallel_agm_major_words_arena",
+           find_number fresh "parallel_agm_major_words_arena" )
+       with
+      | Some base, Some now when base > 0.0 ->
+          let verdict =
+            if now <= 2.0 *. base then "ok" else (incr failures; "REGRESSION")
+          in
+          Printf.printf "guard: %-40s base %12.0f  now %12.0f  %s\n"
+            "parallel_agm_major_words_arena" base now verdict
+      | _ -> print_endline "guard: baseline has no GC keys (pre-v3), trajectory starts here"));
   (* Parallel gate (fresh run only; v1 baselines have no flat curve). *)
   (match find_number fresh "parallel_speedup_d1" with
   | None -> print_endline "guard: no parallel curve in fresh file (pre-v2), skipping"

@@ -94,9 +94,30 @@ let () =
   in
   Fmt.pr "  tracing overhead  off %.0f ops/s, on %.0f ops/s (%+.2f%% median)@." tr_off tr_on
     (100. *. tr_overhead);
+  (* GC trajectory (v3): structural allocation per run, counters being
+     off-heap.  The parallel pair quantifies clone elimination — fresh
+     replicas every run vs arena-recycled ones. *)
+  let gc_l0_major, gc_l0_minor = C.kernel_l0_gc ~dim ~updates:l0_updates in
+  Fmt.pr "  gc l0 kernel     %12.0f major words, %.1f minor collections / run@." gc_l0_major
+    gc_l0_minor;
+  let gc_agm_major, gc_agm_minor = C.kernel_agm_gc ~n:agm_n ~updates:agm_updates in
+  Fmt.pr "  gc agm kernel    %12.0f major words, %.1f minor collections / run@." gc_agm_major
+    gc_agm_minor;
+  let gc_domains = 4 in
+  let gc_par_major, gc_par_minor =
+    C.parallel_agm_gc ~n:agm_n ~updates:agm_updates ~domains:gc_domains ~arena:false
+  in
+  Fmt.pr "  gc agm x%d fresh  %12.0f major words, %.1f minor collections / run@." gc_domains
+    gc_par_major gc_par_minor;
+  let gc_arena_major, gc_arena_minor =
+    C.parallel_agm_gc ~n:agm_n ~updates:agm_updates ~domains:gc_domains ~arena:true
+  in
+  let arena_ratio = if gc_par_major > 0.0 then gc_arena_major /. gc_par_major else 1.0 in
+  Fmt.pr "  gc agm x%d arena  %12.0f major words, %.1f minor collections / run (%.2fx)@."
+    gc_domains gc_arena_major gc_arena_minor arena_ratio;
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bench_ingest/v2\",\n";
+  p "  \"schema\": \"bench_ingest/v3\",\n";
   p "  \"git_sha\": \"%s\",\n" (git_sha ());
   p "  \"date\": \"%s\",\n" (iso8601_utc ());
   p "  \"timestamp\": %.0f,\n" (Unix.time ());
@@ -129,6 +150,18 @@ let () =
   p "    \"agm_ops_per_sec_disabled\": %.0f,\n" tr_off;
   p "    \"agm_ops_per_sec_enabled\": %.0f,\n" tr_on;
   p "    \"tracing_overhead_frac\": %.4f\n" tr_overhead;
+  p "  },\n";
+  p "  \"gc\": {\n";
+  p "    \"gc_domains\": %d,\n" gc_domains;
+  p "    \"kernel_l0_major_words_per_run\": %.0f,\n" gc_l0_major;
+  p "    \"kernel_l0_minor_collections_per_run\": %.1f,\n" gc_l0_minor;
+  p "    \"kernel_agm_major_words_per_run\": %.0f,\n" gc_agm_major;
+  p "    \"kernel_agm_minor_collections_per_run\": %.1f,\n" gc_agm_minor;
+  p "    \"parallel_agm_major_words_noarena\": %.0f,\n" gc_par_major;
+  p "    \"parallel_agm_minor_collections_noarena\": %.1f,\n" gc_par_minor;
+  p "    \"parallel_agm_major_words_arena\": %.0f,\n" gc_arena_major;
+  p "    \"parallel_agm_minor_collections_arena\": %.1f,\n" gc_arena_minor;
+  p "    \"arena_major_words_ratio\": %.4f\n" arena_ratio;
   p "  },\n";
   p "  \"parallel_agm\": [\n";
   List.iteri

@@ -100,6 +100,47 @@ let kernel_l0_rate ~dim ~updates =
 
 let agm_params ~n = Ds_agm.Agm_sketch.default_params ~n
 
+(* ------------------------------------------------------------------ *)
+(* GC cost: allocation pressure of the ingest kernels                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Major-heap words allocated and minor collections per run of [f],
+   averaged over [reps] after one warm-up run (arenas fill, one-time
+   setup drops out).  Counter state itself is off-heap (Ds_util.Words),
+   so what this measures is exactly the per-run structural garbage:
+   replica towers, boxed scratch, closure spines.  [Gc.stat] rather
+   than [quick_stat]: replicas are cloned on pool domains, and only the
+   former aggregates minor-collection counts across domains. *)
+let gc_cost ?(reps = 3) f =
+  f ();
+  Gc.full_major ();
+  let s0 = Gc.stat () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  let s1 = Gc.stat () in
+  ( (s1.Gc.major_words -. s0.Gc.major_words) /. float_of_int reps,
+    float_of_int (s1.Gc.minor_collections - s0.Gc.minor_collections) /. float_of_int reps )
+
+let kernel_l0_gc ~dim ~updates =
+  let w = l0_workload ~dim ~updates in
+  let sk = Ds_sketch.L0_sampler.create (Prng.create seed) ~dim ~params:l0_params in
+  gc_cost (fun () -> Ds_sketch.L0_sampler.update_batch sk w)
+
+let kernel_agm_gc ~n ~updates =
+  let w = agm_workload ~n ~updates in
+  let sk = Ds_agm.Agm_sketch.create (Prng.create seed) ~n ~params:(agm_params ~n) in
+  gc_cost (fun () -> Ds_agm.Agm_sketch.update_batch sk w)
+
+(* The clone-elimination comparison: the same parallel ingest with fresh
+   [clone_zero] replicas every run vs recycled arena replicas. *)
+let parallel_agm_gc ~n ~updates ~domains ~arena:use_arena =
+  let w = agm_workload ~n ~updates in
+  let proto = Ds_agm.Agm_sketch.create (Prng.create seed) ~n ~params:(agm_params ~n) in
+  Ds_par.Pool.with_pool ~domains (fun pool ->
+      let arena = if use_arena then Some (Ds_par.Shard_ingest.agm_arena ()) else None in
+      gc_cost (fun () -> Ds_par.Shard_ingest.agm pool ?arena ~workers:domains proto w))
+
 let baseline_agm_rate ~n ~updates =
   let w = agm_workload ~n ~updates in
   let prm = agm_params ~n in

@@ -4,30 +4,46 @@ open Ds_graph
 
 type params = { copies : int; sampler : L0_sampler.params }
 
+(* The entire copies x n sampler grid lives in one off-heap buffer,
+   copy-major (copy [c] vertex [u] at [((c*n) + u) * sampler_words]):
+   merging two whole sketches is one triple-kernel pass, each repetition
+   is a contiguous region (so {!Copy} slices merge with one pass too),
+   and a domain replica is a single zeroed allocation. *)
 type t = {
   n : int;
   prm : params;
-  (* samplers.(c).(u): copy c of vertex u's incidence sampler. *)
+  words : Words.t;
+  (* samplers.(c).(u): copy c of vertex u's incidence sampler — views
+     into [words]. *)
   samplers : L0_sampler.t array array;
 }
 
 let default_params ~n =
   { copies = F0.levels_for n + 3; sampler = L0_sampler.default_params }
 
+let embed_samplers ~n samplers words =
+  let sw = L0_sampler.state_words samplers.(0).(0) in
+  Array.mapi
+    (fun c row ->
+      Array.mapi (fun u sk -> L0_sampler.clone_into sk ~words ~off:(((c * n) + u) * sw)) row)
+    samplers
+
 let create rng ~n ~params:prm =
   if n < 2 then invalid_arg "Agm_sketch.create: need at least two vertices";
   let dim = Edge_index.dim n in
-  let samplers =
+  let protos =
     Array.init prm.copies (fun c ->
         (* Within one copy all vertices share hash functions so that their
            sketches are compatible (mergeable); copies are independent.
-           Cloning from one prototype shares the immutable hash state and
-           fingerprint ladders physically across all n vertices. *)
+           Viewing every vertex off one prototype shares the immutable hash
+           state and fingerprint ladders physically across all n vertices. *)
         let copy_rng = Prng.split_named rng (Printf.sprintf "copy%d" c) in
-        let proto = L0_sampler.create (Prng.copy copy_rng) ~dim ~params:prm.sampler in
-        Array.init n (fun v -> if v = 0 then proto else L0_sampler.clone_zero proto))
+        L0_sampler.create (Prng.copy copy_rng) ~dim ~params:prm.sampler)
   in
-  { n; prm; samplers }
+  let sw = L0_sampler.state_words protos.(0) in
+  let words = Words.create (prm.copies * n * sw) in
+  let samplers = Array.map (fun proto -> Array.make n proto) protos in
+  { n; prm; words; samplers = embed_samplers ~n samplers words }
 
 let n t = t.n
 let copies t = t.prm.copies
@@ -44,7 +60,10 @@ let certified_delta ~n ~copies =
   else min 1.0 (2.0 ** float_of_int (F0.levels_for n - copies))
 
 let clone_zero t =
-  { t with samplers = Array.map (Array.map L0_sampler.clone_zero) t.samplers }
+  let words = Words.create (Words.length t.words) in
+  { t with words; samplers = embed_samplers ~n:t.n t.samplers words }
+
+let reset t = Words.fill t.words 0
 
 let signed_delta ~u ~v delta = if u < v then delta else -delta
 
@@ -110,12 +129,23 @@ let subtract_graph t g =
   if Graph.n g <> t.n then invalid_arg "Agm_sketch.subtract_graph: size mismatch";
   Graph.iter_edges g (fun u v -> update t ~u ~v ~delta:(-1))
 
-let combine op t s =
-  if t.n <> s.n || t.prm <> s.prm then invalid_arg "Agm_sketch: incompatible";
-  Array.iteri (fun c row -> Array.iteri (fun u sk -> op sk s.samplers.(c).(u)) row) t.samplers
+let check_compatible t s =
+  if
+    t.n <> s.n || t.prm <> s.prm
+    || not
+         (Array.for_all2
+            (fun a b -> L0_sampler.compatible a.(0) b.(0))
+            t.samplers s.samplers)
+  then invalid_arg "Agm_sketch: incompatible"
 
-let add t s = combine L0_sampler.add t s
-let sub t s = combine L0_sampler.sub t s
+(* All copies x n samplers merge in one pass over the two buffers. *)
+let add t s =
+  check_compatible t s;
+  Words.add_tri t.words s.words
+
+let sub t s =
+  check_compatible t s;
+  Words.sub_tri t.words s.words
 
 let spanning_forest ?labels ?copies t =
   let usable =
@@ -220,6 +250,7 @@ module Linear = struct
     let u, v = Edge_index.decode ~n:t.n index in
     update t ~u ~v ~delta
 
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into
@@ -239,12 +270,17 @@ module Copy = struct
     sn : int;
     sprm : params;
     c : int;
+    cwords : Words.t; (* the parent buffer region of this repetition *)
     row : L0_sampler.t array; (* the parent's samplers.(c), physically shared *)
   }
 
   let slice t c =
     if c < 0 || c >= t.prm.copies then invalid_arg "Agm_sketch.Copy.slice: copy out of range";
-    { sn = t.n; sprm = t.prm; c; row = t.samplers.(c) }
+    (* Copy-major layout: repetition [c] is the contiguous buffer region
+       [c*n*sw .. (c+1)*n*sw), so slice merges are one kernel pass. *)
+    let sw = L0_sampler.state_words t.samplers.(0).(0) in
+    let cwords = Words.view t.words ~pos:(c * t.n * sw) ~len:(t.n * sw) in
+    { sn = t.n; sprm = t.prm; c; cwords; row = t.samplers.(c) }
 
   let index t = t.c
 
@@ -269,15 +305,30 @@ module Copy = struct
         p.L0_sampler.hash_degree;
       |]
 
-    let clone_zero s = { s with row = Array.map L0_sampler.clone_zero s.row }
+    let clone_zero s =
+      let sw = L0_sampler.state_words s.row.(0) in
+      let words = Words.create (Array.length s.row * sw) in
+      {
+        s with
+        cwords = words;
+        row = Array.mapi (fun u sk -> L0_sampler.clone_into sk ~words ~off:(u * sw)) s.row;
+      }
 
-    let combine op a b =
-      if a.sn <> b.sn || a.c <> b.c || a.sprm <> b.sprm then
-        invalid_arg "Agm_sketch.Copy: incompatible slices";
-      Array.iteri (fun u sk -> op sk b.row.(u)) a.row
+    let check_compatible a b =
+      if
+        a.sn <> b.sn || a.c <> b.c || a.sprm <> b.sprm
+        || not (L0_sampler.compatible a.row.(0) b.row.(0))
+      then invalid_arg "Agm_sketch.Copy: incompatible slices"
 
-    let add a b = combine L0_sampler.add a b
-    let sub a b = combine L0_sampler.sub a b
+    let add a b =
+      check_compatible a b;
+      Words.add_tri a.cwords b.cwords
+
+    let sub a b =
+      check_compatible a b;
+      Words.sub_tri a.cwords b.cwords
+
+    let reset s = Words.fill s.cwords 0
 
     let update s ~index ~delta =
       let u, v = Edge_index.decode ~n:s.sn index in

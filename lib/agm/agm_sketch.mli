@@ -73,10 +73,15 @@ val subtract_graph : t -> Ds_graph.Graph.t -> unit
     over-subtraction makes multiplicities negative and voids the model. *)
 
 val add : t -> t -> unit
-(** Merge the sketch of another update stream (distributed setting). *)
+(** Merge the sketch of another update stream (distributed setting). One
+    kernel pass over the two sketches' contiguous counter buffers. *)
 
 val sub : t -> t -> unit
 (** Subtract another sketch's counters — delete its whole update stream. *)
+
+val reset : t -> unit
+(** Zero every counter in place (one buffer fill), keeping the structure —
+    what lets an ingestion arena recycle replicas across runs. *)
 
 val spanning_forest : ?labels:int array -> ?copies:int array -> t -> (int * int) list
 (** Extract a spanning forest of the sketched multigraph with high

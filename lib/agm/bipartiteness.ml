@@ -32,6 +32,10 @@ let sub t s =
   Agm_sketch.sub t.base s.base;
   Agm_sketch.sub t.cover s.cover
 
+let reset t =
+  Agm_sketch.reset t.base;
+  Agm_sketch.reset t.cover
+
 type verdict = { components : int; bipartite_components : int; is_bipartite : bool }
 
 let components_of_forest ~n forest =
@@ -69,6 +73,7 @@ module Linear = struct
     let u, v = Ds_graph.Edge_index.decode ~n:t.n index in
     update t ~u ~v ~delta
 
+  let reset = reset
   let space_in_words = space_in_words
 
   let write_body t sink =

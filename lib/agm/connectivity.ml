@@ -11,6 +11,7 @@ let clone_zero t = { t with sketch = Agm_sketch.clone_zero t.sketch }
 let absorb t shard = Agm_sketch.add t.sketch shard.sketch
 let add = absorb
 let sub t s = Agm_sketch.sub t.sketch s.sketch
+let reset t = Agm_sketch.reset t.sketch
 
 let freeze t =
   let uf = Union_find.create t.n in
@@ -41,6 +42,7 @@ module Linear = struct
   let add = add
   let sub = sub
   let update t ~index ~delta = Agm_sketch.Linear.update t.sketch ~index ~delta
+  let reset = reset
   let space_in_words = space_in_words
   let write_body t sink = Agm_sketch.write t.sketch sink
   let read_body t src = Agm_sketch.read_into t.sketch src

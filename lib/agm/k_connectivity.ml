@@ -21,6 +21,7 @@ let combine op t s =
 
 let add t s = combine Agm_sketch.add t s
 let sub t s = combine Agm_sketch.sub t s
+let reset t = Array.iter Agm_sketch.reset t.sketches
 
 let certificate t =
   let acc = Graph.create t.n in
@@ -58,6 +59,7 @@ module Linear = struct
   let clone_zero = clone_zero
   let add = add
   let sub = sub
+  let reset = reset
 
   let update t ~index ~delta =
     Array.iter (fun s -> Agm_sketch.Linear.update s ~index ~delta) t.sketches

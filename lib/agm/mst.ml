@@ -34,6 +34,7 @@ let combine op t s =
 
 let add t s = combine Agm_sketch.add t s
 let sub t s = combine Agm_sketch.sub t s
+let reset t = Array.iter Agm_sketch.reset t.sketches
 
 let extract t =
   let uf = Union_find.create t.n in
@@ -73,6 +74,7 @@ module Linear = struct
   let clone_zero = clone_zero
   let add = add
   let sub = sub
+  let reset = reset
 
   let update t ~index ~delta =
     let edge_dim = Edge_index.dim t.n in

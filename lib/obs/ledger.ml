@@ -2,6 +2,7 @@ type entry = {
   phase : string;
   words : int;
   wire_bytes : int;
+  off_heap_bytes : int;
   bound_words : float;
   constant : float;
 }
@@ -13,12 +14,26 @@ let default_tolerance = 4096.
 let lock = Mutex.create ()
 let items : entry list ref = ref []
 
-let record ?(wire_bytes = 0) ~phase ~words bound =
+let record ?(wire_bytes = 0) ?off_heap_bytes ~phase ~words bound =
   if Metrics.enabled () then begin
     if bound <= 0. then invalid_arg "Ds_obs.Ledger.record: bound must be > 0";
     if words < 0 then invalid_arg "Ds_obs.Ledger.record: words must be >= 0";
+    (* Sketch counters live in off-heap word buffers (Ds_util.Words, 8
+       bytes per slot), so by default the off-heap cost is exactly the
+       recorded word count; callers tracking heap-resident structures
+       alongside pass [~off_heap_bytes] explicitly. *)
+    let off_heap_bytes =
+      match off_heap_bytes with Some b -> b | None -> 8 * words
+    in
     let e =
-      { phase; words; wire_bytes; bound_words = bound; constant = float_of_int words /. bound }
+      {
+        phase;
+        words;
+        wire_bytes;
+        off_heap_bytes;
+        bound_words = bound;
+        constant = float_of_int words /. bound;
+      }
     in
     Mutex.lock lock;
     items := e :: !items;
@@ -40,8 +55,8 @@ let reset () =
   Mutex.unlock lock
 
 let pp_entry ppf e =
-  Format.fprintf ppf "%s words=%d wire=%dB bound=%.1f c=%.3f ok=%b" e.phase
-    e.words e.wire_bytes e.bound_words e.constant (check e)
+  Format.fprintf ppf "%s words=%d wire=%dB off_heap=%dB bound=%.1f c=%.3f ok=%b" e.phase
+    e.words e.wire_bytes e.off_heap_bytes e.bound_words e.constant (check e)
 
 let to_json () =
   let b = Buffer.create 256 in
@@ -51,8 +66,8 @@ let to_json () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
         (Printf.sprintf
-           "{\"phase\":\"%s\",\"words\":%d,\"wire_bytes\":%d,\"bound_words\":%.3f,\"constant\":%.6f,\"within_bound\":%b}"
-           e.phase e.words e.wire_bytes e.bound_words e.constant (check e)))
+           "{\"phase\":\"%s\",\"words\":%d,\"wire_bytes\":%d,\"off_heap_bytes\":%d,\"bound_words\":%.3f,\"constant\":%.6f,\"within_bound\":%b}"
+           e.phase e.words e.wire_bytes e.off_heap_bytes e.bound_words e.constant (check e)))
     (entries ());
   Buffer.add_char b ']';
   Buffer.contents b

@@ -13,6 +13,10 @@ type entry = {
   phase : string;
   words : int;  (** measured [space_in_words] at the boundary *)
   wire_bytes : int;  (** serialized bytes at the boundary; 0 if not taken *)
+  off_heap_bytes : int;
+      (** true off-heap storage cost: sketch counters live in
+          {!Ds_util.Words} buffers at 8 bytes per word slot, so this
+          defaults to [8 * words] unless the recorder overrides it *)
   bound_words : float;  (** closed-form bound in words *)
   constant : float;  (** [words /. bound_words] *)
 }
@@ -21,9 +25,11 @@ val default_tolerance : float
 (** Maximum acceptable measured constant (covers polylog factors and
     repetition constants the asymptotic bound hides). *)
 
-val record : ?wire_bytes:int -> phase:string -> words:int -> float -> unit
+val record :
+  ?wire_bytes:int -> ?off_heap_bytes:int -> phase:string -> words:int -> float -> unit
 (** [record ~phase ~words bound] appends an entry.  No-op when
-    {!Metrics.enabled} is false.
+    {!Metrics.enabled} is false.  [off_heap_bytes] defaults to
+    [8 * words] — the exact buffer cost of word-backed sketch state.
     @raise Invalid_argument if [bound <= 0] or [words < 0]. *)
 
 val entries : unit -> entry list

@@ -15,6 +15,51 @@ let m_updates = Ds_obs.Metrics.counter "par.ingest.updates"
 let m_batches = Ds_obs.Metrics.counter "par.ingest.batches"
 let m_steals = Ds_obs.Metrics.counter "par.ingest.steals"
 let m_batch_size = Ds_obs.Metrics.histogram "par.ingest.batch_size"
+let m_arena_bytes = Ds_obs.Metrics.gauge "par.ingest.arena_bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Replica arenas                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Worker replicas cost one off-heap buffer each; an arena keeps them
+   alive across runs so repeated ingests into the same sketch structure
+   stop allocating. A recycled replica is handed back to its worker
+   after a [reset] (one buffer fill back to the zero vector — cheaper
+   than the blit a fresh clone would need, and equivalent: the zero
+   sketch of any linear family is the all-zero buffer). Slot 0 never
+   draws from the arena: it ingests directly into the caller's sketch. *)
+type 's arena = {
+  reset : 's -> unit;
+  bytes_of : 's -> int;
+  mutable slots : 's option array; (* indexed by worker slot; grown on demand *)
+  mutable bytes : int;
+}
+
+let arena ?(bytes_of = fun _ -> 0) ~reset () = { reset; bytes_of; slots = [||]; bytes = 0 }
+
+let arena_of (type s) ((module L) : s Ds_sketch.Linear_sketch.impl) =
+  arena ~reset:L.reset ~bytes_of:(fun s -> 8 * L.space_in_words s) ()
+
+let arena_bytes a = a.bytes
+
+(* Called before the parallel region: growing [slots] must not race the
+   workers' disjoint per-slot reads and writes. *)
+let arena_reserve a workers =
+  let len = Array.length a.slots in
+  if len < workers then begin
+    let slots = Array.make workers None in
+    Array.blit a.slots 0 slots 0 len;
+    a.slots <- slots
+  end
+
+(* Called after the parallel region (workers stash replicas into
+   disjoint slots during it; accounting would race there). *)
+let arena_refresh a =
+  a.bytes <-
+    Array.fold_left
+      (fun acc -> function Some r -> acc + a.bytes_of r | None -> acc)
+      0 a.slots;
+  if Ds_obs.Metrics.enabled () then Ds_obs.Metrics.set m_arena_bytes a.bytes
 
 (* Materialized partition, kept for tests and custom drivers (the engine
    itself never copies per shard any more — see [plan]). *)
@@ -256,20 +301,35 @@ let ingest pool ?(policy = Chunked) ?chunk ?workers ~make ~update ~merge items =
     end
   end
 
-let ingest_into pool ?(policy = Chunked) ?chunk ?workers ~clone_zero ~update ~add sketch
-    items =
+let ingest_into pool ?(policy = Chunked) ?chunk ?workers ?arena ~clone_zero ~update ~add
+    sketch items =
   let workers = resolve_workers pool workers in
   if Array.length items > 0 then begin
     let p = plan ?chunk policy ~workers items in
+    (match arena with Some a -> arena_reserve a workers | None -> ());
     (* Worker slot 0 ingests straight into the caller's sketch — by
        linearity, adding its shard in place now or via a replica later
        is the same sum — which makes the single-worker path (and the
-       common case of a lightly loaded pool) clone-free and merge-free. *)
-    let live =
-      run_plan pool ~workers
-        ~make_slot:(fun slot -> if slot = 0 then sketch else clone_zero sketch)
-        ~update p
+       common case of a lightly loaded pool) clone-free and merge-free.
+       Other slots draw a recycled replica from the arena when one is
+       attached, cloning only on a slot's first use ever. *)
+    let make_slot slot =
+      if slot = 0 then sketch
+      else
+        match arena with
+        | None -> clone_zero sketch
+        | Some a -> (
+            match a.slots.(slot) with
+            | Some r ->
+                a.reset r;
+                r
+            | None ->
+                let r = clone_zero sketch in
+                a.slots.(slot) <- Some r;
+                r)
     in
+    let live = run_plan pool ~workers ~make_slot ~update p in
+    (match arena with Some a -> arena_refresh a | None -> ());
     if Array.length live > 0 then begin
       tree_merge pool add live;
       if live.(0) != sketch then add sketch live.(0)
@@ -278,10 +338,10 @@ let ingest_into pool ?(policy = Chunked) ?chunk ?workers ~clone_zero ~update ~ad
 
 (* One entry point for anything implementing the linear-sketch interface:
    lazy replicas, (index, delta) chunk ranges, reduce by linearity. *)
-let linear (type s) pool ?policy ?chunk ?workers
+let linear (type s) pool ?policy ?chunk ?workers ?arena
     ((module L) : s Ds_sketch.Linear_sketch.impl) (sketch : s)
     (pairs : (int * int) array) =
-  ingest_into pool ?policy ?chunk ?workers ~clone_zero:L.clone_zero
+  ingest_into pool ?policy ?chunk ?workers ?arena ~clone_zero:L.clone_zero
     ~update:(fun s arr ~pos ~len ->
       for i = pos to pos + len - 1 do
         let index, delta = arr.(i) in
@@ -293,22 +353,30 @@ let linear (type s) pool ?policy ?chunk ?workers
    batched kernels: the parallel path regroups each chunk by lower
    endpoint exactly like the single-thread fast path, sharing the same
    key-power tables, with no per-shard array materialization. *)
-let agm pool ?policy ?chunk ?workers sketch updates =
-  ingest_into pool ?policy ?chunk ?workers ~clone_zero:Ds_agm.Agm_sketch.clone_zero
+let agm pool ?policy ?chunk ?workers ?arena sketch updates =
+  ingest_into pool ?policy ?chunk ?workers ?arena ~clone_zero:Ds_agm.Agm_sketch.clone_zero
     ~update:(fun s arr ~pos ~len -> Ds_agm.Agm_sketch.update_slice s arr ~pos ~len)
     ~add:Ds_agm.Agm_sketch.add sketch updates
 
-let connectivity pool ?policy ?chunk ?workers conn updates =
-  ingest_into pool ?policy ?chunk ?workers ~clone_zero:Ds_agm.Connectivity.clone_zero
+let agm_arena () =
+  arena ~reset:Ds_agm.Agm_sketch.reset
+    ~bytes_of:(fun s -> 8 * Ds_agm.Agm_sketch.space_in_words s)
+    ()
+
+let connectivity pool ?policy ?chunk ?workers ?arena:a conn updates =
+  ingest_into pool ?policy ?chunk ?workers ?arena:a
+    ~clone_zero:Ds_agm.Connectivity.clone_zero
     ~update:(fun s arr ~pos ~len -> Ds_agm.Connectivity.update_slice s arr ~pos ~len)
     ~add:Ds_agm.Connectivity.absorb conn updates
 
-let l0_sampler pool ?policy ?chunk ?workers sampler pairs =
-  ingest_into pool ?policy ?chunk ?workers ~clone_zero:Ds_sketch.L0_sampler.clone_zero
+let l0_sampler pool ?policy ?chunk ?workers ?arena:a sampler pairs =
+  ingest_into pool ?policy ?chunk ?workers ?arena:a
+    ~clone_zero:Ds_sketch.L0_sampler.clone_zero
     ~update:(fun s arr ~pos ~len -> Ds_sketch.L0_sampler.update_slice s arr ~pos ~len)
     ~add:Ds_sketch.L0_sampler.add sampler pairs
 
-let sparse_recovery pool ?policy ?chunk ?workers sketch pairs =
-  ingest_into pool ?policy ?chunk ?workers ~clone_zero:Ds_sketch.Sparse_recovery.clone_zero
+let sparse_recovery pool ?policy ?chunk ?workers ?arena:a sketch pairs =
+  ingest_into pool ?policy ?chunk ?workers ?arena:a
+    ~clone_zero:Ds_sketch.Sparse_recovery.clone_zero
     ~update:(fun s arr ~pos ~len -> Ds_sketch.Sparse_recovery.update_slice s arr ~pos ~len)
     ~add:Ds_sketch.Sparse_recovery.add sketch pairs

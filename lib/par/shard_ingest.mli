@@ -65,6 +65,32 @@ val plan : ?chunk:int -> 'a policy -> workers:int -> 'a array -> 'a plan
     batches, at least 512 elements per chunk).
     @raise Invalid_argument if [workers < 1] or [chunk < 1]. *)
 
+(** {2 Replica arenas} *)
+
+type 's arena
+(** Keeps worker replicas alive across runs so repeated ingests into the
+    same sketch structure stop allocating: a slot's replica is created
+    (one [clone_zero]) the first time that worker ever wins a chunk, and
+    every later run hands it back after a [reset] — one off-heap buffer
+    fill back to the zero vector. An arena is tied to one sketch
+    {e structure}: reusing it with a sketch of different shape or seed is
+    a contract violation (the family's own compatibility check will
+    reject the merge). Not concurrency-safe across overlapping ingests. *)
+
+val arena : ?bytes_of:('s -> int) -> reset:('s -> unit) -> unit -> 's arena
+(** [reset] must return a replica to the zero sketch in place
+    (e.g. {!Ds_agm.Agm_sketch.reset}); [bytes_of] (default [fun _ -> 0])
+    prices a replica for the [par.ingest.arena_bytes] gauge. *)
+
+val arena_of : 's Ds_sketch.Linear_sketch.impl -> 's arena
+(** An arena for any linear family, priced at [8 * space_in_words]. *)
+
+val agm_arena : unit -> Ds_agm.Agm_sketch.t arena
+
+val arena_bytes : 's arena -> int
+(** Off-heap bytes currently held by the arena's replicas (also exported
+    as the [par.ingest.arena_bytes] gauge after every arena-backed run). *)
+
 (** {2 Ingestion} *)
 
 val ingest :
@@ -94,6 +120,7 @@ val ingest_into :
   ?policy:'a policy ->
   ?chunk:int ->
   ?workers:int ->
+  ?arena:'s arena ->
   clone_zero:('s -> 's) ->
   update:('s -> 'a array -> pos:int -> len:int -> unit) ->
   add:('s -> 's -> unit) ->
@@ -103,15 +130,18 @@ val ingest_into :
 (** Like {!ingest}, but the reduction lands in an existing sketch: worker
     slot 0 ingests directly into it (clone-free and merge-free when one
     worker ends up doing all the work), other workers' replicas are
-    [clone_zero] copies merged in at the end. [clone_zero] must return a
-    physically fresh sketch. If [update] raises, the sketch may be left with
-    a partially applied stream (the exception still propagates). *)
+    [clone_zero] copies merged in at the end — or recycled from [arena]
+    when one is attached, cloning only on a slot's first use ever.
+    [clone_zero] must return a physically fresh sketch. If [update]
+    raises, the sketch may be left with a partially applied stream (the
+    exception still propagates). *)
 
 val linear :
   Pool.t ->
   ?policy:(int * int) policy ->
   ?chunk:int ->
   ?workers:int ->
+  ?arena:'s arena ->
   's Ds_sketch.Linear_sketch.impl ->
   's ->
   (int * int) array ->
@@ -132,6 +162,7 @@ val agm :
   ?policy:Ds_stream.Update.t policy ->
   ?chunk:int ->
   ?workers:int ->
+  ?arena:Ds_agm.Agm_sketch.t arena ->
   Ds_agm.Agm_sketch.t ->
   Ds_stream.Update.t array ->
   unit
@@ -141,6 +172,7 @@ val connectivity :
   ?policy:Ds_stream.Update.t policy ->
   ?chunk:int ->
   ?workers:int ->
+  ?arena:Ds_agm.Connectivity.t arena ->
   Ds_agm.Connectivity.t ->
   Ds_stream.Update.t array ->
   unit
@@ -150,6 +182,7 @@ val l0_sampler :
   ?policy:(int * int) policy ->
   ?chunk:int ->
   ?workers:int ->
+  ?arena:Ds_sketch.L0_sampler.t arena ->
   Ds_sketch.L0_sampler.t ->
   (int * int) array ->
   unit
@@ -159,6 +192,7 @@ val sparse_recovery :
   ?policy:(int * int) policy ->
   ?chunk:int ->
   ?workers:int ->
+  ?arena:Ds_sketch.Sparse_recovery.t arena ->
   Ds_sketch.Sparse_recovery.t ->
   (int * int) array ->
   unit

@@ -2,11 +2,13 @@ open Ds_util
 
 type params = { rows : int; reps : int; hash_degree : int }
 
+(* The reps x rows counters are one flat off-heap buffer (rep [r] row [j]
+   at [r*rows + j]): merge is one plain-add kernel pass. *)
 type t = {
   dim : int;
   prm : params;
   signs : Kwise.t array array; (* reps x rows *)
-  counters : int array array; (* reps x rows : sum_i s(i) x_i *)
+  counters : Words.t; (* reps x rows : sum_i s(i) x_i *)
 }
 
 let default_params = { rows = 16; reps = 5; hash_degree = 4 }
@@ -23,16 +25,19 @@ let create rng ~dim ~params:prm =
               Kwise.create
                 (Prng.split_named rng (Printf.sprintf "s%d.%d" r j))
                 ~k:prm.hash_degree));
-    counters = Array.init prm.reps (fun _ -> Array.make prm.rows 0);
+    counters = Words.create (prm.reps * prm.rows);
   }
 
 let sign h index = if Kwise.eval h index land 1 = 0 then 1 else -1
+let[@inline] cell t r j = (r * t.prm.rows) + j
 
 let update t ~index ~delta =
   if index < 0 || index >= t.dim then invalid_arg "Ams_f2.update: index out of range";
   for r = 0 to t.prm.reps - 1 do
     for j = 0 to t.prm.rows - 1 do
-      t.counters.(r).(j) <- t.counters.(r).(j) + (delta * sign t.signs.(r).(j) index)
+      let i = cell t r j in
+      Words.unsafe_set t.counters i
+        (Words.unsafe_get t.counters i + (delta * sign t.signs.(r).(j) index))
     done
   done
 
@@ -40,29 +45,27 @@ let estimate t =
   let group r =
     let acc = ref 0.0 in
     for j = 0 to t.prm.rows - 1 do
-      let c = float_of_int t.counters.(r).(j) in
+      let c = float_of_int (Words.unsafe_get t.counters (cell t r j)) in
       acc := !acc +. (c *. c)
     done;
     !acc /. float_of_int t.prm.rows
   in
   Stats.median (Array.init t.prm.reps group)
 
-let iter2 t s f =
-  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "Ams_f2: incompatible sketches";
-  for r = 0 to t.prm.reps - 1 do
-    for j = 0 to t.prm.rows - 1 do
-      f r j s.counters.(r).(j)
-    done
-  done
+let check_compatible t s =
+  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "Ams_f2: incompatible sketches"
 
-let add t s = iter2 t s (fun r j v -> t.counters.(r).(j) <- t.counters.(r).(j) + v)
-let sub t s = iter2 t s (fun r j v -> t.counters.(r).(j) <- t.counters.(r).(j) - v)
-let copy t = { t with counters = Array.map Array.copy t.counters }
+let add t s =
+  check_compatible t s;
+  Words.add t.counters s.counters
 
-let clone_zero t =
-  { t with counters = Array.map (fun row -> Array.make (Array.length row) 0) t.counters }
+let sub t s =
+  check_compatible t s;
+  Words.sub t.counters s.counters
 
-let reset t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.counters
+let copy t = { t with counters = Words.copy t.counters }
+let clone_zero t = { t with counters = Words.create (Words.length t.counters) }
+let reset t = Words.fill t.counters 0
 
 let space_in_words t =
   (t.prm.reps * t.prm.rows)
@@ -73,17 +76,17 @@ let space_in_words t =
 let write t sink =
   Wire.write_tag sink "af2";
   Wire.write_int sink t.dim;
-  Array.iter (fun row -> Wire.write_array sink row) t.counters
+  for r = 0 to t.prm.reps - 1 do
+    Words.write_wire_array sink t.counters ~pos:(r * t.prm.rows) ~len:t.prm.rows
+  done
 
 let read_into t src =
   Wire.expect_tag src "af2";
   if Wire.read_int src <> t.dim then failwith "Ams_f2.read_into: dimension mismatch";
-  Array.iteri
-    (fun r _ ->
-      let row = Wire.read_array src in
-      if Array.length row <> t.prm.rows then failwith "Ams_f2.read_into: row length mismatch";
-      Array.blit row 0 t.counters.(r) 0 t.prm.rows)
-    t.counters
+  for r = 0 to t.prm.reps - 1 do
+    Words.read_wire_array ~what:"Ams_f2.read_into" src t.counters ~pos:(r * t.prm.rows)
+      ~len:t.prm.rows
+  done
 
 module Linear = struct
   type nonrec t = t
@@ -95,6 +98,7 @@ module Linear = struct
   let add = add
   let sub = sub
   let update = update
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into

@@ -2,12 +2,15 @@ open Ds_util
 
 type params = { rows : int; cols : int; hash_degree : int }
 
+(* The rows x cols counter table is one flat off-heap buffer in row-major
+   order (row [r] col [c] at [r*cols + c]): merge is one plain-add kernel
+   pass, replicas are one zeroed allocation. *)
 type t = {
   dim : int;
   prm : params;
   bucket_hash : Kwise.t array;
   sign_hash : Kwise.t array;
-  table : int array array;
+  table : Words.t;
 }
 
 let default_params = { rows = 5; cols = 256; hash_degree = 6 }
@@ -20,23 +23,25 @@ let create rng ~dim ~params:prm =
     prm;
     bucket_hash = Array.init prm.rows (mk "bucket");
     sign_hash = Array.init prm.rows (mk "sign");
-    table = Array.init prm.rows (fun _ -> Array.make prm.cols 0);
+    table = Words.create (prm.rows * prm.cols);
   }
 
 let sign t r index = if Kwise.eval t.sign_hash.(r) index land 1 = 0 then 1 else -1
+let[@inline] cell t r c = (r * t.prm.cols) + c
 
 let update t ~index ~delta =
   if index < 0 || index >= t.dim then invalid_arg "Count_sketch.update: index out of range";
   for r = 0 to t.prm.rows - 1 do
     let c = Kwise.to_range t.bucket_hash.(r) index ~bound:t.prm.cols in
-    t.table.(r).(c) <- t.table.(r).(c) + (delta * sign t r index)
+    let i = cell t r c in
+    Words.unsafe_set t.table i (Words.unsafe_get t.table i + (delta * sign t r index))
   done
 
 let estimate t index =
   let ests =
     Array.init t.prm.rows (fun r ->
         let c = Kwise.to_range t.bucket_hash.(r) index ~bound:t.prm.cols in
-        float_of_int (t.table.(r).(c) * sign t r index))
+        float_of_int (Words.unsafe_get t.table (cell t r c) * sign t r index))
   in
   int_of_float (Stats.median ests)
 
@@ -47,19 +52,20 @@ let heavy_hitters t ~candidates ~threshold =
       if abs e >= threshold then Some (i, e) else None)
     candidates
 
-let iter2 t s f =
-  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "Count_sketch: incompatible sketches";
-  for r = 0 to t.prm.rows - 1 do
-    for c = 0 to t.prm.cols - 1 do
-      f r c s.table.(r).(c)
-    done
-  done
+let check_compatible t s =
+  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "Count_sketch: incompatible sketches"
 
-let add t s = iter2 t s (fun r c v -> t.table.(r).(c) <- t.table.(r).(c) + v)
-let sub t s = iter2 t s (fun r c v -> t.table.(r).(c) <- t.table.(r).(c) - v)
-let copy t = { t with table = Array.map Array.copy t.table }
-let clone_zero t = { t with table = Array.map (fun row -> Array.make (Array.length row) 0) t.table }
-let reset t = Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) t.table
+let add t s =
+  check_compatible t s;
+  Words.add t.table s.table
+
+let sub t s =
+  check_compatible t s;
+  Words.sub t.table s.table
+
+let copy t = { t with table = Words.copy t.table }
+let clone_zero t = { t with table = Words.create (Words.length t.table) }
+let reset t = Words.fill t.table 0
 
 let space_in_words t =
   (t.prm.rows * t.prm.cols)
@@ -69,17 +75,17 @@ let space_in_words t =
 let write t sink =
   Wire.write_tag sink "cts";
   Wire.write_int sink t.dim;
-  Array.iter (fun row -> Wire.write_array sink row) t.table
+  for r = 0 to t.prm.rows - 1 do
+    Words.write_wire_array sink t.table ~pos:(r * t.prm.cols) ~len:t.prm.cols
+  done
 
 let read_into t src =
   Wire.expect_tag src "cts";
   if Wire.read_int src <> t.dim then failwith "Count_sketch.read_into: dimension mismatch";
-  Array.iteri
-    (fun r _ ->
-      let row = Wire.read_array src in
-      if Array.length row <> t.prm.cols then failwith "Count_sketch.read_into: row length mismatch";
-      Array.blit row 0 t.table.(r) 0 t.prm.cols)
-    t.table
+  for r = 0 to t.prm.rows - 1 do
+    Words.read_wire_array ~what:"Count_sketch.read_into" src t.table ~pos:(r * t.prm.cols)
+      ~len:t.prm.cols
+  done
 
 module Linear = struct
   type nonrec t = t
@@ -91,6 +97,7 @@ module Linear = struct
   let add = add
   let sub = sub
   let update = update
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into

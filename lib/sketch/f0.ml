@@ -7,13 +7,29 @@ type rep = {
   sketches : Sparse_recovery.t array; (* one per level *)
 }
 
-type t = { dim : int; prm : params; levels : int; instances : rep array }
+(* All reps x levels cell grids live back to back in one off-heap buffer
+   (rep [i] level [j] at word offset [(i*levels + j) * level_words]);
+   the rep sketches are views into it, and merge is one kernel pass. *)
+type t = { dim : int; prm : params; levels : int; words : Words.t; instances : rep array }
 
 let default_params = { sparsity = 8; reps = 3; hash_degree = 6 }
 
 let levels_for dim =
   let rec go l acc = if acc >= dim then l + 1 else go (l + 1) (acc * 2) in
   go 0 1
+
+let embed_instances ~levels instances words =
+  let lw = Sparse_recovery.state_words instances.(0).sketches.(0) in
+  Array.mapi
+    (fun i r ->
+      {
+        r with
+        sketches =
+          Array.mapi
+            (fun j sk -> Sparse_recovery.clone_into sk ~words ~off:(((i * levels) + j) * lw))
+            r.sketches;
+      })
+    instances
 
 let create rng ~dim ~params:prm =
   if prm.reps < 1 then invalid_arg "F0.create: reps < 1";
@@ -32,7 +48,11 @@ let create rng ~dim ~params:prm =
     in
     { level_hash; sketches }
   in
-  { dim; prm; levels; instances = Array.init prm.reps make_rep }
+  let instances = Array.init prm.reps make_rep in
+  let words =
+    Words.create (prm.reps * levels * Sparse_recovery.state_words instances.(0).sketches.(0))
+  in
+  { dim; prm; levels; words; instances = embed_instances ~levels instances words }
 
 let update t ~index ~delta =
   if index < 0 || index >= t.dim then invalid_arg "F0.update: index out of range";
@@ -59,35 +79,32 @@ let estimate t =
   let es = Array.map (fun r -> float_of_int (estimate_rep t r)) t.instances in
   int_of_float (Stats.median es)
 
-let iter2 t s f =
-  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "F0: incompatible sketches";
-  Array.iteri
-    (fun i rep -> Array.iteri (fun j sk -> f sk s.instances.(i).sketches.(j)) rep.sketches)
-    t.instances
+let check_compatible t s =
+  if
+    t.dim <> s.dim || t.prm <> s.prm
+    || not
+         (Array.for_all2
+            (fun a b -> Array.for_all2 Sparse_recovery.compatible a.sketches b.sketches)
+            t.instances s.instances)
+  then invalid_arg "F0: incompatible sketches"
 
-let add t s = iter2 t s Sparse_recovery.add
-let sub t s = iter2 t s Sparse_recovery.sub
+let add t s =
+  check_compatible t s;
+  Words.add_tri t.words s.words
+
+let sub t s =
+  check_compatible t s;
+  Words.sub_tri t.words s.words
 
 let copy t =
-  {
-    t with
-    instances =
-      Array.map
-        (fun r -> { r with sketches = Array.map Sparse_recovery.copy r.sketches })
-        t.instances;
-  }
+  let words = Words.copy t.words in
+  { t with words; instances = embed_instances ~levels:t.levels t.instances words }
 
 let clone_zero t =
-  {
-    t with
-    instances =
-      Array.map
-        (fun r -> { r with sketches = Array.map Sparse_recovery.clone_zero r.sketches })
-        t.instances;
-  }
+  let words = Words.create (Words.length t.words) in
+  { t with words; instances = embed_instances ~levels:t.levels t.instances words }
 
-let reset t =
-  Array.iter (fun r -> Array.iter Sparse_recovery.reset r.sketches) t.instances
+let reset t = Words.fill t.words 0
 
 let space_in_words t =
   Array.fold_left
@@ -118,6 +135,7 @@ module Linear = struct
   let add = add
   let sub = sub
   let update = update
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into

@@ -2,16 +2,27 @@ open Ds_util
 
 type params = { sparsity : int; rows : int; hash_degree : int }
 
+(* One off-heap buffer holds every level's cell grid back to back (level
+   [j] at word offset [j * level_words]); the [sketches] array views it.
+   Merging an L0 sampler is one triple-kernel pass over the buffer. *)
 type t = {
   dim : int;
   prm : params;
   levels : int;
   level_hash : Kwise.t;
   tie_break : Kwise.t;
+  words : Words.t;
   sketches : Sparse_recovery.t array;
 }
 
 let default_params = { sparsity = 2; rows = 3; hash_degree = 6 }
+let state_words t = Words.length t.words
+
+(* Re-home the level sketches into [words] (every level has the same
+   grid shape, hence the same word footprint). *)
+let embed_sketches sketches words =
+  let lw = Sparse_recovery.state_words sketches.(0) in
+  Array.mapi (fun j sk -> Sparse_recovery.clone_into sk ~words ~off:(j * lw)) sketches
 
 let create rng ~dim ~params:prm =
   let levels = F0.levels_for dim in
@@ -24,13 +35,15 @@ let create rng ~dim ~params:prm =
           (Prng.split_named rng (Printf.sprintf "lvl%d" j))
           ~dim ~params:sr_params)
   in
+  let words = Words.create (levels * Sparse_recovery.state_words sketches.(0)) in
   {
     dim;
     prm;
     levels;
     level_hash = Kwise.create (Prng.split_named rng "levels") ~k:prm.hash_degree;
     tie_break = Kwise.create (Prng.split_named rng "tiebreak") ~k:prm.hash_degree;
-    sketches;
+    words;
+    sketches = embed_sketches sketches words;
   }
 
 let level_of t ~folded = min (Kwise.level_folded t.level_hash folded) (t.levels - 1)
@@ -127,15 +140,35 @@ let support_hint t =
   in
   go 0
 
-let iter2 t s f =
-  if t.dim <> s.dim || t.prm <> s.prm then invalid_arg "L0_sampler: incompatible sketches";
-  Array.iteri (fun j sk -> f sk s.sketches.(j)) t.sketches
+let compatible t s =
+  t.dim = s.dim && t.prm = s.prm
+  && Array.for_all2 Sparse_recovery.compatible t.sketches s.sketches
 
-let add t s = iter2 t s Sparse_recovery.add
-let sub t s = iter2 t s Sparse_recovery.sub
-let copy t = { t with sketches = Array.map Sparse_recovery.copy t.sketches }
-let clone_zero t = { t with sketches = Array.map Sparse_recovery.clone_zero t.sketches }
-let reset t = Array.iter Sparse_recovery.reset t.sketches
+let check_compatible t s =
+  if not (compatible t s) then invalid_arg "L0_sampler: incompatible sketches"
+
+(* One buffer-level triple merge covers every level's cell grid. *)
+let add t s =
+  check_compatible t s;
+  Words.add_tri t.words s.words
+
+let sub t s =
+  check_compatible t s;
+  Words.sub_tri t.words s.words
+
+let copy t =
+  let words = Words.copy t.words in
+  { t with words; sketches = embed_sketches t.sketches words }
+
+let clone_zero t =
+  let words = Words.create (Words.length t.words) in
+  { t with words; sketches = embed_sketches t.sketches words }
+
+let clone_into t ~words ~off =
+  let w = Words.view words ~pos:off ~len:(Words.length t.words) in
+  { t with words = w; sketches = embed_sketches t.sketches w }
+
+let reset t = Words.fill t.words 0
 
 let space_in_words t =
   Kwise.space_in_words t.level_hash
@@ -162,6 +195,7 @@ module Linear = struct
   let add = add
   let sub = sub
   let update = update
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into

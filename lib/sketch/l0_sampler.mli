@@ -86,7 +86,23 @@ val support_hint : t -> int
 val add : t -> t -> unit
 val sub : t -> t -> unit
 val copy : t -> t
+
 val reset : t -> unit
+(** Zero every counter in place — one fill of the underlying buffer. *)
+
+val state_words : t -> int
+(** Word count of the all-levels counter buffer: the reservation a
+    container makes to {!clone_into} this sampler. *)
+
+val clone_into : t -> words:Ds_util.Words.t -> off:int -> t
+(** {!clone_zero} into a caller-provided (zeroed) buffer window at
+    [off]: the embedded sampler aliases the caller's storage, so e.g.
+    {!Ds_agm.Agm_sketch} holds its whole copies x vertices sampler grid
+    in one allocation and merges it with one kernel call. *)
+
+val compatible : t -> t -> bool
+(** Same shape, hashes drawn from equal seeds — the merge precondition. *)
+
 val space_in_words : t -> int
 
 val write : t -> Ds_util.Wire.sink -> unit

@@ -10,6 +10,7 @@ module type S = sig
   val add : t -> t -> unit
   val sub : t -> t -> unit
   val update : t -> index:int -> delta:int -> unit
+  val reset : t -> unit
   val space_in_words : t -> int
   val write_body : t -> Wire.sink -> unit
   val read_body : t -> Wire.source -> unit
@@ -179,6 +180,7 @@ module Packed = struct
   let shape (T ((module L), v)) = L.shape v
   let space_in_words (T ((module L), v)) = L.space_in_words v
   let update (T ((module L), v)) ~index ~delta = L.update v ~index ~delta
+  let reset (T ((module L), v)) = L.reset v
   let clone_zero (T ((module L), v)) = T ((module L), L.clone_zero v)
   let serialize ?trace (T (impl, v)) = serialize ?trace impl v
   let deserialize_into (T (impl, v)) data = deserialize_into impl v data

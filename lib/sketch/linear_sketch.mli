@@ -62,6 +62,12 @@ module type S = sig
   (** Add [delta] to coordinate [index] of the sketched vector,
       [0 <= index < dim t]. *)
 
+  val reset : t -> unit
+  (** Back to the zero vector in place, keeping the structure (and the
+      off-heap buffer) — a zero-fill, not an allocation.  Replica arenas
+      ({!Ds_par.Shard_ingest}) rely on this to recycle sketches across
+      runs. *)
+
   val space_in_words : t -> int
 
   val write_body : t -> Ds_util.Wire.sink -> unit
@@ -157,6 +163,7 @@ module Packed : sig
   val shape : t -> int array
   val space_in_words : t -> int
   val update : t -> index:int -> delta:int -> unit
+  val reset : t -> unit
   val clone_zero : t -> t
   val serialize : ?trace:Ds_obs.Trace.context -> t -> string
 

@@ -1,29 +1,45 @@
 open Ds_util
 
+(* The three counters live in an off-heap Words buffer at [off]: a
+   standalone sketch owns a 3-word buffer of its own, while container
+   cells (Sparse_recovery rows) are views into one shared allocation —
+   see [view].  The record itself is only immutable metadata (dimension,
+   fingerprint base, the shared power ladder, and the window address). *)
 type t = {
   dim : int;
   base : int; (* fingerprint base r, shared by compatible sketches *)
   pows : Field.Pow.table; (* cached ladder for r^(i+1), shared by clones *)
-  mutable c0 : int;
-  mutable c1 : int;
-  mutable c2 : int;
+  words : Words.t;
+  off : int;
 }
 
 type result = Zero | One of int * int | Many
+
+let state_words = 3
 
 let create rng ~dim =
   if dim <= 0 then invalid_arg "One_sparse.create: dim must be positive";
   let base = 2 + Prng.int rng (Field.p - 2) in
   let pows = Field.Pow.table ~base ~max_exp:dim in
-  { dim; base; pows; c0 = 0; c1 = 0; c2 = 0 }
+  { dim; base; pows; words = Words.create state_words; off = 0 }
 
-let clone_zero t = { t with c0 = 0; c1 = 0; c2 = 0 }
+let clone_zero t = { t with words = Words.create state_words; off = 0 }
+let view t ~words ~off = { t with words; off }
+
+let[@inline] c0 t = Words.unsafe_get t.words t.off
+let[@inline] c1 t = Words.unsafe_get t.words (t.off + 1)
+let[@inline] c2 t = Words.unsafe_get t.words (t.off + 2)
+let[@inline] set_c0 t v = Words.unsafe_set t.words t.off v
+let[@inline] set_c1 t v = Words.unsafe_set t.words (t.off + 1) v
+let[@inline] set_c2 t v = Words.unsafe_set t.words (t.off + 2) v
+
 let[@inline] fingerprint_pow t index = Field.Pow.get t.pows (index + 1)
 
 let[@inline] update_prepared t ~index ~delta ~term =
-  t.c0 <- t.c0 + delta;
-  t.c1 <- t.c1 + (delta * index);
-  t.c2 <- Field.add t.c2 term
+  let w = t.words and o = t.off in
+  Words.unsafe_set w o (Words.unsafe_get w o + delta);
+  Words.unsafe_set w (o + 1) (Words.unsafe_get w (o + 1) + (delta * index));
+  Words.unsafe_set w (o + 2) (Field.add (Words.unsafe_get w (o + 2)) term)
 
 let update t ~index ~delta =
   if index < 0 || index >= t.dim then invalid_arg "One_sparse.update: index out of range";
@@ -33,21 +49,23 @@ let update_batch t updates =
   Array.iter (fun (index, delta) -> update t ~index ~delta) updates
 
 let decode t =
-  if t.c0 = 0 && t.c1 = 0 && t.c2 = 0 then Zero
-  else if t.c0 = 0 then Many
-  else if t.c1 mod t.c0 <> 0 then Many
+  let c0 = c0 t and c1 = c1 t and c2 = c2 t in
+  if c0 = 0 && c1 = 0 && c2 = 0 then Zero
+  else if c0 = 0 then Many
+  else if c1 mod c0 <> 0 then Many
   else begin
-    let i = t.c1 / t.c0 in
+    let i = c1 / c0 in
     if i < 0 || i >= t.dim then Many
-    else if Field.scale_int t.c0 (fingerprint_pow t i) = t.c2 then One (i, t.c0)
+    else if Field.scale_int c0 (fingerprint_pow t i) = c2 then One (i, c0)
     else Many
   end
 
-let is_zero t = t.c0 = 0 && t.c1 = 0 && t.c2 = 0
+let is_zero t = c0 t = 0 && c1 t = 0 && c2 t = 0
+
+let compatible t s = t.dim = s.dim && t.base = s.base
 
 let check_compatible t s =
-  if t.dim <> s.dim || t.base <> s.base then
-    invalid_arg "One_sparse: incompatible sketches"
+  if not (compatible t s) then invalid_arg "One_sparse: incompatible sketches"
 
 let add t s =
   check_compatible t s;
@@ -55,37 +73,41 @@ let add t s =
      touched few are non-zero; skipping the zero sources spares the
      destination's dirty cache traffic.  Adding zero is the identity on
      every counter (including [c2]: [Field.add x 0 = x]), so the
-     fast path is bit-invisible. *)
-  if not (s.c0 = 0 && s.c1 = 0 && s.c2 = 0) then begin
-    t.c0 <- t.c0 + s.c0;
-    t.c1 <- t.c1 + s.c1;
-    t.c2 <- Field.add t.c2 s.c2
+     fast path is bit-invisible.  (Container merges bypass this loop
+     entirely: one [Words.add_tri] covers a whole cell grid.) *)
+  if not (is_zero s) then begin
+    set_c0 t (c0 t + c0 s);
+    set_c1 t (c1 t + c1 s);
+    set_c2 t (Field.add (c2 t) (c2 s))
   end
 
 let sub t s =
   check_compatible t s;
-  t.c0 <- t.c0 - s.c0;
-  t.c1 <- t.c1 - s.c1;
-  t.c2 <- Field.sub t.c2 s.c2
+  set_c0 t (c0 t - c0 s);
+  set_c1 t (c1 t - c1 s);
+  set_c2 t (Field.sub (c2 t) (c2 s))
 
-let copy t = { t with c0 = t.c0 }
+let copy t =
+  let words = Words.create state_words in
+  Words.blit ~src:t.words ~src_pos:t.off ~dst:words ~dst_pos:0 ~len:state_words;
+  { t with words; off = 0 }
 
 let reset t =
-  t.c0 <- 0;
-  t.c1 <- 0;
-  t.c2 <- 0
+  set_c0 t 0;
+  set_c1 t 0;
+  set_c2 t 0
 
 let space_in_words _ = 4
 
 let write_raw t sink =
-  Wire.write_int sink t.c0;
-  Wire.write_int sink t.c1;
-  Wire.write_int sink t.c2
+  Wire.write_int sink (c0 t);
+  Wire.write_int sink (c1 t);
+  Wire.write_int sink (c2 t)
 
 let read_raw t src =
-  t.c0 <- Wire.read_int src;
-  t.c1 <- Wire.read_int src;
-  t.c2 <- Wire.read_int src
+  set_c0 t (Wire.read_int src);
+  set_c1 t (Wire.read_int src);
+  set_c2 t (Wire.read_int src)
 
 let write t sink =
   Wire.write_tag sink "1sp";
@@ -108,6 +130,7 @@ module Linear = struct
   let add = add
   let sub = sub
   let update = update
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into

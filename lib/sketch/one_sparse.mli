@@ -37,13 +37,27 @@ val update_batch : t -> (int * int) array -> unit
 
 val clone_zero : t -> t
 (** A fresh zero sketch compatible with [t]: shares the fingerprint base and
-    the (immutable) power ladder, so cloning is O(1) in time and memory. *)
+    the (immutable) power ladder. Allocates a private 3-word buffer. *)
 
 (** {2 Low-level kernel API}
 
     Containers that hash one update into many cells sharing a fingerprint
     base ({!Sparse_recovery} rows) compute the fingerprint term once and
     apply it per cell. Misuse voids decoding — these skip every check. *)
+
+val state_words : int
+(** 3: the number of buffer words a cell occupies (c0, c1, c2). *)
+
+val compatible : t -> t -> bool
+(** Same dimension and fingerprint base — the merge precondition.
+    Containers check this once per merge instead of once per cell. *)
+
+val view : t -> words:Ds_util.Words.t -> off:int -> t
+(** [view t ~words ~off] is a sketch compatible with [t] whose counters
+    live at [words.[off .. off+2]] — an alias, not a copy.  This is how
+    containers embed their cell grid in one contiguous allocation: the
+    triple layout matches {!Ds_util.Words.add_tri}, so the whole grid
+    merges with one buffer-level call. *)
 
 val fingerprint_pow : t -> int -> int
 (** [fingerprint_pow t index] is [r^(index+1)] from the cached ladder.

@@ -45,7 +45,7 @@ let state_len c = c.prm.reps * rep_words c
 let cell_off c ~rep ~level ~row ~bucket =
   (rep * rep_words c) + (level * level_words c) + (((row * c.buckets) + bucket) * triple_words)
 
-let update c state ~off ~index ~delta =
+let update c (state : Words.t) ~off ~index ~delta =
   if index < 0 || index >= c.dim then invalid_arg "Packed_l0.update: index out of range";
   let fp = delta * Field.pow c.base (index + 1) in
   for rep = 0 to c.prm.reps - 1 do
@@ -54,19 +54,19 @@ let update c state ~off ~index ~delta =
       for row = 0 to rows - 1 do
         let bucket = Kwise.to_range c.bucket_hashes.(rep).(row) index ~bound:c.buckets in
         let o = off + cell_off c ~rep ~level ~row ~bucket in
-        state.(o) <- state.(o) + delta;
-        state.(o + 1) <- state.(o + 1) + (delta * index);
-        state.(o + 2) <- state.(o + 2) + fp
+        Words.unsafe_set state o (Words.unsafe_get state o + delta);
+        Words.unsafe_set state (o + 1) (Words.unsafe_get state (o + 1) + (delta * index));
+        Words.unsafe_set state (o + 2) (Words.unsafe_get state (o + 2) + fp)
       done
     done
   done
 
-(* Decode one (rep, level) grid by peeling, on a scratch copy.
-   Returns [Some assoc] iff the grid clears. *)
-let decode_level c state ~off ~rep ~level =
-  let scratch =
-    Array.init (level_words c) (fun i -> state.(off + cell_off c ~rep ~level ~row:0 ~bucket:0 + i))
-  in
+(* Decode one (rep, level) grid by peeling, on a scratch copy (an ordinary
+   int array — decode is a cold path and the grid is small). Returns
+   [Some assoc] iff the grid clears. *)
+let decode_level c (state : Words.t) ~off ~rep ~level =
+  let grid_off = off + cell_off c ~rep ~level ~row:0 ~bucket:0 in
+  let scratch = Words.sub_array state ~pos:grid_off ~len:(level_words c) in
   let cell row bucket = (((row * c.buckets) + bucket) * triple_words) in
   let decode_cell o =
     let c0 = scratch.(o) and c1 = scratch.(o + 1) and c2 = scratch.(o + 2) in
@@ -151,23 +151,23 @@ let config_space_in_words c =
       (fun a row -> a + Array.fold_left (fun b h -> b + Kwise.space_in_words h) 0 row)
       0 c.bucket_hashes
 
-(* The codec bundled with one state array of its own: the packed sampler as
+(* The codec bundled with one state buffer of its own: the packed sampler as
    a first-class sketch rather than a payload format. Sketch_table cells
    keep using the external-state API; this form is what the linear-sketch
    interface (and the cluster simulator) registers. *)
 module Owned = struct
-  type t = { config : config; state : int array }
+  type t = { config : config; state : Words.t }
 
   let create rng ~dim ~params =
     let config = make_config rng ~dim ~params in
-    { config; state = Array.make (state_len config) 0 }
+    { config; state = Words.create (state_len config) }
 
   let config t = t.config
   let update t ~index ~delta = update t.config t.state ~off:0 ~index ~delta
   let sample t = decode t.config t.state ~off:0
-  let clone_zero t = { t with state = Array.make (Array.length t.state) 0 }
-  let copy t = { t with state = Array.copy t.state }
-  let reset t = Array.fill t.state 0 (Array.length t.state) 0
+  let clone_zero t = { t with state = Words.create (Words.length t.state) }
+  let copy t = { t with state = Words.copy t.state }
+  let reset t = Words.fill t.state 0
 
   let check_compatible t s =
     if
@@ -175,28 +175,28 @@ module Owned = struct
       || t.config.base <> s.config.base
     then invalid_arg "Packed_l0.Owned: incompatible sketches"
 
+  (* Everything in the state — fingerprints included — is a raw integer
+     accumulator, so merge is the plain-add kernel. *)
   let add t s =
     check_compatible t s;
-    Array.iteri (fun i v -> t.state.(i) <- t.state.(i) + v) s.state
+    Words.add t.state s.state
 
   let sub t s =
     check_compatible t s;
-    Array.iteri (fun i v -> t.state.(i) <- t.state.(i) - v) s.state
+    Words.sub t.state s.state
 
-  let space_in_words t = Array.length t.state + config_space_in_words t.config
+  let space_in_words t = Words.length t.state + config_space_in_words t.config
 
   let write t sink =
     Wire.write_tag sink "pl0";
     Wire.write_int sink t.config.dim;
-    Wire.write_array sink t.state
+    Words.write_wire_array sink t.state ~pos:0 ~len:(Words.length t.state)
 
   let read_into t src =
     Wire.expect_tag src "pl0";
     if Wire.read_int src <> t.config.dim then failwith "Packed_l0.read_into: dimension mismatch";
-    let state = Wire.read_array src in
-    if Array.length state <> Array.length t.state then
-      failwith "Packed_l0.read_into: state length mismatch";
-    Array.blit state 0 t.state 0 (Array.length state)
+    Words.read_wire_array ~what:"Packed_l0.read_into" src t.state ~pos:0
+      ~len:(Words.length t.state)
 end
 
 module Linear = struct
@@ -213,6 +213,7 @@ module Linear = struct
   let add = Owned.add
   let sub = Owned.sub
   let update = Owned.update
+  let reset = Owned.reset
   let space_in_words = Owned.space_in_words
   let write_body = Owned.write
   let read_body = Owned.read_into

@@ -1,8 +1,8 @@
-(** An L0-sampler codec over externally owned [int array] state.
+(** An L0-sampler codec over externally owned {!Ds_util.Words} state.
 
     This is the payload format for {!Sketch_table} cells: Algorithm 2 stores,
     for each key [v], a sketch of [N(v) ∩ Tu ∩ Y_j] from which one neighbour
-    must be recoverable. The state here is a flat integer array under plain
+    must be recoverable. The state here is a flat word buffer under plain
     componentwise addition — even the field fingerprints are kept as
     unreduced integer accumulators and only reduced at decode time — so a
     containing structure can add/subtract payloads without knowing their
@@ -27,13 +27,13 @@ val default_params : params
 val make_config : Ds_util.Prng.t -> dim:int -> params:params -> config
 
 val state_len : config -> int
-(** Length of the [int array] state required. *)
+(** Word length of the state window required. *)
 
-val update : config -> int array -> off:int -> index:int -> delta:int -> unit
+val update : config -> Ds_util.Words.t -> off:int -> index:int -> delta:int -> unit
 (** Add [delta] to coordinate [index] of the vector sketched in
     [state.(off .. off + state_len - 1)]. *)
 
-val decode : config -> int array -> off:int -> (int * int) option
+val decode : config -> Ds_util.Words.t -> off:int -> (int * int) option
 (** [Some (index, value)] for one non-zero coordinate (near-uniform among
     the support), or [None] if the vector is zero or decoding failed. *)
 

@@ -1,5 +1,18 @@
 open Ds_util
 
+(* All counters live in one flat off-heap buffer, row-major with
+   segmented rows: row [r] occupies [row_words = cap * (3 + payload_len)]
+   words at [r * row_words], split as
+
+     kc      at +0            (cap words : weight count)
+     ks      at +cap          (cap words : weighted key sum)
+     kf      at +2*cap        (cap words : raw-integer key fingerprint)
+     payload at +3*cap        (cap * payload_len words)
+
+   matching the serialization order (kc, ks, kf, payload per row), so the
+   wire body is four window passes per row over one buffer.  Everything —
+   fingerprints included — is a raw integer accumulator, so merge is the
+   plain-add kernel over the whole buffer. *)
 type t = {
   key_dim : int;
   cap : int;
@@ -7,12 +20,14 @@ type t = {
   payload_len : int;
   hashes : Kwise.t array;
   base : int; (* key fingerprint base *)
-  (* Per row: cells laid out as [cap] records of (count, keysum, keyfp). *)
-  kc : int array array; (* rows x cap : weight count *)
-  ks : int array array; (* rows x cap : weighted key sum *)
-  kf : int array array; (* rows x cap : raw-integer key fingerprint *)
-  payload : int array array; (* rows x (cap * payload_len) *)
+  words : Words.t;
 }
+
+let[@inline] row_words t = t.cap * (3 + t.payload_len)
+let[@inline] kc_off t r c = (r * row_words t) + c
+let[@inline] ks_off t r c = (r * row_words t) + t.cap + c
+let[@inline] kf_off t r c = (r * row_words t) + (2 * t.cap) + c
+let[@inline] payload_off t r c = (r * row_words t) + (3 * t.cap) + (c * t.payload_len)
 
 let create rng ~key_dim ~capacity ~rows ~hash_degree ~payload_len =
   if capacity < 1 || rows < 1 || payload_len < 0 then
@@ -26,33 +41,35 @@ let create rng ~key_dim ~capacity ~rows ~hash_degree ~payload_len =
       Array.init rows (fun r ->
           Kwise.create (Prng.split_named rng (Printf.sprintf "row%d" r)) ~k:hash_degree);
     base = 2 + Prng.int rng (Field.p - 2);
-    kc = Array.init rows (fun _ -> Array.make capacity 0);
-    ks = Array.init rows (fun _ -> Array.make capacity 0);
-    kf = Array.init rows (fun _ -> Array.make capacity 0);
-    payload = Array.init rows (fun _ -> Array.make (capacity * payload_len) 0);
+    words = Words.create (rows * capacity * (3 + payload_len));
   }
 
 let update t ~key ~weight ~write =
   if key < 0 || key >= t.key_dim then invalid_arg "Sketch_table.update: key out of range";
   let fp = weight * Field.pow t.base (key + 1) in
+  let w = t.words in
   for r = 0 to t.rows - 1 do
     let c = Kwise.to_range t.hashes.(r) key ~bound:t.cap in
-    t.kc.(r).(c) <- t.kc.(r).(c) + weight;
-    t.ks.(r).(c) <- t.ks.(r).(c) + (weight * key);
-    t.kf.(r).(c) <- t.kf.(r).(c) + fp;
-    write t.payload.(r) (c * t.payload_len)
+    let okc = kc_off t r c and oks = ks_off t r c and okf = kf_off t r c in
+    Words.unsafe_set w okc (Words.unsafe_get w okc + weight);
+    Words.unsafe_set w oks (Words.unsafe_get w oks + (weight * key));
+    Words.unsafe_set w okf (Words.unsafe_get w okf + fp);
+    write w (payload_off t r c)
   done
 
 type cell_state = Zero | One of int * int | Many
 
-let decode_cell t kc ks kf payload r c =
-  let c0 = kc.(r).(c) and c1 = ks.(r).(c) and c2 = kf.(r).(c) in
+(* [scratch] shares [t]'s layout (it is a peeling copy of [t.words]). *)
+let decode_cell t (scratch : Words.t) r c =
+  let c0 = Words.unsafe_get scratch (kc_off t r c)
+  and c1 = Words.unsafe_get scratch (ks_off t r c)
+  and c2 = Words.unsafe_get scratch (kf_off t r c) in
   if c0 = 0 && c1 = 0 && Field.of_int c2 = 0 then begin
     (* Weight cancelled to zero: genuinely empty only if the payload is too. *)
     let clean = ref true in
-    let base = c * t.payload_len in
+    let base = payload_off t r c in
     for i = 0 to t.payload_len - 1 do
-      if payload.(r).(base + i) <> 0 then clean := false
+      if Words.unsafe_get scratch (base + i) <> 0 then clean := false
     done;
     if !clean then Zero else Many
   end
@@ -66,30 +83,30 @@ let decode_cell t kc ks kf payload r c =
   end
 
 let decode t =
-  let kc = Array.map Array.copy t.kc
-  and ks = Array.map Array.copy t.ks
-  and kf = Array.map Array.copy t.kf
-  and payload = Array.map Array.copy t.payload in
+  let scratch = Words.copy t.words in
   let results = ref [] in
   let progress = ref true in
   while !progress do
     progress := false;
     for r = 0 to t.rows - 1 do
       for c = 0 to t.cap - 1 do
-        match decode_cell t kc ks kf payload r c with
+        match decode_cell t scratch r c with
         | One (k, w) when Kwise.to_range t.hashes.(r) k ~bound:t.cap = c ->
-            let pbase = c * t.payload_len in
-            let pl = Array.sub payload.(r) pbase t.payload_len in
+            let pl = Words.create t.payload_len in
+            Words.blit ~src:scratch ~src_pos:(payload_off t r c) ~dst:pl ~dst_pos:0
+              ~len:t.payload_len;
             results := (k, w, pl) :: !results;
             let fp = w * Field.pow t.base (k + 1) in
             for r' = 0 to t.rows - 1 do
               let c' = Kwise.to_range t.hashes.(r') k ~bound:t.cap in
-              kc.(r').(c') <- kc.(r').(c') - w;
-              ks.(r').(c') <- ks.(r').(c') - (w * k);
-              kf.(r').(c') <- kf.(r').(c') - fp;
-              let b' = c' * t.payload_len in
+              let okc = kc_off t r' c' and oks = ks_off t r' c' and okf = kf_off t r' c' in
+              Words.unsafe_set scratch okc (Words.unsafe_get scratch okc - w);
+              Words.unsafe_set scratch oks (Words.unsafe_get scratch oks - (w * k));
+              Words.unsafe_set scratch okf (Words.unsafe_get scratch okf - fp);
+              let b' = payload_off t r' c' in
               for i = 0 to t.payload_len - 1 do
-                payload.(r').(b' + i) <- payload.(r').(b' + i) - pl.(i)
+                Words.unsafe_set scratch (b' + i)
+                  (Words.unsafe_get scratch (b' + i) - Words.unsafe_get pl i)
               done
             done;
             progress := true
@@ -100,7 +117,7 @@ let decode t =
   let cleared = ref true in
   for r = 0 to t.rows - 1 do
     for c = 0 to t.cap - 1 do
-      match decode_cell t kc ks kf payload r c with
+      match decode_cell t scratch r c with
       | Zero -> ()
       | One _ | Many -> cleared := false
     done
@@ -110,7 +127,11 @@ let decode t =
 let keys_hint t =
   let occupied = ref 0 in
   for c = 0 to t.cap - 1 do
-    if t.kc.(0).(c) <> 0 || t.ks.(0).(c) <> 0 || Field.of_int t.kf.(0).(c) <> 0 then incr occupied
+    if
+      Words.unsafe_get t.words (kc_off t 0 c) <> 0
+      || Words.unsafe_get t.words (ks_off t 0 c) <> 0
+      || Field.of_int (Words.unsafe_get t.words (kf_off t 0 c)) <> 0
+    then incr occupied
   done;
   !occupied
 
@@ -120,69 +141,42 @@ let check_compatible t s =
     || t.payload_len <> s.payload_len || t.base <> s.base
   then invalid_arg "Sketch_table: incompatible tables"
 
-let combine t s op =
+let add t s =
   check_compatible t s;
-  for r = 0 to t.rows - 1 do
-    for c = 0 to t.cap - 1 do
-      t.kc.(r).(c) <- op t.kc.(r).(c) s.kc.(r).(c);
-      t.ks.(r).(c) <- op t.ks.(r).(c) s.ks.(r).(c);
-      t.kf.(r).(c) <- op t.kf.(r).(c) s.kf.(r).(c)
-    done;
-    for i = 0 to (t.cap * t.payload_len) - 1 do
-      t.payload.(r).(i) <- op t.payload.(r).(i) s.payload.(r).(i)
-    done
-  done
+  Words.add t.words s.words
 
-let add t s = combine t s ( + )
-let sub t s = combine t s ( - )
+let sub t s =
+  check_compatible t s;
+  Words.sub t.words s.words
 
 let space_in_words t =
   (t.rows * t.cap * (3 + t.payload_len))
   + Array.fold_left (fun a h -> a + Kwise.space_in_words h) 0 t.hashes
 
 let capacity t = t.cap
-
-let clone_zero t =
-  {
-    t with
-    kc = Array.init t.rows (fun _ -> Array.make t.cap 0);
-    ks = Array.init t.rows (fun _ -> Array.make t.cap 0);
-    kf = Array.init t.rows (fun _ -> Array.make t.cap 0);
-    payload = Array.init t.rows (fun _ -> Array.make (t.cap * t.payload_len) 0);
-  }
-
-let copy t =
-  {
-    t with
-    kc = Array.map Array.copy t.kc;
-    ks = Array.map Array.copy t.ks;
-    kf = Array.map Array.copy t.kf;
-    payload = Array.map Array.copy t.payload;
-  }
+let clone_zero t = { t with words = Words.create (Words.length t.words) }
+let copy t = { t with words = Words.copy t.words }
+let reset t = Words.fill t.words 0
 
 let write t sink =
   Wire.write_tag sink "stb";
   Wire.write_int sink t.key_dim;
   for r = 0 to t.rows - 1 do
-    Wire.write_array sink t.kc.(r);
-    Wire.write_array sink t.ks.(r);
-    Wire.write_array sink t.kf.(r);
-    Wire.write_array sink t.payload.(r)
+    Words.write_wire_array sink t.words ~pos:(kc_off t r 0) ~len:t.cap;
+    Words.write_wire_array sink t.words ~pos:(ks_off t r 0) ~len:t.cap;
+    Words.write_wire_array sink t.words ~pos:(kf_off t r 0) ~len:t.cap;
+    Words.write_wire_array sink t.words ~pos:(payload_off t r 0) ~len:(t.cap * t.payload_len)
   done
 
 let read_into t src =
   Wire.expect_tag src "stb";
   if Wire.read_int src <> t.key_dim then failwith "Sketch_table.read_into: key_dim mismatch";
-  let read_row ~len dst =
-    let a = Wire.read_array src in
-    if Array.length a <> len then failwith "Sketch_table.read_into: row length mismatch";
-    Array.blit a 0 dst 0 len
-  in
+  let what = "Sketch_table.read_into" in
   for r = 0 to t.rows - 1 do
-    read_row ~len:t.cap t.kc.(r);
-    read_row ~len:t.cap t.ks.(r);
-    read_row ~len:t.cap t.kf.(r);
-    read_row ~len:(t.cap * t.payload_len) t.payload.(r)
+    Words.read_wire_array ~what src t.words ~pos:(kc_off t r 0) ~len:t.cap;
+    Words.read_wire_array ~what src t.words ~pos:(ks_off t r 0) ~len:t.cap;
+    Words.read_wire_array ~what src t.words ~pos:(kf_off t r 0) ~len:t.cap;
+    Words.read_wire_array ~what src t.words ~pos:(payload_off t r 0) ~len:(t.cap * t.payload_len)
   done
 
 module Linear = struct
@@ -198,6 +192,7 @@ module Linear = struct
   (* A key's weight is a linear accumulator; updating it with an empty
      payload contribution is the index/delta face of [update]. *)
   let update t ~index ~delta = update t ~key:index ~weight:delta ~write:(fun _ _ -> ())
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into

@@ -25,14 +25,15 @@ val create :
 (** A table that can recover up to roughly [capacity / 1.3] distinct keys
     whp. [payload_len] is the word length of every payload vector. *)
 
-val update : t -> key:int -> weight:int -> write:(int array -> int -> unit) -> unit
+val update : t -> key:int -> weight:int -> write:(Ds_util.Words.t -> int -> unit) -> unit
 (** [update t ~key ~weight ~write] adds [weight] to [key]'s weight and
-    applies [write arr off] — which must add an integer-linear contribution
-    into [arr.(off .. off + payload_len - 1)] — once per row, to the cell
-    [key] hashes to. The same [write] must be used symmetrically for
+    applies [write buf off] — which must add an integer-linear contribution
+    into [buf.(off .. off + payload_len - 1)] — once per row, to the cell
+    [key] hashes to ([buf] is the table's own buffer, [off] the cell's
+    payload window). The same [write] must be used symmetrically for
     subtraction by negating deltas. *)
 
-val decode : t -> (int * int * int array) list option
+val decode : t -> (int * int * Ds_util.Words.t) list option
 (** Recover all live keys: [(key, weight, payload)] triples. [None] when the
     table is over capacity or peeling stalls (detected, never silently
     wrong). Non-destructive. *)

@@ -2,15 +2,29 @@ open Ds_util
 
 type params = { sparsity : int; rows : int; hash_degree : int }
 
+(* The whole rows x cols cell grid lives in one off-heap Words buffer of
+   One_sparse triples, in row-major cell order (cell (r,c) at word offset
+   3*(r*cols + c)).  [cells] holds views into that buffer: the hot update
+   path addresses cells through the precomputed views, while merge, reset
+   and replica cloning operate on the buffer as a whole (one add_tri /
+   fill / blit instead of rows*cols cell calls). *)
 type t = {
   dim : int;
   prm : params;
   cols : int;
   hashes : Kwise.t array; (* one bucket hash per row *)
-  cells : One_sparse.t array array; (* rows x cols *)
+  words : Words.t;
+  cells : One_sparse.t array array; (* rows x cols views into [words] *)
 }
 
 let default_params ~sparsity = { sparsity; rows = 4; hash_degree = 6 }
+
+let state_words t = t.prm.rows * t.cols * One_sparse.state_words
+
+let make_cells ~rows ~cols proto words =
+  Array.init rows (fun r ->
+      Array.init cols (fun c ->
+          One_sparse.view proto ~words ~off:(One_sparse.state_words * ((r * cols) + c))))
 
 let create rng ~dim ~params:prm =
   if prm.sparsity < 1 then invalid_arg "Sparse_recovery.create: sparsity < 1";
@@ -22,15 +36,12 @@ let create rng ~dim ~params:prm =
   in
   let cell_rng = Prng.split_named rng "cells" in
   (* All cells share one fingerprint base so that peeling can subtract a
-     recovered coordinate from any row; cloning from one prototype also
-     shares the fingerprint power ladder physically. *)
+     recovered coordinate from any row; viewing every cell off one
+     prototype also shares the fingerprint power ladder physically. *)
   let proto_cell = One_sparse.create (Prng.copy cell_rng) ~dim in
-  let cells =
-    Array.init prm.rows (fun r ->
-        Array.init cols (fun c ->
-            if r = 0 && c = 0 then proto_cell else One_sparse.clone_zero proto_cell))
-  in
-  { dim; prm; cols; hashes; cells }
+  let words = Words.create (prm.rows * cols * One_sparse.state_words) in
+  let cells = make_cells ~rows:prm.rows ~cols proto_cell words in
+  { dim; prm; cols; hashes; words; cells }
 
 (* Unit deltas (edge insert/delete) skip the fingerprint multiply:
    [scale_int 1 x = x] and [scale_int (-1) x = neg x] exactly. *)
@@ -98,9 +109,15 @@ let update_slice t updates ~pos ~len =
   done
 
 let is_zero t =
-  Array.for_all (fun row -> Array.for_all One_sparse.is_zero row) t.cells
+  let n = Words.length t.words in
+  let rec go i = i >= n || (Words.unsafe_get t.words i = 0 && go (i + 1)) in
+  go 0
 
-let snapshot t = Array.map (Array.map One_sparse.copy) t.cells
+(* A snapshot copies the buffer once and views the copy — rows*cols cells,
+   one allocation (peeling mutates the snapshot, never the sketch). *)
+let snapshot t =
+  let words = Words.copy t.words in
+  make_cells ~rows:t.prm.rows ~cols:t.cols t.cells.(0).(0) words
 
 (* Peel [work] in place; feed every recovered coordinate to [emit] and return
    true iff the residual cleared completely. [stop_early] aborts after the
@@ -143,31 +160,40 @@ let decode_any t =
   let _cleared = peel t work ~stop_early:true ~emit:(fun kv -> found := Some kv) in
   !found
 
-let iter2_cells t s f =
-  if t.dim <> s.dim || t.prm <> s.prm || t.cols <> s.cols then
-    invalid_arg "Sparse_recovery: incompatible sketches";
-  for r = 0 to t.prm.rows - 1 do
-    for c = 0 to t.cols - 1 do
-      f t.cells.(r).(c) s.cells.(r).(c)
-    done
-  done
+let compatible t s =
+  t.dim = s.dim && t.prm = s.prm && t.cols = s.cols
+  && One_sparse.compatible t.cells.(0).(0) s.cells.(0).(0)
 
-let add t s = iter2_cells t s One_sparse.add
-let sub t s = iter2_cells t s One_sparse.sub
+let check_compatible t s =
+  if not (compatible t s) then invalid_arg "Sparse_recovery: incompatible sketches"
 
-let copy t = { t with cells = snapshot t }
+(* Merge is one triple-kernel pass over the whole grid: c0/c1 of every
+   cell add as plain integers, c2 in the Mersenne field — bit-identical
+   to the per-cell One_sparse loops this replaces. *)
+let add t s =
+  check_compatible t s;
+  Words.add_tri t.words s.words
+
+let sub t s =
+  check_compatible t s;
+  Words.sub_tri t.words s.words
+
+let copy t =
+  let words = Words.copy t.words in
+  { t with words; cells = make_cells ~rows:t.prm.rows ~cols:t.cols t.cells.(0).(0) words }
 
 let clone_zero t =
-  let cells =
-    Array.map
-      (Array.map (fun c ->
-           let c' = One_sparse.copy c in
-           One_sparse.reset c';
-           c'))
-      t.cells
-  in
-  { t with cells }
-let reset t = Array.iter (Array.iter One_sparse.reset) t.cells
+  let words = Words.create (Words.length t.words) in
+  { t with words; cells = make_cells ~rows:t.prm.rows ~cols:t.cols t.cells.(0).(0) words }
+
+(* Containers embed a clone inside their own allocation: the clone's
+   buffer is a view of [words] at [off], so the parent can merge / zero /
+   blit every embedded sketch with one buffer-level call. *)
+let clone_into t ~words ~off =
+  let w = Words.view words ~pos:off ~len:(Words.length t.words) in
+  { t with words = w; cells = make_cells ~rows:t.prm.rows ~cols:t.cols t.cells.(0).(0) w }
+
+let reset t = Words.fill t.words 0
 
 let merge_many = function
   | [] -> invalid_arg "Sparse_recovery.merge_many: empty list"
@@ -186,23 +212,32 @@ let params t = t.prm
 
 (* Cells are framed as (zero-run skip, counters) pairs: sketches of sparse
    shards are overwhelmingly zero cells, and a zero run costs one byte. The
-   reader knows the total cell count, so no end marker is needed. *)
+   reader knows the total cell count, so no end marker is needed.  The scan
+   is one pass over the contiguous buffer (a cell is zero iff its three
+   words are). *)
 let write t sink =
   Wire.write_tag sink "srec";
   Wire.write_int sink t.dim;
   Wire.write_int sink t.prm.rows;
   Wire.write_int sink t.cols;
-  let flat = Array.concat (Array.to_list t.cells) in
-  let total = Array.length flat in
+  let w = t.words in
+  let total = t.prm.rows * t.cols in
+  let zero_cell i =
+    let o = 3 * i in
+    Words.unsafe_get w o = 0 && Words.unsafe_get w (o + 1) = 0 && Words.unsafe_get w (o + 2) = 0
+  in
   let pos = ref 0 in
   while !pos < total do
     let start = !pos in
-    while !pos < total && One_sparse.is_zero flat.(!pos) do
+    while !pos < total && zero_cell !pos do
       incr pos
     done;
     Wire.write_int sink (!pos - start);
     if !pos < total then begin
-      One_sparse.write_raw flat.(!pos) sink;
+      let o = 3 * !pos in
+      Wire.write_int sink (Words.unsafe_get w o);
+      Wire.write_int sink (Words.unsafe_get w (o + 1));
+      Wire.write_int sink (Words.unsafe_get w (o + 2));
       incr pos
     end
   done;
@@ -216,18 +251,19 @@ let read_into t src =
   if Wire.read_int src <> t.dim then failwith "Sparse_recovery.read_into: dimension mismatch";
   if Wire.read_int src <> t.prm.rows || Wire.read_int src <> t.cols then
     failwith "Sparse_recovery.read_into: shape mismatch";
-  let flat = Array.concat (Array.to_list t.cells) in
-  let total = Array.length flat in
+  let w = t.words in
+  let total = t.prm.rows * t.cols in
   let pos = ref 0 in
   while !pos < total do
     let skip = Wire.read_int src in
     if skip < 0 || !pos + skip > total then failwith "Sparse_recovery.read_into: bad zero run";
-    for i = !pos to !pos + skip - 1 do
-      One_sparse.reset flat.(i)
-    done;
+    if skip > 0 then Words.fill_range w ~pos:(3 * !pos) ~len:(3 * skip) 0;
     pos := !pos + skip;
     if !pos < total then begin
-      One_sparse.read_raw flat.(!pos) src;
+      let o = 3 * !pos in
+      Words.unsafe_set w o (Wire.read_int src);
+      Words.unsafe_set w (o + 1) (Wire.read_int src);
+      Words.unsafe_set w (o + 2) (Wire.read_int src);
       incr pos
     end
   done
@@ -242,6 +278,7 @@ module Linear = struct
   let add = add
   let sub = sub
   let update = update
+  let reset = reset
   let space_in_words = space_in_words
   let write_body = write
   let read_body = read_into

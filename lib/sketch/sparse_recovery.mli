@@ -87,6 +87,21 @@ val clone_zero : t -> t
     this to share the immutable hash state physically. *)
 
 val reset : t -> unit
+(** Zero every counter in place — one fill of the underlying buffer. *)
+
+val state_words : t -> int
+(** Exact word count of the cell-grid buffer ([rows * cols * 3]): what a
+    container must reserve to {!clone_into} this sketch. *)
+
+val compatible : t -> t -> bool
+(** Same shape and fingerprint base — the merge precondition, checked
+    once per container merge instead of once per cell. *)
+
+val clone_into : t -> words:Ds_util.Words.t -> off:int -> t
+(** [clone_into t ~words ~off] is {!clone_zero} whose counters live at
+    [words.[off .. off + state_words t - 1]] (an alias of the caller's
+    buffer, zeroed by the caller).  Containers ({!L0_sampler}, {!F0})
+    use this to keep a whole tower of sketches in one allocation. *)
 
 val merge_many : t list -> t
 (** Sum of compatible sketches as a fresh sketch.

@@ -11,95 +11,15 @@ module LS = Linear_sketch
 module P = LS.Packed
 
 (* ------------------------------------------------------------------ *)
-(* The registry: one maker per family. A maker called twice returns two
-   structurally identical (wire-compatible) fresh sketches, because it
-   reseeds from the same constant.                                     *)
+(* The family registry lives in Linear_families (shared with the golden
+   fixture generator); here it is consumed both packed (uniform wire
+   checks) and typed (kernel-level merge properties, incl. aliasing). *)
 (* ------------------------------------------------------------------ *)
 
-let agm_n = 16
-let agm_params = Ds_agm.Agm_sketch.default_params ~n:agm_n
-
 let makers : (string * (unit -> P.t)) list =
-  [
-    ( "one_sparse",
-      fun () -> P.pack (module One_sparse.Linear) (One_sparse.create (Prng.create 101) ~dim:100)
-    );
-    ( "sparse_recovery",
-      fun () ->
-        P.pack
-          (module Sparse_recovery.Linear)
-          (Sparse_recovery.create (Prng.create 102) ~dim:100
-             ~params:(Sparse_recovery.default_params ~sparsity:4)) );
-    ( "count_sketch",
-      fun () ->
-        P.pack
-          (module Count_sketch.Linear)
-          (Count_sketch.create (Prng.create 103) ~dim:100
-             ~params:{ Count_sketch.rows = 3; cols = 32; hash_degree = 4 }) );
-    ( "ams_f2",
-      fun () ->
-        P.pack
-          (module Ams_f2.Linear)
-          (Ams_f2.create (Prng.create 104) ~dim:100
-             ~params:{ Ams_f2.rows = 4; reps = 3; hash_degree = 4 }) );
-    ( "f0",
-      fun () ->
-        P.pack
-          (module F0.Linear)
-          (F0.create (Prng.create 105) ~dim:100
-             ~params:{ F0.sparsity = 4; reps = 2; hash_degree = 4 }) );
-    ( "l0_sampler",
-      fun () ->
-        P.pack
-          (module L0_sampler.Linear)
-          (L0_sampler.create (Prng.create 106) ~dim:100 ~params:L0_sampler.default_params) );
-    ( "packed_l0",
-      fun () ->
-        P.pack
-          (module Packed_l0.Linear)
-          (Packed_l0.Owned.create (Prng.create 107) ~dim:100 ~params:Packed_l0.default_params)
-    );
-    ( "sketch_table",
-      fun () ->
-        P.pack
-          (module Sketch_table.Linear)
-          (Sketch_table.create (Prng.create 108) ~key_dim:100 ~capacity:16 ~rows:3
-             ~hash_degree:4 ~payload_len:0) );
-    ( "agm",
-      fun () ->
-        P.pack
-          (module Ds_agm.Agm_sketch.Linear)
-          (Ds_agm.Agm_sketch.create (Prng.create 109) ~n:agm_n ~params:agm_params) );
-    ( "connectivity",
-      fun () ->
-        P.pack
-          (module Ds_agm.Connectivity.Linear)
-          (Ds_agm.Connectivity.create (Prng.create 110) ~n:agm_n ~params:agm_params) );
-    ( "k_connectivity",
-      fun () ->
-        P.pack
-          (module Ds_agm.K_connectivity.Linear)
-          (Ds_agm.K_connectivity.create (Prng.create 111) ~n:agm_n ~k:2 ~params:agm_params) );
-    ( "bipartiteness",
-      fun () ->
-        P.pack
-          (module Ds_agm.Bipartiteness.Linear)
-          (Ds_agm.Bipartiteness.create (Prng.create 112) ~n:agm_n ~params:agm_params) );
-    ( "mst",
-      fun () ->
-        P.pack
-          (module Ds_agm.Mst.Linear)
-          (Ds_agm.Mst.create (Prng.create 113) ~n:agm_n
-             ~params:
-               { Ds_agm.Mst.gamma = 0.5; w_min = 1.0; w_max = 8.0; sketch = agm_params }) );
-    ( "agm_copy",
-      fun () ->
-        P.pack
-          (module Ds_agm.Agm_sketch.Copy.Linear)
-          (Ds_agm.Agm_sketch.Copy.slice
-             (Ds_agm.Agm_sketch.create (Prng.create 114) ~n:agm_n ~params:agm_params)
-             2) );
-  ]
+  List.map
+    (fun f -> (Linear_families.name f, fun () -> Linear_families.pack f))
+    Linear_families.all
 
 let maker name = List.assoc name makers
 
@@ -241,10 +161,159 @@ let test_not_linear_guard () =
   | _ -> Alcotest.fail "not_linear must raise Invalid_argument"
 
 (* ------------------------------------------------------------------ *)
+(* Golden fixtures: the committed envelopes under golden/ were produced
+   by the pre-Words (heap int-array) representation from the exact
+   update stream in Linear_families. Reproducing them byte-for-byte
+   pins the LSK1 wire format across the storage refactor.             *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden name () =
+  (* dune runtest runs in _build/default/test (fixtures at golden/);
+     dune exec from the root sees them at test/golden/. *)
+  let path =
+    let local = Filename.concat "golden" (name ^ ".lsk1") in
+    if Sys.file_exists local then local else Filename.concat "test" local
+  in
+  let ic = open_in_bin path in
+  let expected = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check_string
+    (Printf.sprintf "golden fixture %s reproduced byte-for-byte (kernel=%s)" path Words.kernel)
+    expected
+    (Linear_families.golden_bytes (Linear_families.find name))
+
+(* ------------------------------------------------------------------ *)
 (* QCheck properties                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let family_gen = QCheck.Gen.oneofl (List.map fst makers)
+
+(* -- Words kernels against an int-array reference ------------------- *)
+
+let field_p = 0x7fffffff
+
+(* Magnitudes bounded so plain sums never overflow: the reference then
+   needs no wraparound reasoning and must match the kernels exactly. *)
+let word_gen = QCheck.Gen.int_range (-(1 lsl 50)) (1 lsl 50)
+let field_gen = QCheck.Gen.int_range 0 (field_p - 1)
+
+let ref_add a b = Array.mapi (fun i x -> x + b.(i)) a
+let ref_sub a b = Array.mapi (fun i x -> x - b.(i)) a
+
+(* Reference triple merge: words 0,1 plain; word 2 in the Mersenne field
+   with both sides reduced -- Field.add/Field.sub respelled. *)
+let ref_add_tri a b =
+  Array.mapi
+    (fun i x ->
+      if i mod 3 = 2 then
+        let s = x + b.(i) in
+        if s >= field_p then s - field_p else s
+      else x + b.(i))
+    a
+
+let ref_sub_tri a b =
+  Array.mapi
+    (fun i x ->
+      if i mod 3 = 2 then
+        let d = x - b.(i) in
+        if d < 0 then d + field_p else d
+      else x - b.(i))
+    a
+
+let kernel_agrees ~op ~ref_op (a, b) =
+  let wa = Words.of_array a and wb = Words.of_array b in
+  op wa wb;
+  (* Aliased call on a third buffer: [op t t] must equal ref_op a a. *)
+  let wc = Words.of_array a in
+  op wc wc;
+  Words.to_array wa = ref_op a b && Words.to_array wc = ref_op a a
+
+let plain_pairs =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun ps -> (Array.of_list (List.map fst ps), Array.of_list (List.map snd ps)))
+        (small_list (pair word_gen word_gen)))
+
+let tri_gen = QCheck.Gen.(triple word_gen word_gen field_gen)
+
+let tri_pairs =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun ts ->
+          let arr pick =
+            Array.of_list
+              (List.concat_map
+                 (fun t ->
+                   let a0, a1, a2 = pick t in
+                   [ a0; a1; a2 ])
+                 ts)
+          in
+          (arr fst, arr snd))
+        (small_list (pair tri_gen tri_gen)))
+
+let prop_words_add =
+  QCheck.Test.make ~name:"Words.add matches reference (incl. aliasing)" ~count:200 plain_pairs
+    (kernel_agrees ~op:Words.add ~ref_op:ref_add)
+
+let prop_words_sub =
+  QCheck.Test.make ~name:"Words.sub matches reference (incl. aliasing)" ~count:200 plain_pairs
+    (kernel_agrees ~op:Words.sub ~ref_op:ref_sub)
+
+let prop_words_add_tri =
+  QCheck.Test.make ~name:"Words.add_tri matches field reference (incl. aliasing)" ~count:200
+    tri_pairs
+    (kernel_agrees ~op:Words.add_tri ~ref_op:ref_add_tri)
+
+let prop_words_sub_tri =
+  QCheck.Test.make ~name:"Words.sub_tri matches field reference (incl. aliasing)" ~count:200
+    tri_pairs
+    (kernel_agrees ~op:Words.sub_tri ~ref_op:ref_sub_tri)
+
+(* -- Typed family-level kernels (registry gives us the state type) --- *)
+
+let prop_self_merge_doubles =
+  QCheck.Test.make ~name:"aliased merge add t t = applying the stream twice" ~count:30
+    QCheck.(pair (make family_gen) small_nat)
+    (fun (name, seed) ->
+      let (Linear_families.F f) = Linear_families.find name in
+      let (module L) = f.impl in
+      let a = f.make () and b = f.make () in
+      let stream = Linear_families.update_stream ~dim:(L.dim a) seed in
+      Linear_families.apply_stream f.impl a stream;
+      Linear_families.apply_stream f.impl b stream;
+      Linear_families.apply_stream f.impl b stream;
+      L.add a a;
+      LS.serialize f.impl a = LS.serialize f.impl b)
+
+let prop_sub_cancels =
+  QCheck.Test.make ~name:"sub cancels an added stream exactly" ~count:30
+    QCheck.(triple (make family_gen) small_nat small_nat)
+    (fun (name, s1, s2) ->
+      let (Linear_families.F f) = Linear_families.find name in
+      let (module L) = f.impl in
+      let a = f.make () and c = f.make () and d = f.make () in
+      let st1 = Linear_families.update_stream ~dim:(L.dim a) s1 in
+      let st2 = Linear_families.update_stream ~dim:(L.dim a) s2 in
+      Linear_families.apply_stream f.impl a st1;
+      Linear_families.apply_stream f.impl a st2;
+      Linear_families.apply_stream f.impl c st2;
+      Linear_families.apply_stream f.impl d st1;
+      L.sub a c;
+      LS.serialize f.impl a = LS.serialize f.impl d)
+
+let prop_reset_is_fresh =
+  QCheck.Test.make ~name:"reset returns a used sketch to the fresh state" ~count:30
+    QCheck.(pair (make family_gen) small_nat)
+    (fun (name, seed) ->
+      let (Linear_families.F f) = Linear_families.find name in
+      let (module L) = f.impl in
+      let a = f.make () in
+      let stream = Linear_families.update_stream ~dim:(L.dim a) seed in
+      Linear_families.apply_stream f.impl a stream;
+      L.reset a;
+      LS.serialize f.impl a = LS.serialize f.impl (f.make ()))
 
 let prop_roundtrip =
   QCheck.Test.make ~name:"serialize/deserialize round-trips byte-for-byte" ~count:60
@@ -336,12 +405,26 @@ let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_roundtrip; prop_absorb_linear; prop_random_mutation_detected; prop_space_accounting ]
 
+let kernel_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_words_add;
+      prop_words_sub;
+      prop_words_add_tri;
+      prop_words_sub_tri;
+      prop_self_merge_doubles;
+      prop_sub_cancels;
+      prop_reset_is_fresh;
+    ]
+
 let () =
   let per_family mk =
     List.map (fun (name, _) -> Alcotest.test_case name `Quick (mk name)) makers
   in
+  Printf.printf "Words kernel in use: %s\n%!" Words.kernel;
   Alcotest.run "linear_sketch"
     [
+      ("golden fixtures", per_family test_golden);
       ("roundtrip bytes", per_family test_roundtrip_bytes);
       ("absorb = in-process add", per_family test_absorb_equals_inprocess);
       ("clone_zero", per_family test_clone_zero_is_zero);
@@ -359,4 +442,5 @@ let () =
           Alcotest.test_case "not_linear raises" `Quick test_not_linear_guard;
         ] );
       ("properties", qcheck_cases);
+      ("words kernels", kernel_cases);
     ]

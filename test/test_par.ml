@@ -385,6 +385,72 @@ let prop_agm_sharded_star =
   QCheck.Test.make ~name:"agm sharded+merge = sequential (single hot vertex)" ~count:6
     zipf_edge_gen (fun edges -> agm_sharded_matches (Array.of_list edges))
 
+(* -------------------- Replica arenas -------------------- *)
+
+(* Arena-backed runs must (a) reproduce the sequential bytes on every
+   round — a recycled replica starts each round as the exact zero
+   sketch — and (b) stop allocating replicas once every slot has been
+   exercised: the arena's off-heap footprint is monotone during warm-up
+   and constant afterwards. *)
+let test_arena_reuse () =
+  let rng = Prng.create 91 in
+  let round _ =
+    Array.init 600 (fun _ ->
+        let u = Prng.int rng (agm_n - 1) in
+        let v = u + 1 + Prng.int rng (agm_n - 1 - u) in
+        if Prng.bool rng then Ds_stream.Update.insert u v else Ds_stream.Update.delete u v)
+  in
+  let streams = Array.init 5 round in
+  let seq = agm_create 13 and par = agm_create 13 in
+  let arena = Shard_ingest.agm_arena () in
+  check_int "fresh arena holds nothing" 0 (Shard_ingest.arena_bytes arena);
+  let footprint = ref 0 in
+  Array.iteri
+    (fun i w ->
+      Ds_agm.Agm_sketch.update_batch seq w;
+      Shard_ingest.agm (pool ()) ~workers:4 ~chunk:16 ~arena par w;
+      check_string
+        (Printf.sprintf "round %d bit-identical to sequential" i)
+        (Ds_agm.Agm_sketch.serialize seq)
+        (Ds_agm.Agm_sketch.serialize par);
+      let b = Shard_ingest.arena_bytes arena in
+      if i = 0 then footprint := b
+      else begin
+        check_bool (Printf.sprintf "round %d footprint monotone" i) true (b >= !footprint);
+        footprint := b
+      end)
+    streams;
+  (* With 4 workers on 600 tiny chunks, at least one replica beyond slot 0
+     must have been created and priced. *)
+  check_bool "arena priced its replicas" true (Shard_ingest.arena_bytes arena > 0);
+  (* Steady state: one more run does not grow the arena. *)
+  let before = Shard_ingest.arena_bytes arena in
+  let w = round () in
+  Ds_agm.Agm_sketch.update_batch seq w;
+  Shard_ingest.agm (pool ()) ~workers:4 ~chunk:16 ~arena par w;
+  check_string "steady-state round bit-identical" (Ds_agm.Agm_sketch.serialize seq)
+    (Ds_agm.Agm_sketch.serialize par);
+  check_int "steady-state footprint constant" before (Shard_ingest.arena_bytes arena)
+
+(* The generic arena over the packed linear interface: recycling through
+   [L.reset] must keep sparse-recovery ingest byte-identical too. *)
+let test_arena_linear () =
+  let make () = Sparse_recovery.create (Prng.create 19) ~dim ~params:sr_params in
+  let seq = make () and par = make () in
+  let arena = Shard_ingest.arena_of (module Sparse_recovery.Linear) in
+  let rng = Prng.create 92 in
+  for i = 1 to 4 do
+    let w = Array.init 500 (fun _ -> (Prng.int rng dim, Prng.int rng 7 - 3)) in
+    Array.iter (fun (index, delta) -> Sparse_recovery.update seq ~index ~delta) w;
+    Shard_ingest.linear (pool ()) ~workers:4 ~chunk:16 ~arena
+      (module Sparse_recovery.Linear)
+      par w;
+    check_string
+      (Printf.sprintf "linear arena round %d bit-identical" i)
+      (state_of Sparse_recovery.write seq)
+      (state_of Sparse_recovery.write par)
+  done
+
 (* -------------------- Consumers -------------------- *)
 
 (* A valid dynamic stream: deletions only target currently-live edges, so the
@@ -523,6 +589,11 @@ let () =
           Alcotest.test_case "empty and tiny streams" `Quick test_sharded_edge_sizes;
         ] );
       ("linearity", qcheck_cases);
+      ( "arena",
+        [
+          Alcotest.test_case "agm replica reuse stays exact" `Quick test_arena_reuse;
+          Alcotest.test_case "generic linear arena stays exact" `Quick test_arena_linear;
+        ] );
       ( "consumers",
         [
           Alcotest.test_case "cluster_sim parallel = sequential" `Quick

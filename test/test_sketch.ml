@@ -362,7 +362,7 @@ let test_packed_l0_single () =
   let cfg =
     Packed_l0.make_config (Prng.create 17) ~dim:64 ~params:Packed_l0.default_params
   in
-  let st = Array.make (Packed_l0.state_len cfg) 0 in
+  let st = Words.create (Packed_l0.state_len cfg) in
   Packed_l0.update cfg st ~off:0 ~index:9 ~delta:4;
   (match Packed_l0.decode cfg st ~off:0 with
   | Some (9, 4) -> ()
@@ -375,7 +375,7 @@ let test_packed_l0_offset () =
     Packed_l0.make_config (Prng.create 18) ~dim:64 ~params:Packed_l0.default_params
   in
   let len = Packed_l0.state_len cfg in
-  let st = Array.make (3 * len) 0 in
+  let st = Words.create (3 * len) in
   Packed_l0.update cfg st ~off:len ~index:5 ~delta:1;
   check_bool "slot 0 untouched" true (Packed_l0.decode cfg st ~off:0 = None);
   check_bool "slot 2 untouched" true (Packed_l0.decode cfg st ~off:(2 * len) = None);
@@ -392,7 +392,7 @@ let test_packed_l0_success_rate () =
         (Prng.create (40000 + trial))
         ~dim:256 ~params:Packed_l0.default_params
     in
-    let st = Array.make (Packed_l0.state_len cfg) 0 in
+    let st = Words.create (Packed_l0.state_len cfg) in
     let support = 1 + Prng.int rng 40 in
     let vec = random_sparse_vec rng ~dim:256 ~support in
     List.iter (fun (i, w) -> Packed_l0.update cfg st ~off:0 ~index:i ~delta:w) vec;
@@ -409,11 +409,12 @@ let test_packed_l0_raw_linearity () =
     Packed_l0.make_config (Prng.create 20) ~dim:128 ~params:Packed_l0.default_params
   in
   let len = Packed_l0.state_len cfg in
-  let a = Array.make len 0 and b = Array.make len 0 in
+  let a = Words.create len and b = Words.create len in
   Packed_l0.update cfg a ~off:0 ~index:3 ~delta:1;
   Packed_l0.update cfg b ~off:0 ~index:3 ~delta:(-1);
   Packed_l0.update cfg b ~off:0 ~index:8 ~delta:2;
-  let sum = Array.init len (fun i -> a.(i) + b.(i)) in
+  let sum = Words.copy a in
+  Words.add sum b;
   match Packed_l0.decode cfg sum ~off:0 with
   | Some (8, 2) -> ()
   | Some _ | None -> Alcotest.fail "componentwise sum should decode the difference"
@@ -519,7 +520,7 @@ let test_table_capacity_stress () =
     in
     for k = 0 to 37 do
       Sketch_table.update t ~key:((k * 241) mod 10000) ~weight:1 ~write:(fun arr off ->
-          arr.(off) <- arr.(off) + 1)
+          Words.set arr off (Words.get arr off + 1))
     done;
     match Sketch_table.decode t with
     | Some entries when List.length entries = 38 -> ()
@@ -677,7 +678,7 @@ let prop_table_fuzz =
           let current = match Hashtbl.find_opt model key with Some w -> w | None -> 0 in
           let delta = if insert || current = 0 then 1 else -1 in
           Sketch_table.update t ~key ~weight:delta ~write:(fun arr off ->
-              arr.(off) <- arr.(off) + delta);
+              Words.set arr off (Words.get arr off + delta));
           let now = current + delta in
           if now = 0 then Hashtbl.remove model key else Hashtbl.replace model key now)
         ops;
@@ -689,7 +690,7 @@ let prop_table_fuzz =
             List.length entries = Hashtbl.length model
             && List.for_all
                  (fun (k, w, payload) ->
-                   Hashtbl.find_opt model k = Some w && payload.(0) = w)
+                   Hashtbl.find_opt model k = Some w && Words.get payload 0 = w)
                  entries)
 
 (* L0 sampler fuzz: any sample must come from the model's live support. *)
