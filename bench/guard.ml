@@ -1,6 +1,6 @@
 (* Bench-regression guard.
 
-     dune exec bench/guard.exe -- BASELINE.json FRESH.json [TOLERANCE]
+     dune exec bench/guard.exe -- BASELINE.json FRESH.json [TOLERANCE] [SERVE.json]
 
    Compares a freshly measured BENCH_ingest.json against the committed
    baseline: every single-thread kernel throughput must be within
@@ -18,6 +18,15 @@
    no-regression floor — the engine's overhead at 1 forced worker must
    keep >= 0.75x of the sequential kernel.  The full 8-domain curve is
    printed as advisory only.
+
+   With a fourth argument — a fresh BENCH_serve.json — the serving
+   layer is gated on absolute ceilings rather than a baseline ratio:
+   ingest latency through the socket is dominated by syscalls and
+   checkpoint fsyncs, so its budget is a wall-clock promise (p99 under
+   250 ms, recovery of the full store under 2 s), not a machine-relative
+   one.  The ceilings are deliberately loose: they catch the pathology
+   class (an accidental O(store) scan per frame, a lost fsync batch, a
+   recovery walk that re-decodes every generation), not scheduler noise.
 
    The values are extracted with a key scanner rather than a JSON
    parser: the repo deliberately has no JSON dependency, and
@@ -150,5 +159,23 @@ let () =
           | Some s -> Printf.printf "guard: advisory parallel_speedup_d%-2d %25.3fx\n" d s
           | None -> ())
         [ 1; 2; 4; 8 ]);
+  (* Serve gate: absolute latency ceilings on a fresh BENCH_serve.json. *)
+  (if argc > 4 then begin
+     let serve_path = Sys.argv.(4) in
+     let serve = read_file serve_path in
+     let ceiling label key limit =
+       let v = require serve serve_path key in
+       let verdict = if v <= limit then "ok" else (incr failures; "TOO SLOW") in
+       Printf.printf "guard: %-40s %10.1f ms (ceiling %.0f ms)  %s\n" label v limit verdict
+     in
+     ceiling "serve_ingest_p99" "ingest_p99_ms" 250.0;
+     ceiling "serve_recovery" "recovery_ms" 2000.0;
+     ceiling "serve_flush" "flush_ms" 2000.0;
+     match find_number serve "recovery_streams" with
+     | Some s when s > 0.0 -> ()
+     | _ ->
+         incr failures;
+         print_endline "guard: serve file recovered zero streams            EMPTY STORE"
+   end);
   if !failures > 0 then fail "%d check(s) failed" !failures;
   print_endline "guard: all checks passed"

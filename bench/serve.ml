@@ -1,0 +1,196 @@
+(* Serving-layer bench.
+
+     dune exec bench/serve.exe [-- OUTPUT.json]
+
+   Measures the two latencies the serving layer promises to keep bounded
+   and writes them as machine-readable JSON (default ./BENCH_serve.json,
+   schema bench_serve/v1) so bench/guard.exe can gate later PRs:
+
+   - ingest round-trip latency through the real Unix-socket path (fork a
+     server, drive a seeded Loadgen plan frame by frame, record every
+     ack's wall clock) — p50/p95/p99 and throughput;
+   - crash recovery: build a multi-tenant checkpoint store, discard the
+     live server, and time [Server.create]'s recovery walk (decode +
+     verify + load of the newest good generation per tenant);
+   - checkpoint write: the fsync-bounded cost of one [Flush].
+
+   Percentile ceilings live in the guard, not here: this file records
+   what the machine did, the guard decides what is acceptable. *)
+
+module Server = Ds_serve.Server
+module Client = Ds_serve.Client
+module Loadgen = Ds_serve.Loadgen
+
+let git_sha () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some s when s <> "" -> s
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "unknown"
+      with _ -> "unknown")
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dynospan-bench-serve-%d-%d" (Unix.getpid ()) !counter)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+(* Percentile over a sorted array, nearest-rank. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1 |> max 0))
+
+let start_server config ~socket_path =
+  match Unix.fork () with
+  | 0 ->
+      (try Server.run_unix (Server.create config) ~socket_path ~tick:0.002 ()
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      let rec wait_listening tries =
+        if tries = 0 then failwith "bench serve: server did not come up";
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+        | () -> Unix.close fd
+        | exception Unix.Unix_error _ ->
+            Unix.close fd;
+            Unix.sleepf 0.02;
+            wait_listening (tries - 1)
+      in
+      wait_listening 250;
+      pid
+
+let stop_server pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let seed = 20140721 + 19
+let tenants = 2
+let streams_per_tenant = 4
+let updates = 6_000
+let n = 128
+let batch = 8
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_serve.json" in
+  let oc = open_out out in
+  let plan = Loadgen.make ~seed ~tenants ~streams_per_tenant ~updates ~n ~batch () in
+  let frames =
+    List.fold_left (fun a s -> a + Loadgen.frame_count s) 0 plan.Loadgen.p_specs
+  in
+  Fmt.pr "serve bench: %d tenants x %d streams, %d frames (n=%d, batch=%d)@." tenants
+    streams_per_tenant frames n batch;
+
+  (* --- ingest latency through the socket ---------------------------- *)
+  let dir = fresh_dir () in
+  let socket_path = Filename.concat dir "sock" in
+  let config =
+    { (Server.default_config ~dir) with Server.checkpoint_every = 64; drain_per_tick = 64 }
+  in
+  let pid = start_server config ~socket_path in
+  let client = Client.connect ~socket_path ~delay_unit:0.005 () in
+  List.iter
+    (fun s ->
+      match
+        Client.create_stream client ~tenant:s.Loadgen.l_tenant ~stream:s.Loadgen.l_stream
+          ~family:s.Loadgen.l_family ~n:s.Loadgen.l_n ~seed:s.Loadgen.l_seed
+      with
+      | Ok _ -> ()
+      | Error m -> failwith ("bench serve: create: " ^ m))
+    plan.Loadgen.p_specs;
+  let latencies = ref [] in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun payload ->
+          let t = Unix.gettimeofday () in
+          (match
+             Client.ingest client ~tenant:s.Loadgen.l_tenant ~stream:s.Loadgen.l_stream
+               ~payload
+           with
+          | Ok () -> ()
+          | Error m -> failwith ("bench serve: ingest: " ^ m));
+          latencies := (Unix.gettimeofday () -. t) :: !latencies)
+        (Loadgen.batches s))
+    plan.Loadgen.p_specs;
+  let ingest_wall = Unix.gettimeofday () -. t0 in
+  (* Checkpoint write cost: one Flush over every dirty tenant. *)
+  let flush_ms =
+    let t = Unix.gettimeofday () in
+    List.iter
+      (fun tenant ->
+        match Client.flush client ~tenant with
+        | Ok _ -> ()
+        | Error m -> failwith ("bench serve: flush: " ^ m))
+      (List.sort_uniq compare
+         (List.map (fun s -> s.Loadgen.l_tenant) plan.Loadgen.p_specs));
+    1000.0 *. (Unix.gettimeofday () -. t)
+  in
+  Client.close client;
+  stop_server pid;
+  let sorted = Array.of_list !latencies in
+  Array.sort compare sorted;
+  let p50 = 1000.0 *. percentile sorted 0.50 in
+  let p95 = 1000.0 *. percentile sorted 0.95 in
+  let p99 = 1000.0 *. percentile sorted 0.99 in
+  let rate = float_of_int frames /. ingest_wall in
+  Fmt.pr "  ingest  %d frames in %.2fs (%.0f frames/s)@." frames ingest_wall rate;
+  Fmt.pr "  latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms@." p50 p95 p99;
+  Fmt.pr "  flush   %.1f ms (%d tenants, fsync-bounded)@." flush_ms tenants;
+
+  (* --- recovery time ------------------------------------------------ *)
+  (* The store just written by the socket phase is the recovery corpus:
+     every stream checkpointed at full depth.  Time the walk. *)
+  let t = Unix.gettimeofday () in
+  let recovered = Server.create config in
+  let recovery_ms = 1000.0 *. (Unix.gettimeofday () -. t) in
+  let rr = Server.recovery_report recovered in
+  Fmt.pr "  recovery %.1f ms (%d tenants, %d streams, %d quarantined)@." recovery_ms
+    rr.Server.r_tenants rr.Server.r_streams rr.Server.r_quarantined;
+  if rr.Server.r_streams <> tenants * streams_per_tenant then
+    failwith "bench serve: recovery lost streams";
+
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"bench_serve/v1\",\n";
+  p "  \"git_sha\": \"%s\",\n" (git_sha ());
+  p "  \"date\": \"%s\",\n" (iso8601_utc ());
+  p "  \"timestamp\": %.0f,\n" (Unix.time ());
+  p "  \"workload\": {\n";
+  p "    \"tenants\": %d,\n" tenants;
+  p "    \"streams_per_tenant\": %d,\n" streams_per_tenant;
+  p "    \"frames\": %d,\n" frames;
+  p "    \"n\": %d,\n" n;
+  p "    \"batch\": %d\n" batch;
+  p "  },\n";
+  p "  \"ingest\": {\n";
+  p "    \"frames_per_sec\": %.0f,\n" rate;
+  p "    \"ingest_p50_ms\": %.3f,\n" p50;
+  p "    \"ingest_p95_ms\": %.3f,\n" p95;
+  p "    \"ingest_p99_ms\": %.3f\n" p99;
+  p "  },\n";
+  p "  \"durability\": {\n";
+  p "    \"flush_ms\": %.1f,\n" flush_ms;
+  p "    \"recovery_ms\": %.1f,\n" recovery_ms;
+  p "    \"recovery_streams\": %d\n" rr.Server.r_streams;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  Fmt.pr "wrote %s@." out

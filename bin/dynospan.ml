@@ -682,6 +682,227 @@ let trace_analyze_cmd =
           self-check.")
     Term.(const run $ files_arg $ perfetto_arg $ folded_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The serving layer: serve / loadgen / chaos-serve                     *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Checkpoint store directory (created if missing).")
+
+let serve_cmd =
+  let run socket dir quota queue_bound drain checkpoint_every retention metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
+    let config =
+      {
+        (Ds_serve.Server.default_config ~dir) with
+        Ds_serve.Server.quota_words = quota;
+        queue_bound;
+        drain_per_tick = drain;
+        checkpoint_every;
+        retention;
+      }
+    in
+    let server = Ds_serve.Server.create config in
+    Ds_serve.Server.run_unix server ~socket_path:socket ();
+    Fmt.pr "serve: stopped; %d event(s) logged@."
+      (List.length (Ds_serve.Server.events server))
+  in
+  let quota_arg =
+    Arg.(
+      value & opt int 4_000_000
+      & info [ "quota-words" ] ~docv:"W" ~doc:"Per-tenant sketch-space budget in words.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-bound" ] ~docv:"Q"
+          ~doc:"Ingest queue depth; frames beyond it get an Overloaded NACK.")
+  in
+  let drain_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "drain-per-tick" ] ~docv:"D" ~doc:"Frames applied per event-loop tick.")
+  in
+  let ck_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ] ~docv:"K"
+          ~doc:"Applied frames between durable generations.")
+  in
+  let retention_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retention" ] ~docv:"G" ~doc:"Durable generations kept per tenant.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant sketch service on a Unix domain socket: bounded ingest queue \
+          with typed Overloaded/Quota NACKs, periodic write-tmp/fsync/rename checkpoints, and \
+          kill -9-safe recovery that quarantines torn generations and replays the undurable \
+          suffix by linearity. SIGTERM exits gracefully (drain + checkpoint).")
+    Term.(
+      const run $ socket_arg $ dir_arg $ quota_arg $ queue_arg $ drain_arg $ ck_arg
+      $ retention_arg $ metrics_arg $ metrics_out_arg)
+
+let loadgen_cmd =
+  let run socket seed tenants streams updates n batch ledger verify delay_unit =
+    let plan = Ds_serve.Loadgen.make ~seed ~tenants ~streams_per_tenant:streams ~updates ~n ~batch () in
+    let client = Ds_serve.Client.connect ~socket_path:socket ~delay_unit () in
+    if verify then begin
+      let lines =
+        match ledger with
+        | None -> []
+        | Some path when Sys.file_exists path ->
+            let ic = open_in path in
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file ->
+                  close_in ic;
+                  List.rev acc
+            in
+            go []
+        | Some _ -> []
+      in
+      let checked, mismatches = Ds_serve.Loadgen.verify client plan ~ledger_lines:lines in
+      Fmt.pr "loadgen verify: %d stream(s) checked against the acked ledger@." checked;
+      List.iter (fun m -> Fmt.pr "MISMATCH %s@." m) mismatches;
+      if mismatches <> [] then exit 1;
+      Fmt.pr "loadgen verify: every acked update survived, bit-identically@."
+    end
+    else begin
+      let oc = Option.map open_out ledger in
+      let o = Ds_serve.Loadgen.run client plan ~ledger:oc in
+      Option.iter close_out oc;
+      Fmt.pr
+        "loadgen: acked %d frame(s), failed %d, retries %d, reconnects %d, backoff %.3fs@."
+        o.Ds_serve.Loadgen.o_acked_frames o.Ds_serve.Loadgen.o_failed_frames
+        o.Ds_serve.Loadgen.o_retries o.Ds_serve.Loadgen.o_reconnects
+        o.Ds_serve.Loadgen.o_backoff;
+      if o.Ds_serve.Loadgen.o_failed_frames > 0 then exit 1
+    end;
+    Ds_serve.Client.close client
+  in
+  let tenants_arg =
+    Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"T" ~doc:"Number of tenants.")
+  in
+  let streams_arg =
+    Arg.(value & opt int 4 & info [ "streams" ] ~docv:"S" ~doc:"Streams per tenant.")
+  in
+  let updates_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "updates" ] ~docv:"U"
+          ~doc:"Total update budget, split across streams by a Zipf profile.")
+  in
+  let ln_arg =
+    Arg.(value & opt int 64 & info [ "n" ] ~docv:"N" ~doc:"Sketch dimension per stream.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc:"Updates per ingest frame.")
+  in
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Acked-frame ledger: one line per ack (tenant, stream, frames, mirror hash). With \
+             $(b,--verify), read instead of written.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Rebuild the seeded mirror sketches, query the server, and demand bit-identical \
+             envelopes at the ledger's acked watermarks. Exits 1 on any mismatch.")
+  in
+  let delay_unit_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "delay-unit" ] ~docv:"SEC"
+          ~doc:
+            "Seconds per backoff unit of the client's capped retry envelope. Raise it to \
+             survive longer server restarts (e.g. a kill -9 + recovery mid-load).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Seeded multi-tenant load generator for $(b,dynospan serve): Zipf-profiled stream \
+          sizes, batched LSK1 ingest frames, client-side retry with capped jittered backoff, \
+          and an acked-frame ledger that $(b,--verify) later checks bit-for-bit — the whole \
+          workload is a pure function of the seed.")
+    Term.(
+      const run $ socket_arg $ seed_arg $ tenants_arg $ streams_arg $ updates_arg $ ln_arg
+      $ batch_arg $ ledger_arg $ verify_arg $ delay_unit_arg)
+
+let chaos_serve_cmd =
+  let run dir seed fault_seed rate crash_every tear =
+    let plan =
+      if rate <= 0.0 then Ds_fault.Fault_plan.none
+      else Ds_fault.Fault_plan.random ~seed:fault_seed ~rate
+    in
+    let workload =
+      Ds_serve.Loadgen.make ~seed ~tenants:2 ~streams_per_tenant:3 ~updates:600 ~n:64
+        ~batch:4 ()
+    in
+    let r =
+      Ds_sim.Serve_sim.run ~crash_every ~tear_on_crash:tear ~checkpoint_every:32 ~plan ~dir
+        workload
+    in
+    Fmt.pr "== serve layer under connection faults and seeded kill -9 ==@.";
+    Fmt.pr "plan: seed=%d fault-seed=%d rate=%.2f crash-every=%d tear=%b@." seed fault_seed
+      rate crash_every tear;
+    Fmt.pr "%a@." Ds_sim.Serve_sim.pp_report r;
+    if not r.Ds_sim.Serve_sim.sv_final_match then exit 1
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"FS"
+          ~doc:"Seed of the connection-fault plan; equal seeds replay identical faults.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "rate" ] ~docv:"R" ~doc:"Per-send-attempt connection-fault probability.")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "crash-every" ] ~docv:"K"
+          ~doc:"kill -9 the simulated server after every K acks (0 disables).")
+  in
+  let tear_arg =
+    Arg.(
+      value & flag
+      & info [ "tear" ]
+          ~doc:
+            "Truncate the newest durable generation at a seeded offset before each recovery, \
+             forcing the quarantine-and-fall-back path.")
+  in
+  Cmd.v
+    (Cmd.info "chaos-serve"
+       ~doc:
+         "Deterministic chaos run of the serving layer: seeded workload through connection \
+          faults (partial frame + stall, mid-frame disconnect, reordered duplicates) with \
+          seeded kill -9 and optional torn generations. Fully replayable: equal seeds print \
+          identical reports. Exits 1 unless every stream's final envelope is bit-identical to \
+          the seeded mirror.")
+    Term.(
+      const run $ dir_arg $ seed_arg $ fault_seed_arg $ rate_arg $ crash_arg $ tear_arg)
+
 let () =
   let doc = "spanners and sparsifiers in dynamic streams (Kapralov-Woodruff, PODC 2014)" in
   let info = Cmd.info "dynospan" ~version:"1.0.0" ~doc in
@@ -702,4 +923,7 @@ let () =
             mst_cmd;
             bipartite_cmd;
             offline_cmd;
+            serve_cmd;
+            loadgen_cmd;
+            chaos_serve_cmd;
           ]))

@@ -72,6 +72,60 @@ let pp_fault ppf = function
   | Duplicate -> Format.fprintf ppf "duplicate"
   | Delay d -> Format.fprintf ppf "delay(%d)" d
 
+(* Connection-level faults live in their own type (and their own salted
+   draw stream, below): the serving layer's transport boundary fails in
+   ways a message channel cannot — a peer can go quiet mid-frame, hang
+   up mid-frame, or replay a frame after later traffic. Keeping them out
+   of [fault] preserves every existing chaos report byte-for-byte. *)
+type conn_fault =
+  | Conn_stall
+  | Conn_disconnect
+  | Conn_reorder_dup
+
+let conn_rng t ~server ~message ~attempt =
+  coord_rng t ~server ~message ~attempt ~salt:"conn"
+
+let pick_conn_fault rng =
+  match Prng.int rng 4 with
+  | 0 -> Conn_stall
+  | 1 -> Conn_disconnect
+  | _ -> Conn_reorder_dup
+
+let draw_conn t ~server ~message ~attempt =
+  if t.rate = 0.0 then None
+  else
+    let rng = coord_rng t ~server ~message ~attempt ~salt:"conn_draw" in
+    if Prng.bernoulli rng t.rate then Some (pick_conn_fault rng) else None
+
+let conn_fault_name = function
+  | Conn_stall -> "stall"
+  | Conn_disconnect -> "disconnect"
+  | Conn_reorder_dup -> "reorder_dup"
+
+let conn_kind_names = [ "stall"; "disconnect"; "reorder_dup" ]
+
+let pp_conn_fault ppf f = Format.pp_print_string ppf (conn_fault_name f)
+
+type conn_delivery =
+  | Conn_delivered of string
+  | Conn_prefix_stall of string
+  | Conn_prefix_close of string
+  | Conn_reordered_dup of string
+
+(* A damaged frame must actually be cut short: the prefix is a strict
+   prefix (possibly empty), so the receiver is guaranteed to be left
+   holding an incomplete frame. *)
+let strict_prefix rng msg =
+  let len = String.length msg in
+  if len = 0 then "" else String.sub msg 0 (Prng.int rng len)
+
+let apply_conn rng fault msg =
+  match fault with
+  | None -> Conn_delivered msg
+  | Some Conn_stall -> Conn_prefix_stall (strict_prefix rng msg)
+  | Some Conn_disconnect -> Conn_prefix_close (strict_prefix rng msg)
+  | Some Conn_reorder_dup -> Conn_reordered_dup msg
+
 type delivery =
   | Delivered of string
   | Duplicated of string

@@ -83,3 +83,55 @@ val corrupt : Ds_util.Prng.t -> flips:int -> string -> string
 (** [flips] random single-bit flips (re-drawn if they would cancel out);
     exposed for the fuzz suite. Returns the message unchanged only when it
     is empty. *)
+
+(** {1 Connection-level faults (the serving layer's transport boundary)}
+
+    Frames crossing a socket fail in ways a message channel cannot:
+    - [Conn_stall]: a strict prefix of the frame arrives, then the sender
+      goes quiet — the receiver holds an incomplete frame until it times
+      the connection out.
+    - [Conn_disconnect]: a strict prefix arrives and the connection drops;
+      the receiver must discard the partial frame, the sender reconnects
+      and retries.
+    - [Conn_reorder_dup]: the frame is delivered, and delivered {e again}
+      after later traffic — the receiver's sequence watermark must make the
+      replay idempotent.
+
+    Connection faults draw from their own salted per-[(server, message,
+    attempt)] streams, so adding them changed no existing [draw] verdict:
+    chaos reports from earlier seeds replay byte-identically. *)
+
+type conn_fault =
+  | Conn_stall
+  | Conn_disconnect
+  | Conn_reorder_dup
+
+val draw_conn : t -> server:int -> message:int -> attempt:int -> conn_fault option
+(** The plan's connection-level verdict for one frame send attempt. Pure
+    and stateless per coordinate, like {!draw}, and independent of it (its
+    own salt), sharing the plan's [rate]. *)
+
+val conn_rng : t -> server:int -> message:int -> attempt:int -> Ds_util.Prng.t
+(** Per-coordinate randomness used to apply a connection fault to concrete
+    frame bytes (the prefix cut point). *)
+
+val conn_fault_name : conn_fault -> string
+(** Stable lowercase kind name ("stall", "disconnect", "reorder_dup"). *)
+
+val conn_kind_names : string list
+val pp_conn_fault : Format.formatter -> conn_fault -> unit
+
+(** What the transport does with one framed send attempt. *)
+type conn_delivery =
+  | Conn_delivered of string  (** the whole frame arrived *)
+  | Conn_prefix_stall of string
+      (** a strict prefix arrived; the connection is alive but silent *)
+  | Conn_prefix_close of string
+      (** a strict prefix arrived; the connection then closed *)
+  | Conn_reordered_dup of string
+      (** the frame arrived and will arrive again after the next frame *)
+
+val apply_conn : Ds_util.Prng.t -> conn_fault option -> string -> conn_delivery
+(** Push one frame through the faulted transport. [None] delivers the frame
+    untouched. Stall/disconnect prefixes are {e strict} prefixes (possibly
+    empty), so the receiver is always left with an incomplete frame. *)

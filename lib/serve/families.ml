@@ -1,0 +1,54 @@
+open Ds_util
+open Ds_sketch
+
+(* A served stream's sketch is reconstructed on both sides of the wire
+   (and across restarts) from exactly three scalars: family name, index
+   dimension, seed.  The maker must therefore be a pure function of
+   those — any parameter defaults in here are part of the protocol. *)
+
+type made = {
+  packed : Linear_sketch.Packed.t;
+  agm : Ds_agm.Agm_sketch.t option;
+      (* the typed handle when the family is "agm": per-copy checkpoint
+         parts and degraded quorum decoding need the repetition
+         structure the packed view hides *)
+}
+
+let scalar packed = { packed; agm = None }
+
+let make ~family ~n ~seed =
+  if n < 2 then Error (Printf.sprintf "dimension %d too small" n)
+  else
+    match family with
+    | "agm" ->
+        let t =
+          Ds_agm.Agm_sketch.create (Prng.create seed) ~n
+            ~params:(Ds_agm.Agm_sketch.default_params ~n)
+        in
+        Ok { packed = Linear_sketch.Packed.pack (module Ds_agm.Agm_sketch.Linear) t; agm = Some t }
+    | "connectivity" ->
+        let t =
+          Ds_agm.Connectivity.create (Prng.create seed) ~n
+            ~params:(Ds_agm.Agm_sketch.default_params ~n)
+        in
+        Ok (scalar (Linear_sketch.Packed.pack (module Ds_agm.Connectivity.Linear) t))
+    | "l0_sampler" ->
+        let t =
+          L0_sampler.create (Prng.create seed) ~dim:n ~params:L0_sampler.default_params
+        in
+        Ok (scalar (Linear_sketch.Packed.pack (module L0_sampler.Linear) t))
+    | "count_sketch" ->
+        let t =
+          Count_sketch.create (Prng.create seed) ~dim:n
+            ~params:{ Count_sketch.rows = 3; cols = 32; hash_degree = 4 }
+        in
+        Ok (scalar (Linear_sketch.Packed.pack (module Count_sketch.Linear) t))
+    | "ams_f2" ->
+        let t =
+          Ams_f2.create (Prng.create seed) ~dim:n
+            ~params:{ Ams_f2.rows = 4; reps = 3; hash_degree = 4 }
+        in
+        Ok (scalar (Linear_sketch.Packed.pack (module Ams_f2.Linear) t))
+    | other -> Error (Printf.sprintf "unknown family %S" other)
+
+let names = [ "agm"; "connectivity"; "l0_sampler"; "count_sketch"; "ams_f2" ]

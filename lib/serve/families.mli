@@ -1,0 +1,23 @@
+(** Family registry of the serving layer.
+
+    A served stream's sketch is a pure function of [(family, n, seed)] —
+    the three scalars in a [Create] frame and in every checkpoint record.
+    Client, server and recovery all call {!make} with the same triple, so
+    their sketches are wire-compatible (equal shape {e and} equal
+    seed-derived structure) and LSK1 envelopes flow between them. *)
+
+type made = {
+  packed : Ds_sketch.Linear_sketch.Packed.t;
+  agm : Ds_agm.Agm_sketch.t option;
+      (** the typed handle when [family = "agm"] — it shares state with
+          [packed]; per-copy checkpointing and degraded quorum decoding
+          need the repetition structure *)
+}
+
+val make : family:string -> n:int -> seed:int -> (made, string) result
+(** Families: ["agm"] (graph connectivity over [n] vertices, per-copy
+    durability and certified degraded decode), ["connectivity"],
+    ["l0_sampler"], ["count_sketch"], ["ams_f2"] (index space of size
+    [n]). [Error] names the unknown family or bad dimension. *)
+
+val names : string list

@@ -1,0 +1,469 @@
+open Ds_util
+
+type config = {
+  dir : string;
+  quota_words : int;
+  queue_bound : int;
+  drain_per_tick : int;
+  checkpoint_every : int;
+  max_frame : int;
+  retention : int;
+}
+
+let default_config ~dir =
+  {
+    dir;
+    quota_words = 4_000_000;
+    queue_bound = 256;
+    drain_per_tick = 128;
+    checkpoint_every = 256;
+    max_frame = 16 * 1024 * 1024;
+    retention = 2;
+  }
+
+type conn = {
+  cid : int;
+  reader : Frame_reader.t;
+  out : Buffer.t;
+  mutable out_pos : int;
+  mutable alive : bool;
+}
+
+type pending = {
+  p_conn : conn;
+  p_tenant : string;
+  p_stream : string;
+  p_seq : int;
+  p_payload : string;
+  p_arrival : int64;
+}
+
+type recovery_report = {
+  r_tenants : int;
+  r_streams : int;
+  r_quarantined : int;  (** generations + torn tmp files quarantined *)
+  r_degraded_copies : int;
+  r_ns : int64;
+}
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  queue : pending Queue.t;
+  mutable applied_since_checkpoint : int;
+  mutable next_conn_id : int;
+  mutable events : string list;  (* newest first *)
+  mutable recovery : recovery_report;
+}
+
+(* Metrics: registered once, cheap when disabled (one atomic load). *)
+let m_frames = Ds_obs.Metrics.counter "serve.ingest.frames"
+let m_applied = Ds_obs.Metrics.counter "serve.ingest.applied"
+let m_duplicate = Ds_obs.Metrics.counter "serve.ingest.duplicate"
+let m_latency = Ds_obs.Metrics.histogram "serve.ingest.latency_ns"
+let m_queue_depth = Ds_obs.Metrics.gauge "serve.queue.depth"
+let m_ckpt = Ds_obs.Metrics.counter "serve.checkpoint.generations"
+let m_ckpt_lag = Ds_obs.Metrics.gauge "serve.checkpoint.lag_frames"
+let m_quarantined = Ds_obs.Metrics.counter "serve.checkpoint.quarantined"
+let m_degraded = Ds_obs.Metrics.counter "serve.recovery.degraded_copies"
+
+let m_nack =
+  let kinds =
+    [
+      "overloaded";
+      "quota_exceeded";
+      "unknown_stream";
+      "stream_exists";
+      "unknown_family";
+      "bad_seq";
+      "bad_frame";
+    ]
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace tbl k (Ds_obs.Metrics.counter ("serve.nack." ^ k))) kinds;
+  fun reason -> Hashtbl.find tbl (Sframe.nack_name reason)
+
+let event t fmt = Printf.ksprintf (fun m -> t.events <- m :: t.events) fmt
+let events t = List.rev t.events
+let recovery_report t = t.recovery
+let registry t = t.registry
+let config t = t.config
+
+(* ------------------------------------------------------------------ *)
+(* Durability                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let checkpoint_tenant t (tn : Registry.tenant) =
+  let generation = max tn.Registry.generation tn.Registry.max_gen_seen + 1 in
+  let records = Registry.records_of_tenant tn in
+  Checkpoint.write ~dir:t.config.dir ~tenant:tn.Registry.t_name ~generation records;
+  Registry.mark_durable tn ~generation;
+  Checkpoint.prune ~dir:t.config.dir ~tenant:tn.Registry.t_name ~keep:t.config.retention;
+  Ds_obs.Metrics.incr m_ckpt 1;
+  if Ds_obs.Metrics.enabled () then begin
+    Ds_obs.Metrics.set
+      (Ds_obs.Metrics.gauge ("serve.tenant.words." ^ tn.Registry.t_name))
+      tn.Registry.words;
+    (* The per-tenant budget enforced at admission, recorded against the
+       measured footprint: the ledger constant is words/quota <= 1. *)
+    Ds_obs.Ledger.record
+      ~phase:("serve." ^ tn.Registry.t_name)
+      ~words:tn.Registry.words
+      (float_of_int (Registry.quota_words t.registry))
+  end;
+  event t "checkpoint: tenant %s generation %d (%d streams, %d words)" tn.Registry.t_name
+    generation
+    (Hashtbl.length tn.Registry.streams)
+    tn.Registry.words;
+  generation
+
+let checkpoint_now t =
+  List.iter (fun tn -> ignore (checkpoint_tenant t tn)) (Registry.dirty_tenants t.registry);
+  t.applied_since_checkpoint <- 0;
+  Ds_obs.Metrics.set m_ckpt_lag 0
+
+let total_lag t =
+  let lag = ref 0 in
+  Registry.iter_tenants t.registry (fun tn -> lag := !lag + Registry.checkpoint_lag tn);
+  !lag
+
+let recover t =
+  let t0 = Ds_obs.Clock.now_ns () in
+  let quarantined = ref 0 and degraded = ref 0 and tenants = ref 0 and streams = ref 0 in
+  List.iter
+    (fun tenant ->
+      let tmp = Checkpoint.quarantine_tmp ~dir:t.config.dir ~tenant in
+      if tmp > 0 then begin
+        quarantined := !quarantined + tmp;
+        event t "quarantine: tenant %s: %d torn tmp file(s) from a crashed writer" tenant tmp
+      end;
+      let rec try_gens = function
+        | [] -> ()
+        | g :: older -> (
+            let path = Checkpoint.gen_path ~dir:t.config.dir ~tenant ~generation:g in
+            let fail reason =
+              Checkpoint.quarantine path;
+              incr quarantined;
+              event t "quarantine: %s: %s" path reason;
+              Registry.remove_tenant t.registry tenant;
+              try_gens older
+            in
+            match Checkpoint.read path with
+            | Error reason -> fail reason
+            | Ok (gen, tenant_in_file, records) ->
+                if tenant_in_file <> tenant then fail "tenant name mismatch"
+                else begin
+                  Registry.remove_tenant t.registry tenant;
+                  let rec load lost = function
+                    | [] -> Ok lost
+                    | r :: rest -> (
+                        match Registry.load_record t.registry ~tenant r with
+                        | Ok l -> load (lost + l) rest
+                        | Error m ->
+                            Error (Printf.sprintf "stream %s: %s" r.Checkpoint.r_stream m))
+                  in
+                  match load 0 records with
+                  | Error reason -> fail reason
+                  | Ok lost ->
+                      let tn = Registry.get_or_add_tenant t.registry tenant in
+                      tn.Registry.generation <- gen;
+                      tn.Registry.max_gen_seen <- Checkpoint.max_seen ~dir:t.config.dir ~tenant;
+                      tn.Registry.dirty <- false;
+                      incr tenants;
+                      streams := !streams + Hashtbl.length tn.Registry.streams;
+                      degraded := !degraded + lost;
+                      if lost > 0 then
+                        event t
+                          "degraded: tenant %s generation %d lost %d AGM cop(ies); serving \
+                           certified deltas from the surviving quorum"
+                          tenant gen lost;
+                      event t "recovered: tenant %s at generation %d (%d streams)" tenant gen
+                        (Hashtbl.length tn.Registry.streams)
+                end)
+      in
+      try_gens (Checkpoint.generations ~dir:t.config.dir ~tenant))
+    (Checkpoint.tenants ~dir:t.config.dir);
+  Ds_obs.Metrics.incr m_quarantined !quarantined;
+  Ds_obs.Metrics.incr m_degraded !degraded;
+  t.recovery <-
+    {
+      r_tenants = !tenants;
+      r_streams = !streams;
+      r_quarantined = !quarantined;
+      r_degraded_copies = !degraded;
+      r_ns = Ds_obs.Clock.elapsed_ns t0;
+    }
+
+let create config =
+  let t =
+    {
+      config;
+      registry = Registry.create ~quota_words:config.quota_words;
+      queue = Queue.create ();
+      applied_since_checkpoint = 0;
+      next_conn_id = 0;
+      events = [];
+      recovery =
+        { r_tenants = 0; r_streams = 0; r_quarantined = 0; r_degraded_copies = 0; r_ns = 0L };
+    }
+  in
+  recover t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Transport-agnostic request processing                               *)
+(* ------------------------------------------------------------------ *)
+
+let connect t =
+  let cid = t.next_conn_id in
+  t.next_conn_id <- cid + 1;
+  {
+    cid;
+    reader = Frame_reader.create ~max_frame:t.config.max_frame ();
+    out = Buffer.create 1024;
+    out_pos = 0;
+    alive = true;
+  }
+
+let conn_failed c = (not c.alive) || Frame_reader.failed c.reader <> None
+
+let respond c resp = Buffer.add_string c.out (Sframe.frame (Sframe.encode_response resp))
+
+let nack c ~seq reason =
+  Ds_obs.Metrics.incr (m_nack reason) 1;
+  respond c (Sframe.Nack { seq; reason })
+
+let take_output c =
+  let s = Buffer.sub c.out c.out_pos (Buffer.length c.out - c.out_pos) in
+  Buffer.clear c.out;
+  c.out_pos <- 0;
+  s
+
+let pending_depth t = Queue.length t.queue
+
+let handle t c (req : Sframe.request) =
+  match req with
+  | Sframe.Ingest { tenant; stream; seq; payload } ->
+      Ds_obs.Metrics.incr m_frames 1;
+      let depth = Queue.length t.queue in
+      if depth >= t.config.queue_bound then
+        nack c ~seq (Sframe.Overloaded { queue_depth = depth; bound = t.config.queue_bound })
+      else begin
+        Queue.add
+          {
+            p_conn = c;
+            p_tenant = tenant;
+            p_stream = stream;
+            p_seq = seq;
+            p_payload = payload;
+            p_arrival = Ds_obs.Clock.now_ns ();
+          }
+          t.queue;
+        Ds_obs.Metrics.set m_queue_depth (depth + 1)
+      end
+  | Sframe.Create { tenant; stream; family; n; seed } -> (
+      match Registry.create_stream t.registry ~tenant ~stream ~family ~n ~seed with
+      | Ok s ->
+          respond c
+            (Sframe.Created { words = Ds_sketch.Linear_sketch.Packed.space_in_words s.packed })
+      | Error reason -> nack c ~seq:(-1) reason)
+  | Sframe.Query { tenant; stream } -> (
+      match Option.bind (Registry.find_tenant t.registry tenant) (fun tn ->
+                Registry.find_stream tn stream)
+      with
+      | Some s -> respond c (Registry.state s)
+      | None -> nack c ~seq:(-1) Sframe.Unknown_stream)
+  | Sframe.Seq_query { tenant; stream } -> (
+      match Option.bind (Registry.find_tenant t.registry tenant) (fun tn ->
+                Registry.find_stream tn stream)
+      with
+      | Some s ->
+          respond c
+            (Sframe.Seqs { applied_seq = s.Registry.applied_seq; durable_seq = s.Registry.durable_seq })
+      | None -> nack c ~seq:(-1) Sframe.Unknown_stream)
+  | Sframe.Flush { tenant } -> (
+      match Registry.find_tenant t.registry tenant with
+      | Some tn ->
+          let generation =
+            if tn.Registry.dirty then checkpoint_tenant t tn else tn.Registry.generation
+          in
+          respond c (Sframe.Flushed { generation })
+      | None -> nack c ~seq:(-1) Sframe.Unknown_stream)
+  | Sframe.Drop_copies { tenant; stream; copies } -> (
+      match Option.bind (Registry.find_tenant t.registry tenant) (fun tn ->
+                Registry.find_stream tn stream)
+      with
+      | Some s ->
+          let lost = Registry.drop_copies s copies in
+          event t "degraded: tenant %s stream %s marked %d cop(ies) lost" tenant stream lost;
+          respond c (Sframe.Dropped { copies_lost = lost })
+      | None -> nack c ~seq:(-1) Sframe.Unknown_stream)
+  | Sframe.Stats ->
+      let tenants, streams, applied_frames, words = Registry.stats t.registry in
+      respond c (Sframe.Stats_reply { tenants; streams; applied_frames; words })
+
+let feed t c bytes =
+  Frame_reader.feed c.reader bytes;
+  let rec loop () =
+    match Frame_reader.next c.reader with
+    | Error e ->
+        (* Length-prefix poisoned: the stream cannot resynchronise. *)
+        event t "conn %d: dropped: %s" c.cid (Wire.frame_error_to_string e);
+        c.alive <- false
+    | Ok None -> ()
+    | Ok (Some payload) ->
+        (match Sframe.decode_request payload with
+        | Ok req -> handle t c req
+        | Error m -> nack c ~seq:(-1) (Sframe.Bad_frame m));
+        loop ()
+  in
+  if c.alive then loop ()
+
+let apply_one t (p : pending) =
+  match
+    Option.bind (Registry.find_tenant t.registry p.p_tenant) (fun tn ->
+        Registry.find_stream tn p.p_stream)
+  with
+  | None -> if p.p_conn.alive then nack p.p_conn ~seq:p.p_seq Sframe.Unknown_stream
+  | Some s -> (
+      match Registry.apply s ~seq:p.p_seq ~payload:p.p_payload with
+      | Ok applied ->
+          (match applied with
+          | Registry.Applied ->
+              (Registry.get_or_add_tenant t.registry p.p_tenant).Registry.dirty <- true;
+              t.applied_since_checkpoint <- t.applied_since_checkpoint + 1;
+              Ds_obs.Metrics.incr m_applied 1
+          | Registry.Duplicate -> Ds_obs.Metrics.incr m_duplicate 1);
+          Ds_obs.Metrics.observe m_latency
+            (Int64.to_int (Ds_obs.Clock.elapsed_ns p.p_arrival));
+          if p.p_conn.alive then
+            respond p.p_conn
+              (Sframe.Ack { seq = p.p_seq; durable_seq = s.Registry.durable_seq })
+      | Error reason -> if p.p_conn.alive then nack p.p_conn ~seq:p.p_seq reason)
+
+let drain t =
+  let budget = ref t.config.drain_per_tick in
+  while !budget > 0 && not (Queue.is_empty t.queue) do
+    apply_one t (Queue.pop t.queue);
+    decr budget
+  done;
+  Ds_obs.Metrics.set m_queue_depth (Queue.length t.queue);
+  Ds_obs.Metrics.set m_ckpt_lag (total_lag t);
+  if t.applied_since_checkpoint >= t.config.checkpoint_every then checkpoint_now t
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain-socket accept/ingest loop                               *)
+(* ------------------------------------------------------------------ *)
+
+let stop_requested = ref false
+
+let install_signal_handlers () =
+  let h = Sys.Signal_handle (fun _ -> stop_requested := true) in
+  (try Sys.set_signal Sys.sigterm h with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint h with Invalid_argument _ -> ());
+  (* Writing to a client that vanished must be EPIPE (we close the
+     conn), not process death. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let run_unix t ~socket_path ?(tick = 0.02) ?max_ticks () =
+  stop_requested := false;
+  install_signal_handlers ();
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 64;
+  Unix.set_nonblock listener;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 64 in
+  let close_fd fd =
+    (match Hashtbl.find_opt conns fd with
+    | Some c -> c.alive <- false
+    | None -> ());
+    Hashtbl.remove conns fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let r = t.recovery in
+  Fmt.pr "serve: recovered %d tenant(s), %d stream(s), %d quarantined, %d degraded copies in \
+          %.1f ms@."
+    r.r_tenants r.r_streams r.r_quarantined r.r_degraded_copies
+    (Int64.to_float r.r_ns /. 1e6);
+  Fmt.pr "serve: listening on %s@." socket_path;
+  Format.pp_print_flush Format.std_formatter ();
+  let buf = Bytes.create 65536 in
+  let ticks = ref 0 in
+  let finished () =
+    match max_ticks with Some m -> !ticks >= m | None -> false
+  in
+  (try
+     while (not !stop_requested) && not (finished ()) do
+       incr ticks;
+       let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+       let writable =
+         Hashtbl.fold
+           (fun fd c acc -> if Buffer.length c.out > c.out_pos then fd :: acc else acc)
+           conns []
+       in
+       let readable, writable, _ =
+         try Unix.select (listener :: fds) writable [] tick
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+       in
+       List.iter
+         (fun fd ->
+           if fd = listener then begin
+             let continue = ref true in
+             while !continue do
+               match Unix.accept listener with
+               | client, _ ->
+                   Unix.set_nonblock client;
+                   Hashtbl.replace conns client (connect t)
+               | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                   continue := false
+               | exception Unix.Unix_error _ -> continue := false
+             done
+           end
+           else
+             match Hashtbl.find_opt conns fd with
+             | None -> ()
+             | Some c -> (
+                 match Unix.read fd buf 0 (Bytes.length buf) with
+                 | 0 -> close_fd fd
+                 | n -> feed t c (Bytes.sub_string buf 0 n)
+                 | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+                 | exception Unix.Unix_error _ -> close_fd fd))
+         readable;
+       drain t;
+       List.iter
+         (fun fd ->
+           match Hashtbl.find_opt conns fd with
+           | None -> ()
+           | Some c -> (
+               let len = Buffer.length c.out - c.out_pos in
+               if len > 0 then
+                 match Unix.write_substring fd (Buffer.sub c.out c.out_pos len) 0 len with
+                 | n ->
+                     c.out_pos <- c.out_pos + n;
+                     if c.out_pos = Buffer.length c.out then begin
+                       Buffer.clear c.out;
+                       c.out_pos <- 0
+                     end
+                 | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+                 | exception Unix.Unix_error _ -> close_fd fd))
+         writable;
+       (* Poisoned connections are closed once their NACKs have flushed. *)
+       Hashtbl.iter
+         (fun fd c ->
+           if conn_failed c && Buffer.length c.out <= c.out_pos then close_fd fd)
+         (Hashtbl.copy conns)
+     done
+   with e ->
+     Unix.close listener;
+     raise e);
+  (* Graceful exit (SIGTERM/SIGINT or max_ticks): drain what is queued
+     and make it durable — only kill -9 loses the undurable suffix, and
+     that suffix is exactly what clients replay by linearity. *)
+  while not (Queue.is_empty t.queue) do
+    drain t
+  done;
+  checkpoint_now t;
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns;
+  Unix.close listener;
+  try Unix.unlink socket_path with Unix.Unix_error _ -> ()

@@ -1,0 +1,301 @@
+open Ds_util
+
+type nack =
+  | Overloaded of { queue_depth : int; bound : int }
+  | Quota_exceeded of { used_words : int; budget_words : int }
+  | Unknown_stream
+  | Stream_exists
+  | Unknown_family of string
+  | Bad_seq of { expected : int; got : int }
+  | Bad_frame of string
+
+type request =
+  | Create of { tenant : string; stream : string; family : string; n : int; seed : int }
+  | Ingest of { tenant : string; stream : string; seq : int; payload : string }
+  | Query of { tenant : string; stream : string }
+  | Seq_query of { tenant : string; stream : string }
+  | Flush of { tenant : string }
+  | Drop_copies of { tenant : string; stream : string; copies : int list }
+  | Stats
+
+type response =
+  | Created of { words : int }
+  | Ack of { seq : int; durable_seq : int }
+  | Nack of { seq : int; reason : nack }
+  | State of {
+      payload : string;
+      applied_seq : int;
+      copies_total : int;
+      copies_lost : int;
+      certified_delta : float;
+    }
+  | Seqs of { applied_seq : int; durable_seq : int }
+  | Flushed of { generation : int }
+  | Stats_reply of { tenants : int; streams : int; applied_frames : int; words : int }
+  | Dropped of { copies_lost : int }
+
+let nack_name = function
+  | Overloaded _ -> "overloaded"
+  | Quota_exceeded _ -> "quota_exceeded"
+  | Unknown_stream -> "unknown_stream"
+  | Stream_exists -> "stream_exists"
+  | Unknown_family _ -> "unknown_family"
+  | Bad_seq _ -> "bad_seq"
+  | Bad_frame _ -> "bad_frame"
+
+(* Overload and decode failures are transient from the client's point of
+   view (back off, re-send the same bytes); the rest mean the client's
+   model of the registry is wrong and retrying the identical frame can
+   never succeed. *)
+let nack_retryable = function
+  | Overloaded _ | Bad_frame _ -> true
+  | Quota_exceeded _ | Unknown_stream | Stream_exists | Unknown_family _ | Bad_seq _ ->
+      false
+
+let pp_nack ppf = function
+  | Overloaded { queue_depth; bound } ->
+      Format.fprintf ppf "overloaded(depth %d/%d)" queue_depth bound
+  | Quota_exceeded { used_words; budget_words } ->
+      Format.fprintf ppf "quota_exceeded(%d/%d words)" used_words budget_words
+  | Unknown_stream -> Format.fprintf ppf "unknown_stream"
+  | Stream_exists -> Format.fprintf ppf "stream_exists"
+  | Unknown_family f -> Format.fprintf ppf "unknown_family(%s)" f
+  | Bad_seq { expected; got } -> Format.fprintf ppf "bad_seq(expected %d, got %d)" expected got
+  | Bad_frame m -> Format.fprintf ppf "bad_frame(%s)" m
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every frame payload is  tag "SRV1" . kind byte . fields . fixed64
+   FNV-1a of all preceding bytes.  The checksum is verified before any
+   field is interpreted, mirroring the LSK1 envelope discipline: a
+   corrupted frame is a typed decode error, never garbage state. *)
+
+let magic = "SRV1"
+
+let finish buf =
+  let body = Wire.contents buf in
+  Wire.write_fixed64 buf (Wire.fnv1a64 body);
+  Wire.contents buf
+
+let checked msg =
+  let len = String.length msg in
+  if len < 8 then Error "frame shorter than its checksum"
+  else
+    let body_len = len - 8 in
+    let declared = Wire.read_fixed64 (Wire.source (String.sub msg body_len 8)) in
+    if Wire.fnv1a64 ~pos:0 ~len:body_len msg <> declared then Error "frame checksum mismatch"
+    else Ok (String.sub msg 0 body_len)
+
+let write_header buf kind =
+  Wire.write_tag buf magic;
+  Wire.write_int buf kind
+
+let encode_request r =
+  let buf = Wire.sink () in
+  (match r with
+  | Create { tenant; stream; family; n; seed } ->
+      write_header buf 1;
+      Wire.write_tag buf tenant;
+      Wire.write_tag buf stream;
+      Wire.write_tag buf family;
+      Wire.write_int buf n;
+      Wire.write_int buf seed
+  | Ingest { tenant; stream; seq; payload } ->
+      write_header buf 2;
+      Wire.write_tag buf tenant;
+      Wire.write_tag buf stream;
+      Wire.write_int buf seq;
+      Wire.write_tag buf payload
+  | Query { tenant; stream } ->
+      write_header buf 3;
+      Wire.write_tag buf tenant;
+      Wire.write_tag buf stream
+  | Seq_query { tenant; stream } ->
+      write_header buf 4;
+      Wire.write_tag buf tenant;
+      Wire.write_tag buf stream
+  | Flush { tenant } ->
+      write_header buf 5;
+      Wire.write_tag buf tenant
+  | Drop_copies { tenant; stream; copies } ->
+      write_header buf 6;
+      Wire.write_tag buf tenant;
+      Wire.write_tag buf stream;
+      Wire.write_array buf (Array.of_list copies)
+  | Stats -> write_header buf 7);
+  finish buf
+
+let encode_nack buf = function
+  | Overloaded { queue_depth; bound } ->
+      Wire.write_int buf 1;
+      Wire.write_int buf queue_depth;
+      Wire.write_int buf bound
+  | Quota_exceeded { used_words; budget_words } ->
+      Wire.write_int buf 2;
+      Wire.write_int buf used_words;
+      Wire.write_int buf budget_words
+  | Unknown_stream -> Wire.write_int buf 3
+  | Stream_exists -> Wire.write_int buf 4
+  | Unknown_family f ->
+      Wire.write_int buf 5;
+      Wire.write_tag buf f
+  | Bad_seq { expected; got } ->
+      Wire.write_int buf 6;
+      Wire.write_int buf expected;
+      Wire.write_int buf got
+  | Bad_frame m ->
+      Wire.write_int buf 7;
+      Wire.write_tag buf m
+
+let encode_response r =
+  let buf = Wire.sink () in
+  (match r with
+  | Created { words } ->
+      write_header buf 64;
+      Wire.write_int buf words
+  | Ack { seq; durable_seq } ->
+      write_header buf 65;
+      Wire.write_int buf seq;
+      Wire.write_int buf durable_seq
+  | Nack { seq; reason } ->
+      write_header buf 66;
+      Wire.write_int buf seq;
+      encode_nack buf reason
+  | State { payload; applied_seq; copies_total; copies_lost; certified_delta } ->
+      write_header buf 67;
+      Wire.write_tag buf payload;
+      Wire.write_int buf applied_seq;
+      Wire.write_int buf copies_total;
+      Wire.write_int buf copies_lost;
+      Wire.write_fixed64 buf (Int64.bits_of_float certified_delta)
+  | Seqs { applied_seq; durable_seq } ->
+      write_header buf 68;
+      Wire.write_int buf applied_seq;
+      Wire.write_int buf durable_seq
+  | Flushed { generation } ->
+      write_header buf 69;
+      Wire.write_int buf generation
+  | Stats_reply { tenants; streams; applied_frames; words } ->
+      write_header buf 70;
+      Wire.write_int buf tenants;
+      Wire.write_int buf streams;
+      Wire.write_int buf applied_frames;
+      Wire.write_int buf words
+  | Dropped { copies_lost } ->
+      write_header buf 71;
+      Wire.write_int buf copies_lost);
+  finish buf
+
+let decode_header src =
+  let got = Wire.read_tag src in
+  if got <> magic then failwith (Printf.sprintf "not an SRV1 frame (magic %S)" got);
+  Wire.read_int src
+
+let decode_guard f msg =
+  match checked msg with
+  | Error e -> Error e
+  | Ok body -> (
+      let src = Wire.source body in
+      match f src with
+      | v ->
+          if Wire.remaining src <> 0 then
+            Error (Printf.sprintf "%d trailing bytes" (Wire.remaining src))
+          else Ok v
+      | exception Failure m -> Error m)
+
+let decode_request msg =
+  decode_guard
+    (fun src ->
+      match decode_header src with
+      | 1 ->
+          let tenant = Wire.read_tag src in
+          let stream = Wire.read_tag src in
+          let family = Wire.read_tag src in
+          let n = Wire.read_int src in
+          let seed = Wire.read_int src in
+          Create { tenant; stream; family; n; seed }
+      | 2 ->
+          let tenant = Wire.read_tag src in
+          let stream = Wire.read_tag src in
+          let seq = Wire.read_int src in
+          let payload = Wire.read_tag src in
+          Ingest { tenant; stream; seq; payload }
+      | 3 ->
+          let tenant = Wire.read_tag src in
+          let stream = Wire.read_tag src in
+          Query { tenant; stream }
+      | 4 ->
+          let tenant = Wire.read_tag src in
+          let stream = Wire.read_tag src in
+          Seq_query { tenant; stream }
+      | 5 -> Flush { tenant = Wire.read_tag src }
+      | 6 ->
+          let tenant = Wire.read_tag src in
+          let stream = Wire.read_tag src in
+          let copies = Array.to_list (Wire.read_array src) in
+          Drop_copies { tenant; stream; copies }
+      | 7 -> Stats
+      | k -> failwith (Printf.sprintf "unknown request kind %d" k))
+    msg
+
+let decode_nack src =
+  match Wire.read_int src with
+  | 1 ->
+      let queue_depth = Wire.read_int src in
+      let bound = Wire.read_int src in
+      Overloaded { queue_depth; bound }
+  | 2 ->
+      let used_words = Wire.read_int src in
+      let budget_words = Wire.read_int src in
+      Quota_exceeded { used_words; budget_words }
+  | 3 -> Unknown_stream
+  | 4 -> Stream_exists
+  | 5 -> Unknown_family (Wire.read_tag src)
+  | 6 ->
+      let expected = Wire.read_int src in
+      let got = Wire.read_int src in
+      Bad_seq { expected; got }
+  | 7 -> Bad_frame (Wire.read_tag src)
+  | k -> failwith (Printf.sprintf "unknown nack kind %d" k)
+
+let decode_response msg =
+  decode_guard
+    (fun src ->
+      match decode_header src with
+      | 64 -> Created { words = Wire.read_int src }
+      | 65 ->
+          let seq = Wire.read_int src in
+          let durable_seq = Wire.read_int src in
+          Ack { seq; durable_seq }
+      | 66 ->
+          let seq = Wire.read_int src in
+          let reason = decode_nack src in
+          Nack { seq; reason }
+      | 67 ->
+          let payload = Wire.read_tag src in
+          let applied_seq = Wire.read_int src in
+          let copies_total = Wire.read_int src in
+          let copies_lost = Wire.read_int src in
+          let certified_delta = Int64.float_of_bits (Wire.read_fixed64 src) in
+          State { payload; applied_seq; copies_total; copies_lost; certified_delta }
+      | 68 ->
+          let applied_seq = Wire.read_int src in
+          let durable_seq = Wire.read_int src in
+          Seqs { applied_seq; durable_seq }
+      | 69 -> Flushed { generation = Wire.read_int src }
+      | 70 ->
+          let tenants = Wire.read_int src in
+          let streams = Wire.read_int src in
+          let applied_frames = Wire.read_int src in
+          let words = Wire.read_int src in
+          Stats_reply { tenants; streams; applied_frames; words }
+      | 71 -> Dropped { copies_lost = Wire.read_int src }
+      | k -> failwith (Printf.sprintf "unknown response kind %d" k))
+    msg
+
+let frame msg =
+  let buf = Buffer.create (String.length msg + 4) in
+  Wire.write_frame buf msg;
+  Buffer.contents buf

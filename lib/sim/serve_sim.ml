@@ -1,0 +1,389 @@
+open Ds_util
+open Ds_serve
+open Ds_fault
+
+(* A deterministic, socket-free drive of the serve stack: the simulated
+   clients feed SRV1 bytes straight into {!Ds_serve.Server}'s transport-
+   agnostic core through {!Ds_fault.Fault_plan}'s connection-fault
+   channel, and seeded kill -9 events discard the live server (queued
+   frames, buffers and all) and recover a fresh one from the checkpoint
+   store.  Every quantity in the report is a pure function of
+   (workload seed, plan seed, knobs) — the chaos sweep in E19 diffs
+   reports across reruns to prove it. *)
+
+type report = {
+  sv_streams : int;
+  sv_frames : int;  (** distinct ingest frames in the workload *)
+  sv_sends : int;  (** send attempts, including faulted and replayed *)
+  sv_acked : int;  (** distinct frames acknowledged *)
+  sv_conn_faults : int;
+  sv_conn_faults_by_kind : (string * int) list;
+      (** counts in {!Ds_fault.Fault_plan.conn_kind_names} order *)
+  sv_overloaded : int;  (** [Overloaded] NACKs received (then retried) *)
+  sv_duplicate_acks : int;  (** acks for frames already applied *)
+  sv_crashes : int;
+  sv_torn : int;  (** generation files deliberately torn before recovery *)
+  sv_quarantined : int;  (** files quarantined across all recoveries *)
+  sv_degraded_copies : int;
+  sv_replayed : int;  (** frames re-sent from client ledgers after recovery *)
+  sv_reconnects : int;
+  sv_generations : int;  (** durable generations written *)
+  sv_final_match : bool;
+      (** every stream's final envelope is bit-identical to the seeded
+          mirror — the paper's linearity guarantee, end to end *)
+}
+
+type client_stream = {
+  spec : Loadgen.stream_spec;
+  payloads : string array;
+  mutable conn : Server.conn;
+  reader : Frame_reader.t ref;  (* client-side response framing *)
+  mutable next : int;  (* next frame index to send (0-based) *)
+  mutable acked : int;  (* highest contiguous acked seq *)
+  unacked : (int, string) Hashtbl.t;
+  mutable inflight : int option;  (* seq awaiting a response *)
+}
+
+let fresh_conn server cs =
+  cs.conn <- Server.connect server;
+  cs.reader := Frame_reader.create ()
+
+(* Pull every complete response currently buffered on the stream's
+   connection. *)
+let responses cs =
+  Frame_reader.feed !(cs.reader) (Server.take_output cs.conn);
+  let rec go acc =
+    match Frame_reader.next !(cs.reader) with
+    | Ok (Some payload) -> (
+        match Sframe.decode_response payload with
+        | Ok r -> go (r :: acc)
+        | Error m -> failwith ("serve_sim: response decode: " ^ m))
+    | Ok None -> List.rev acc
+    | Error e -> failwith ("serve_sim: response framing: " ^ Wire.frame_error_to_string e)
+  in
+  go []
+
+let rpc server cs req =
+  Server.feed server cs.conn (Sframe.frame (Sframe.encode_request req));
+  Server.drain server;
+  match responses cs with
+  | [ r ] -> r
+  | rs -> failwith (Printf.sprintf "serve_sim: expected 1 response, got %d" (List.length rs))
+
+let run ?(crash_every = 0) ?(tear_on_crash = false) ?(queue_bound = 32) ?(drain_per_tick = 8)
+    ?(checkpoint_every = 64) ?(burst = 4) ~plan:fault_plan ~dir (workload : Loadgen.plan) =
+  let tear_rng = Prng.split_named (Prng.create workload.Loadgen.p_seed) "serve_sim_tear" in
+  let config =
+    {
+      (Server.default_config ~dir) with
+      Server.queue_bound;
+      drain_per_tick;
+      checkpoint_every;
+      quota_words = 16_000_000;
+    }
+  in
+  let server = ref (Server.create config) in
+  let specs = Array.of_list workload.Loadgen.p_specs in
+  let sends = ref 0 in
+  let conn_faults = ref 0 in
+  let fault_counts = Hashtbl.create 4 in
+  let overloaded = ref 0 in
+  let dup_acks = ref 0 in
+  let crashes = ref 0 in
+  let torn = ref 0 in
+  let quarantined = ref 0 in
+  let degraded = ref 0 in
+  let replayed = ref 0 in
+  let reconnects = ref 0 in
+  let acked_total = ref 0 in
+  let streams =
+    Array.map
+      (fun spec ->
+        {
+          spec;
+          payloads = Array.of_list (Loadgen.batches spec);
+          conn = Server.connect !server;
+          reader = ref (Frame_reader.create ());
+          next = 0;
+          acked = 0;
+          unacked = Hashtbl.create 16;
+          inflight = None;
+        })
+      specs
+  in
+  let create_stream cs =
+    let s = cs.spec in
+    match
+      rpc !server cs
+        (Sframe.Create
+           {
+             tenant = s.Loadgen.l_tenant;
+             stream = s.Loadgen.l_stream;
+             family = s.Loadgen.l_family;
+             n = s.Loadgen.l_n;
+             seed = s.Loadgen.l_seed;
+           })
+    with
+    | Sframe.Created _ -> ()
+    | Sframe.Nack { reason; _ } ->
+        failwith (Format.asprintf "serve_sim: create: %a" Sframe.pp_nack reason)
+    | _ -> failwith "serve_sim: create: unexpected response"
+  in
+  Array.iter create_stream streams;
+  (* Client-side bookkeeping for one response on this stream's conn. *)
+  let note_response cs = function
+    | Sframe.Ack { seq; durable_seq } ->
+        if seq <= cs.acked then incr dup_acks
+        else begin
+          cs.acked <- seq;
+          incr acked_total
+        end;
+        Hashtbl.iter
+          (fun k _ -> if k <= durable_seq then Hashtbl.remove cs.unacked k)
+          (Hashtbl.copy cs.unacked);
+        if cs.inflight = Some seq then cs.inflight <- None
+    | Sframe.Nack { seq; reason = Sframe.Overloaded _ } ->
+        incr overloaded;
+        (* Roll the cursor back; the frame re-enters the send loop. *)
+        if cs.inflight = Some seq then begin
+          cs.inflight <- None;
+          cs.next <- cs.next - 1
+        end
+    | Sframe.Nack { reason; _ } ->
+        failwith (Format.asprintf "serve_sim: ingest: %a" Sframe.pp_nack reason)
+    | _ -> failwith "serve_sim: unexpected response on ingest conn"
+  in
+  let pump cs = List.iter (note_response cs) (responses cs) in
+  (* Send one ingest frame through the connection-fault channel.  A
+     stalled or closed connection delivers a strict prefix and then
+     reconnects and re-sends — drawn per (server=stream, message,
+     attempt) so the whole schedule is replayable. *)
+  let send_frame cs ~seq ~payload =
+    let s = cs.spec in
+    let msg =
+      Sframe.frame
+        (Sframe.encode_request
+           (Sframe.Ingest
+              {
+                tenant = s.Loadgen.l_tenant;
+                stream = s.Loadgen.l_stream;
+                seq;
+                payload;
+              }))
+    in
+    let stream_id = Hashtbl.hash (s.Loadgen.l_tenant, s.Loadgen.l_stream) land 0xFFFF in
+    let message = seq in
+    let rec attempt_loop attempt =
+      incr sends;
+      let fault = Fault_plan.draw_conn fault_plan ~server:stream_id ~message ~attempt in
+      (match fault with
+      | Some f ->
+          incr conn_faults;
+          let name = Fault_plan.conn_fault_name f in
+          Hashtbl.replace fault_counts name
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fault_counts name))
+      | None -> ());
+      let rng = Fault_plan.conn_rng fault_plan ~server:stream_id ~message ~attempt in
+      match Fault_plan.apply_conn rng fault msg with
+      | Fault_plan.Conn_delivered m -> Server.feed !server cs.conn m
+      | Fault_plan.Conn_reordered_dup m ->
+          (* The frame arrives, and its ghost arrives again right after:
+             the watermark makes the second copy a duplicate ack. *)
+          Server.feed !server cs.conn m;
+          Server.feed !server cs.conn m
+      | Fault_plan.Conn_prefix_stall p | Fault_plan.Conn_prefix_close p ->
+          (* The tail never arrives; the connection is dead.  Feeding a
+             later frame after a partial one would desynchronise the
+             length-prefix stream, so the client reconnects and
+             re-sends the same frame. *)
+          Server.feed !server cs.conn p;
+          fresh_conn !server cs;
+          incr reconnects;
+          attempt_loop (attempt + 1)
+    in
+    attempt_loop 0;
+    cs.inflight <- Some seq
+  in
+  (* Resync one stream against a freshly recovered server: ask the
+     watermark, replay the unacked suffix by linearity. *)
+  let resync cs =
+    fresh_conn !server cs;
+    incr reconnects;
+    let s = cs.spec in
+    match
+      rpc !server cs
+        (Sframe.Seq_query { tenant = s.Loadgen.l_tenant; stream = s.Loadgen.l_stream })
+    with
+    | Sframe.Seqs { applied_seq; _ } ->
+        cs.acked <- applied_seq;
+        cs.inflight <- None;
+        cs.next <- applied_seq;
+        (* applied_seq frames are durable on the recovered server;
+           frames above it re-enter the send loop from the retained
+           payload array (the unacked ledger's job in the socket
+           client; the sim keeps every payload, so it replays from the
+           array and counts what a real client would have re-sent). *)
+        Hashtbl.iter
+          (fun k _ ->
+            if k <= applied_seq then Hashtbl.remove cs.unacked k else incr replayed)
+          (Hashtbl.copy cs.unacked);
+        Hashtbl.reset cs.unacked
+    | Sframe.Nack { reason = Sframe.Unknown_stream; _ } ->
+        (* No generation ever became durable: recreate and replay all. *)
+        create_stream cs;
+        replayed := !replayed + cs.acked;
+        cs.acked <- 0;
+        cs.inflight <- None;
+        cs.next <- 0;
+        Hashtbl.reset cs.unacked
+    | _ -> failwith "serve_sim: resync: unexpected response"
+  in
+  let tear_newest () =
+    (* Simulated disk corruption: truncate the newest durable generation
+       at a seeded offset, so the next recovery must quarantine it and
+       fall back — without ever decoding the torn bytes. *)
+    let newest = ref None in
+    List.iter
+      (fun tenant ->
+        match Checkpoint.generations ~dir ~tenant with
+        | g :: _ -> (
+            let path = Checkpoint.gen_path ~dir ~tenant ~generation:g in
+            match !newest with
+            | Some (_, g') when g' >= g -> ()
+            | _ -> newest := Some (path, g))
+        | [] -> ())
+      (Checkpoint.tenants ~dir);
+    match !newest with
+    | None -> false
+    | Some (path, _) ->
+        let len = (Unix.stat path).Unix.st_size in
+        if len <= 1 then false
+        else begin
+          let keep = 1 + Prng.int tear_rng (len - 1) in
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Unix.ftruncate fd keep;
+          Unix.close fd;
+          true
+        end
+  in
+  let crash () =
+    incr crashes;
+    (* kill -9: the live server vanishes — ingest queue, connection
+       buffers, dirty registry state, everything not on disk. *)
+    if tear_on_crash && tear_newest () then incr torn;
+    server := Server.create config;
+    let r = Server.recovery_report !server in
+    quarantined := !quarantined + r.Server.r_quarantined;
+    degraded := !degraded + r.Server.r_degraded_copies;
+    Array.iter resync streams
+  in
+  let total_gens () =
+    List.fold_left
+      (fun acc tenant ->
+        match Checkpoint.generations ~dir ~tenant with g :: _ -> acc + g | [] -> acc)
+      0
+      (Checkpoint.tenants ~dir)
+  in
+  let next_crash = ref (if crash_every > 0 then crash_every else max_int) in
+  (* Progress gate: a crash must have fresh durable state to destroy, or
+     an aggressive cadence (crash_every below the checkpoint interval,
+     with tearing) regresses the watermark every cycle and the replay
+     loop never terminates.  One checkpoint event writes every dirty
+     tenant, so generation counts are demanded per tenant: one event's
+     worth since the last crash — two when tearing, so the fall-back
+     generation was cut in the {e current} cycle and the torn tenant's
+     watermark still nets forward.  This keeps every parameterisation
+     convergent without changing the schedule's determinism. *)
+  let gens_needed () =
+    let tenants = max 1 (List.length (Checkpoint.tenants ~dir)) in
+    tenants * if tear_on_crash then 2 else 1
+  in
+  let gens_at_crash = ref (total_gens ()) in
+  let remaining () =
+    Array.exists (fun cs -> cs.next < Array.length cs.payloads || cs.inflight <> None) streams
+  in
+  (* [burst] throttles draining: the server only applies queued frames
+     every [burst] rounds, so with many streams the bounded queue
+     genuinely fills between drains and [Overloaded] NACKs fire. *)
+  let round = ref 0 in
+  while remaining () do
+    incr round;
+    Array.iter
+      (fun cs ->
+        if cs.inflight = None && cs.next < Array.length cs.payloads then begin
+          let seq = cs.next + 1 in
+          let payload = cs.payloads.(cs.next) in
+          cs.next <- seq;
+          Hashtbl.replace cs.unacked seq payload;
+          send_frame cs ~seq ~payload
+        end)
+      streams;
+    if !round mod burst = 0 then Server.drain !server;
+    Array.iter pump streams;
+    if !acked_total >= !next_crash && total_gens () >= !gens_at_crash + gens_needed () then begin
+      next_crash := !acked_total + crash_every;
+      crash ();
+      gens_at_crash := total_gens ()
+    end
+  done;
+  (* Settle: apply every straggler (duplicate ghosts included), force
+     durability, then compare every envelope to the seeded mirror at
+     full depth on fresh connections. *)
+  while Server.pending_depth !server > 0 do
+    Server.drain !server
+  done;
+  Array.iter pump streams;
+  Server.checkpoint_now !server;
+  let final_match = ref true in
+  Array.iter
+    (fun cs ->
+      fresh_conn !server cs;
+      let s = cs.spec in
+      match
+        rpc !server cs
+          (Sframe.Query { tenant = s.Loadgen.l_tenant; stream = s.Loadgen.l_stream })
+      with
+      | Sframe.State { payload; applied_seq; _ } ->
+          let frames = Loadgen.frame_count s in
+          if applied_seq <> frames then final_match := false;
+          if payload <> Loadgen.expected_envelope s then final_match := false
+      | _ -> final_match := false)
+    streams;
+  let generations = total_gens () in
+  {
+    sv_streams = Array.length streams;
+    sv_frames = Array.fold_left (fun a cs -> a + Array.length cs.payloads) 0 streams;
+    sv_sends = !sends;
+    sv_acked = !acked_total;
+    sv_conn_faults = !conn_faults;
+    sv_conn_faults_by_kind =
+      List.map
+        (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt fault_counts k)))
+        Fault_plan.conn_kind_names;
+    sv_overloaded = !overloaded;
+    sv_duplicate_acks = !dup_acks;
+    sv_crashes = !crashes;
+    sv_torn = !torn;
+    sv_quarantined = !quarantined;
+    sv_degraded_copies = !degraded;
+    sv_replayed = !replayed;
+    sv_reconnects = !reconnects;
+    sv_generations = generations;
+    sv_final_match = !final_match;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>serve sim: %d streams, %d frames@,\
+     sends %d (conn faults %d: %a)@,\
+     acked %d, overloaded %d, duplicate acks %d@,\
+     crashes %d (torn %d, quarantined %d, degraded copies %d)@,\
+     replayed %d, reconnects %d, generations %d@,\
+     final envelopes bit-identical: %b@]"
+    r.sv_streams r.sv_frames r.sv_sends r.sv_conn_faults
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (k, c) -> Format.fprintf ppf "%s %d" k c))
+    r.sv_conn_faults_by_kind r.sv_acked r.sv_overloaded r.sv_duplicate_acks r.sv_crashes
+    r.sv_torn r.sv_quarantined r.sv_degraded_copies r.sv_replayed r.sv_reconnects
+    r.sv_generations r.sv_final_match

@@ -1,0 +1,53 @@
+(** Deterministic chaos harness for the serve layer.
+
+    Drives {!Ds_serve.Server}'s transport-agnostic core with a seeded
+    {!Ds_serve.Loadgen} workload pushed through
+    {!Ds_fault.Fault_plan}'s connection-fault channel (partial frame
+    then stall, mid-frame disconnect, reordered duplicate), with seeded
+    kill -9 events that discard the live server — queue, buffers,
+    un-checkpointed state — and recover a fresh one from the checkpoint
+    store, optionally tearing the newest generation first to force the
+    quarantine-and-fall-back path.
+
+    Every report field is a pure function of (workload seed, plan,
+    knobs): reruns are byte-identical, which is what experiment E19
+    asserts. *)
+
+type report = {
+  sv_streams : int;
+  sv_frames : int;
+  sv_sends : int;
+  sv_acked : int;
+  sv_conn_faults : int;
+  sv_conn_faults_by_kind : (string * int) list;
+  sv_overloaded : int;
+  sv_duplicate_acks : int;
+  sv_crashes : int;
+  sv_torn : int;
+  sv_quarantined : int;
+  sv_degraded_copies : int;
+  sv_replayed : int;
+  sv_reconnects : int;
+  sv_generations : int;
+  sv_final_match : bool;
+}
+
+val run :
+  ?crash_every:int ->
+  ?tear_on_crash:bool ->
+  ?queue_bound:int ->
+  ?drain_per_tick:int ->
+  ?checkpoint_every:int ->
+  ?burst:int ->
+  plan:Ds_fault.Fault_plan.t ->
+  dir:string ->
+  Ds_serve.Loadgen.plan ->
+  report
+(** [crash_every = k] kills the server after every [k] distinct acks
+    (0 = never).  [queue_bound]/[drain_per_tick] are set low by default
+    so backpressure genuinely fires.  The terminal invariant —
+    [sv_final_match] — demands every stream's envelope equal the seeded
+    mirror bit for bit despite faults, crashes and replays: linearity,
+    end to end. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -70,6 +70,50 @@ let fnv1a64 ?(pos = 0) ?len data =
   done;
   !h
 
+(* Length-prefixed framing for the serving layer's socket protocol: a
+   4-byte little-endian unsigned length, then that many payload bytes.
+   The header is fixed-width (not a varint) so a reader can always pull
+   exactly 4 bytes and decide — before allocating anything — whether the
+   advertised length is sane. *)
+
+let frame_header_length = 4
+
+type frame_error =
+  | Frame_negative of int
+  | Frame_too_large of { length : int; max : int }
+
+let frame_error_to_string = function
+  | Frame_negative n -> Printf.sprintf "negative frame length %d" n
+  | Frame_too_large { length; max } ->
+      Printf.sprintf "frame length %d exceeds limit %d" length max
+
+let write_frame_header buf len =
+  if len < 0 then invalid_arg "Wire.write_frame_header: negative length";
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((len lsr (8 * i)) land 0xff))
+  done
+
+let write_frame buf payload =
+  write_frame_header buf (String.length payload);
+  Buffer.add_string buf payload
+
+(* Decode the 4 header bytes at [pos]. The wire value is an unsigned
+   32-bit field, but a hostile or desynchronised peer can set the sign
+   bit; decoding it as a signed i32 keeps "negative" distinguishable
+   from merely huge, and both are rejected with a typed error before a
+   single payload byte is allocated. *)
+let decode_frame_length ~max data ~pos =
+  if max < 0 then invalid_arg "Wire.decode_frame_length: negative max";
+  if pos < 0 || pos + frame_header_length > String.length data then
+    invalid_arg "Wire.decode_frame_length: header out of bounds";
+  let b i = Char.code data.[pos + i] in
+  let raw = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) in
+  (* Sign-extend bit 31 on a 63-bit int. *)
+  let signed = (raw lxor 0x80000000) - 0x80000000 in
+  if signed < 0 then Error (Frame_negative signed)
+  else if signed > max then Error (Frame_too_large { length = signed; max })
+  else Ok signed
+
 let write_tag buf tag =
   write_int buf (String.length tag);
   Buffer.add_string buf tag

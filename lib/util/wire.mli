@@ -37,6 +37,39 @@ val fnv1a64 : ?pos:int -> ?len:int -> string -> int64
     string). The corruption check of every versioned sketch wire message:
     writers append it, readers verify it before parsing anything else. *)
 
+(** {1 Length-prefixed framing}
+
+    The serving layer's socket protocol: a fixed 4-byte little-endian
+    unsigned length, then that many payload bytes. Fixed-width (unlike the
+    varints above) so a reader can pull exactly {!frame_header_length}
+    bytes and validate the advertised length {e before} allocating any
+    payload buffer — an 8-byte hostile header must never cause an OOM. *)
+
+val frame_header_length : int
+(** Always 4. *)
+
+(** Why a frame header was rejected. Both cases mean the stream is
+    desynchronised or hostile; the connection must be dropped (there is no
+    way to resynchronise a length-prefixed stream). *)
+type frame_error =
+  | Frame_negative of int  (** sign bit set when read as an i32 *)
+  | Frame_too_large of { length : int; max : int }
+
+val frame_error_to_string : frame_error -> string
+
+val write_frame_header : Buffer.t -> int -> unit
+(** Append the 4-byte header for a payload of the given length.
+    @raise Invalid_argument on a negative length. *)
+
+val write_frame : Buffer.t -> string -> unit
+(** Header + payload in one call. *)
+
+val decode_frame_length : max:int -> string -> pos:int -> (int, frame_error) result
+(** Decode the 4 header bytes at [pos] and validate them against [max].
+    Never allocates payload space.
+    @raise Invalid_argument if fewer than 4 bytes are available at [pos]
+    (the caller buffers until it has a whole header). *)
+
 val write_tag : sink -> string -> unit
 val expect_tag : source -> string -> unit
 (** @raise Failure if the next tag differs — the standard guard at the head
