@@ -141,12 +141,19 @@ let write ~dir ~tenant ~generation records =
   let data = encode ~generation ~tenant records in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   let len = String.length data in
-  let written = Unix.write_substring fd data 0 len in
-  if written <> len then begin
-    Unix.close fd;
-    failwith "Checkpoint.write: short write"
-  end;
-  Unix.fsync fd;
+  (* POSIX permits partial writes on regular files (large buffers,
+     EINTR): loop until the whole image is down, then fsync. *)
+  (try
+     let pos = ref 0 in
+     while !pos < len do
+       match Unix.write_substring fd data !pos (len - !pos) with
+       | n -> pos := !pos + n
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done;
+     Unix.fsync fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
   Unix.close fd;
   Unix.rename tmp final;
   fsync_dir tdir

@@ -128,19 +128,23 @@ let rpc_on fd t req =
   recv t fd
 
 (* Resynchronise one stream after reconnecting: ask the server where its
-   watermark is, drop what is already durable there, replay the rest in
-   order.  Replayed frames the server already applied are absorbed as
-   idempotent duplicates. *)
+   watermarks are, drop what is already durable there, replay everything
+   above what it has applied, in order.  Entries in
+   (durable_seq, applied_seq] are neither dropped nor re-sent: the live
+   server holds them, so re-sending only draws duplicate acks, but a
+   later kill -9 can still roll the server back below them — the ledger
+   must keep them until a durable ack covers them.  Replayed frames the
+   server already applied are absorbed as idempotent duplicates. *)
 let resync_stream t fd (tenant, stream) e =
-  let replay ~applied_seq =
+  let replay ~applied_seq ~durable_seq =
     let pending =
       Hashtbl.fold (fun seq payload acc -> (seq, payload) :: acc) e.unacked []
       |> List.sort compare
     in
     List.iter
       (fun (seq, payload) ->
-        if seq <= applied_seq then Hashtbl.remove e.unacked seq
-        else
+        if seq <= durable_seq then Hashtbl.remove e.unacked seq
+        else if seq > applied_seq then
           match rpc_on fd t (Sframe.Ingest { tenant; stream; seq; payload }) with
           | Sframe.Ack { seq = s; durable_seq } ->
               if s <> seq then transport "resync: ack for %d, expected %d" s seq;
@@ -154,7 +158,7 @@ let resync_stream t fd (tenant, stream) e =
     if e.next_seq <= applied_seq then e.next_seq <- applied_seq + 1
   in
   match rpc_on fd t (Sframe.Seq_query { tenant; stream }) with
-  | Sframe.Seqs { applied_seq; _ } -> replay ~applied_seq
+  | Sframe.Seqs { applied_seq; durable_seq } -> replay ~applied_seq ~durable_seq
   | Sframe.Nack { reason = Sframe.Unknown_stream; _ } -> (
       (* The server lost every generation for this stream — killed before
          its first checkpoint ever landed.  Then nothing was ever durable,
@@ -163,7 +167,7 @@ let resync_stream t fd (tenant, stream) e =
       match e.spec with
       | Some (family, n, seed) -> (
           match rpc_on fd t (Sframe.Create { tenant; stream; family; n; seed }) with
-          | Sframe.Created _ -> replay ~applied_seq:0
+          | Sframe.Created _ -> replay ~applied_seq:0 ~durable_seq:0
           | Sframe.Nack { reason; _ } ->
               transport "resync create: %s" (Format.asprintf "%a" Sframe.pp_nack reason)
           | _ -> transport "resync create: unexpected response")
@@ -185,9 +189,9 @@ let ensure_conn t =
       fd
 
 (* Run one request with the supervisor's retry envelope: transport
-   faults reconnect-and-resync, retryable NACKs ([Overloaded],
-   [Bad_frame] from a corrupted wire) back off and re-send.  Permanent
-   NACKs surface immediately — retrying them cannot succeed. *)
+   faults reconnect-and-resync, retryable NACKs ([Overloaded]) back off
+   and re-send.  Permanent NACKs surface immediately — retrying them
+   cannot succeed. *)
 let with_retries t f =
   let rec go attempt =
     let outcome =

@@ -3,15 +3,18 @@
     Every call runs under {!Ds_fault.Supervisor}'s capped exponential
     backoff with multiplicative jitter: transport faults (disconnect,
     poisoned framing) reconnect and {e resync} — ask the server's
-    sequence watermark, drop what is durable there, replay the
-    acked-but-undurable suffix by linearity — while retryable NACKs
-    ([Overloaded], [Bad_frame]) back off and re-send the same frame.
-    Permanent NACKs ([Quota_exceeded], [Bad_seq], ...) surface
-    immediately as [Error].
+    (applied, durable) watermarks, drop what is durable there, re-send
+    everything above the applied watermark by linearity — while
+    retryable NACKs ([Overloaded]) back off and re-send the same frame.
+    Permanent NACKs ([Quota_exceeded], [Bad_seq], [Bad_frame], ...)
+    surface immediately as [Error].
 
     The client keeps, per stream, the suffix of payloads not yet covered
     by a durable generation; that suffix is exactly what a kill -9 can
-    lose and exactly what resync re-sends.  The sequence-watermark
+    lose and exactly what resync can be asked to re-send.  Entries the
+    live server has applied but not yet checkpointed stay in the ledger
+    without being re-sent, so a reconnect to a lagging server never
+    forgets what a later crash could roll back.  The sequence-watermark
     discipline on the server makes every replay idempotent. *)
 
 type t

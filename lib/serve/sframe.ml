@@ -43,13 +43,16 @@ let nack_name = function
   | Bad_seq _ -> "bad_seq"
   | Bad_frame _ -> "bad_frame"
 
-(* Overload and decode failures are transient from the client's point of
-   view (back off, re-send the same bytes); the rest mean the client's
-   model of the registry is wrong and retrying the identical frame can
-   never succeed. *)
+(* Only overload is transient from the client's point of view (back off,
+   re-send the same bytes).  [Bad_frame] is deterministic too: local
+   sockets do not corrupt bytes in flight, and the server also emits it
+   for validation failures (bad tenant/stream names, absorb dimension
+   mismatches), so the identical frame is refused the identical way on
+   every attempt. *)
 let nack_retryable = function
-  | Overloaded _ | Bad_frame _ -> true
-  | Quota_exceeded _ | Unknown_stream | Stream_exists | Unknown_family _ | Bad_seq _ ->
+  | Overloaded _ -> true
+  | Bad_frame _ | Quota_exceeded _ | Unknown_stream | Stream_exists | Unknown_family _
+  | Bad_seq _ ->
       false
 
 let pp_nack ppf = function

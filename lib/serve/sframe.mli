@@ -22,7 +22,9 @@ type nack =
   | Unknown_family of string
   | Bad_seq of { expected : int; got : int }
       (** sequence gap — the client must rewind to [expected] *)
-  | Bad_frame of string  (** payload failed to decode (corruption) *)
+  | Bad_frame of string
+      (** payload failed to decode or validate (bad names, dimension
+          mismatch) — deterministic, not retryable *)
 
 type request =
   | Create of { tenant : string; stream : string; family : string; n : int; seed : int }

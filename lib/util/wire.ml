@@ -41,8 +41,12 @@ let write_array buf a =
   Array.iter (write_int buf) a
 
 let read_array s =
+  (* Every varint element occupies at least one byte, so a well-formed
+     array never declares more elements than there are bytes left — the
+     bound caps the allocation at the frame size before any element is
+     read. *)
   let len = read_int s in
-  if len < 0 || len > remaining s * 10 then failwith "Wire: implausible array length";
+  if len < 0 || len > remaining s then failwith "Wire: implausible array length";
   Array.init len (fun _ -> read_int s)
 
 let write_fixed64 buf v =

@@ -665,6 +665,83 @@ let test_socket_end_to_end () =
   ignore (Unix.waitpid [] pid2);
   children := List.filter (fun p -> p <> pid2) !children
 
+let test_resync_keeps_undurable_suffix () =
+  (* The replay-by-linearity trap: reconnect to a LIVE server whose
+     checkpoint lags (applied > durable).  Resync must prune the ledger
+     only up to the durable watermark — the acked-but-undurable window
+     is exactly what a later kill -9 rolls back, and the client is the
+     only place it survives. *)
+  Fun.protect ~finally:reap_children @@ fun () ->
+  let dir = fresh_dir "serve-resync" in
+  incr tmp_counter;
+  let path = socket_path () in
+  (* Checkpoints only on explicit flush, so the durable watermark stays
+     pinned while acked frames accumulate above it. *)
+  let config =
+    {
+      (Server.default_config ~dir) with
+      Server.checkpoint_every = 1_000_000;
+      drain_per_tick = 64;
+    }
+  in
+  let spec =
+    List.find
+      (fun s -> s.Loadgen.l_tenant = "tenant-00" && s.Loadgen.l_stream = "stream-00")
+      (small_plan 41).Loadgen.p_specs
+  in
+  let tenant = spec.Loadgen.l_tenant and stream = spec.Loadgen.l_stream in
+  let payloads = Array.of_list (Loadgen.batches spec) in
+  let total = Array.length payloads in
+  let durable = total / 3 and applied = 2 * total / 3 in
+  check_bool "workload large enough for three phases" true (durable >= 1 && applied > durable);
+  let ingest client lo hi =
+    for i = lo to hi - 1 do
+      match Client.ingest client ~tenant ~stream ~payload:payloads.(i) with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("ingest: " ^ m)
+    done
+  in
+  let pid = start_server config ~socket:path in
+  let client = Client.connect ~socket_path:path ~delay_unit:0.005 () in
+  (match
+     Client.create_stream client ~tenant ~stream ~family:spec.Loadgen.l_family
+       ~n:spec.Loadgen.l_n ~seed:spec.Loadgen.l_seed
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("create: " ^ m));
+  ingest client 0 durable;
+  (match Client.flush client ~tenant with
+  | Ok g -> check_bool "flushed a generation" true (g >= 1)
+  | Error m -> Alcotest.fail ("flush: " ^ m));
+  ingest client durable applied;
+  (* Force a reconnect with the server still alive: the resync sees
+     applied > durable and must keep the (durable, applied] entries. *)
+  Client.close client;
+  (match Client.seqs client ~tenant ~stream with
+  | Ok (a, d) ->
+      check_int "applied watermark" applied a;
+      check_int "durable watermark" durable d
+  | Error m -> Alcotest.fail ("seqs: " ^ m));
+  check_int "ledger keeps the acked-but-undurable suffix" (applied - durable)
+    (Client.unacked_count client ~tenant ~stream);
+  (* kill -9: the server recovers at the durable watermark; only the
+     client's ledger can restore (durable, applied]. *)
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  children := List.filter (fun p -> p <> pid) !children;
+  let pid2 = start_server config ~socket:path in
+  ingest client applied total;
+  (match Client.query client ~tenant ~stream with
+  | Ok st ->
+      check_int "every acked frame survived" total st.Client.applied_seq;
+      check_string "envelope bit-identical to the seeded mirror"
+        (Loadgen.expected_envelope spec) st.Client.payload
+  | Error m -> Alcotest.fail ("query: " ^ m));
+  Client.close client;
+  Unix.kill pid2 Sys.sigterm;
+  ignore (Unix.waitpid [] pid2);
+  children := List.filter (fun p -> p <> pid2) !children
+
 let () =
   Alcotest.run "serve"
     [
@@ -709,5 +786,9 @@ let () =
           Alcotest.test_case "deterministic replay" `Quick test_sim_deterministic_replay;
         ] );
       ( "socket",
-        [ Alcotest.test_case "end to end with SIGKILL" `Quick test_socket_end_to_end ] );
+        [
+          Alcotest.test_case "end to end with SIGKILL" `Quick test_socket_end_to_end;
+          Alcotest.test_case "live resync keeps undurable suffix" `Quick
+            test_resync_keeps_undurable_suffix;
+        ] );
     ]
