@@ -1,6 +1,7 @@
 (* Bench-regression guard.
 
      dune exec bench/guard.exe -- BASELINE.json FRESH.json [TOLERANCE] [SERVE.json]
+                                  [SPARSIFY_BASELINE.json SPARSIFY_FRESH.json]
 
    Compares a freshly measured BENCH_ingest.json against the committed
    baseline: every single-thread kernel throughput must be within
@@ -27,6 +28,16 @@
    one.  The ceilings are deliberately loose: they catch the pathology
    class (an accidental O(store) scan per frame, a lost fsync batch, a
    recovery walk that re-decodes every generation), not scheduler noise.
+
+   With a fifth and sixth argument — the committed BENCH_sparsify.json
+   baseline and a freshly measured one — the single-pass sparsifier is
+   gated three ways: the fresh run must report pencil_ok (every suite
+   graph inside its exact (1 +- eps) window), its decode time must stay
+   under an absolute wall-clock ceiling (decode is CG solves plus a
+   candidate sweep; the ceiling catches an accidental extra chain pass
+   or a quadratic blow-up, not machine noise), and its sketch size in
+   words — which is deterministic — may not exceed the baseline's by
+   more than 10%.
 
    The values are extracted with a key scanner rather than a JSON
    parser: the repo deliberately has no JSON dependency, and
@@ -176,6 +187,33 @@ let () =
      | _ ->
          incr failures;
          print_endline "guard: serve file recovered zero streams            EMPTY STORE"
+   end);
+  (* Sparsify gate: committed baseline + fresh BENCH_sparsify.json. *)
+  (if argc > 6 then begin
+     let sp_base_path = Sys.argv.(5) and sp_fresh_path = Sys.argv.(6) in
+     let sp_base = read_file sp_base_path and sp_fresh = read_file sp_fresh_path in
+     let pencil_ok = require sp_fresh sp_fresh_path "sparsify_pencil_ok" in
+     let verdict =
+       if pencil_ok = 1.0 then "ok" else (incr failures; "OUTSIDE (1 +- eps)")
+     in
+     Printf.printf "guard: %-40s %d  %s\n" "sparsify_pencil_ok"
+       (int_of_float pencil_ok) verdict;
+     let decode_ms = require sp_fresh sp_fresh_path "sparsify_decode_ms_max" in
+     let decode_ceiling = 15000.0 in
+     let verdict =
+       if decode_ms <= decode_ceiling then "ok" else (incr failures; "TOO SLOW")
+     in
+     Printf.printf "guard: %-40s %10.1f ms (ceiling %.0f ms)  %s\n"
+       "sparsify_decode_ms_max" decode_ms decode_ceiling verdict;
+     let base_words = require sp_base sp_base_path "sparsify_space_words_max" in
+     let now_words = require sp_fresh sp_fresh_path "sparsify_space_words_max" in
+     let verdict =
+       if now_words <= 1.1 *. base_words then "ok" else (incr failures; "REGRESSION")
+     in
+     Printf.printf "guard: %-40s base %12.0f  now %12.0f  (%+6.1f%%)  %s\n"
+       "sparsify_space_words_max" base_words now_words
+       (100.0 *. ((now_words /. base_words) -. 1.0))
+       verdict
    end);
   if !failures > 0 then fail "%d check(s) failed" !failures;
   print_endline "guard: all checks passed"

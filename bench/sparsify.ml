@@ -1,0 +1,140 @@
+(* Single-pass sparsifier bench.
+
+     dune exec bench/sparsify.exe [-- OUTPUT.json]
+
+   Runs the KLMMS single-pass sparsifier over a fixed seeded suite (two
+   graph families x eps in {0.5, 0.25}), verifies every run against the
+   exact pencil bounds, and writes the measurements as machine-readable
+   JSON (default ./BENCH_sparsify.json, schema bench_sparsify/v1) so
+   bench/guard.exe can gate later PRs:
+
+   - decode wall time (the chain: JL resistance solves + candidate sweep)
+     per run, and the suite maximum;
+   - sketch state in words (deterministic — a params change shows up as an
+     exact delta against the committed baseline);
+   - pencil_ok: 1 iff every run's exact generalized-eigenvalue bounds land
+     inside [1 - eps, 1 + eps] with clean kernel.
+
+   Ceilings live in the guard, not here: this file records what the
+   machine did, the guard decides what is acceptable. *)
+
+open Ds_util
+open Ds_graph
+open Ds_stream
+module S1 = Ds_sparsify.Sparsify1p
+
+let git_sha () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some s when s <> "" -> s
+  | _ -> (
+      try
+        let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+        let line = try input_line ic with End_of_file -> "" in
+        match Unix.close_process_in ic with
+        | Unix.WEXITED 0 when line <> "" -> line
+        | _ -> "unknown"
+      with _ -> "unknown")
+
+let iso8601_utc () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let master_seed = 20140721
+
+type row = {
+  label : string;
+  eps : float;
+  edges_in : int;
+  edges_out : int;
+  space_words : int;
+  ingest_ms : float;
+  decode_ms : float;
+  lambda_min : float;
+  lambda_max : float;
+  ok : bool;
+}
+
+let run_case ~label ~eps g =
+  let n = Graph.n g in
+  let rng = Prng.create (master_seed + Hashtbl.hash (label, eps)) in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:500 g in
+  let prm = S1.default_params ~n ~eps in
+  let t = S1.create (Prng.split rng) ~n ~params:prm in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun (u : Update.t) -> S1.update t ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u))
+    stream;
+  let t1 = Unix.gettimeofday () in
+  let r = S1.decode (Prng.split rng) t ~eps in
+  let t2 = Unix.gettimeofday () in
+  let b =
+    Ds_linalg.Spectral.pencil_bounds ~base:(Weighted_graph.of_graph g)
+      ~candidate:r.S1.sparsifier
+  in
+  {
+    label;
+    eps;
+    edges_in = Graph.num_edges g;
+    edges_out = Weighted_graph.num_edges r.S1.sparsifier;
+    space_words = r.S1.space_words;
+    ingest_ms = 1000.0 *. (t1 -. t0);
+    decode_ms = 1000.0 *. (t2 -. t1);
+    lambda_min = b.Ds_linalg.Spectral.lambda_min;
+    lambda_max = b.Ds_linalg.Spectral.lambda_max;
+    ok =
+      b.Ds_linalg.Spectral.lambda_min >= 1.0 -. eps
+      && b.Ds_linalg.Spectral.lambda_max <= 1.0 +. eps
+      && b.Ds_linalg.Spectral.kernel_leak < 1e-6;
+  }
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_sparsify.json" in
+  let n = 64 in
+  let gnp = Gen.connected_gnp (Prng.create (master_seed + 20)) ~n ~p:0.25 in
+  let barbell = Gen.barbell (n / 2) in
+  let rows =
+    List.concat_map
+      (fun eps ->
+        [ run_case ~label:"gnp" ~eps gnp; run_case ~label:"barbell" ~eps barbell ])
+      [ 0.5; 0.25 ]
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "sparsify bench: %-8s eps=%.2f  |E|=%-5d |H|=%-5d space=%-8d ingest=%6.1fms \
+         decode=%7.1fms pencil=[%.3f, %.3f] %s\n"
+        r.label r.eps r.edges_in r.edges_out r.space_words r.ingest_ms r.decode_ms
+        r.lambda_min r.lambda_max
+        (if r.ok then "ok" else "OUTSIDE WINDOW"))
+    rows;
+  let decode_ms_max = List.fold_left (fun a r -> max a r.decode_ms) 0.0 rows in
+  let space_words_max = List.fold_left (fun a r -> max a r.space_words) 0 rows in
+  let all_ok = List.for_all (fun r -> r.ok) rows in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"bench_sparsify/v1\",\n";
+  add "  \"timestamp_utc\": \"%s\",\n" (iso8601_utc ());
+  add "  \"git_sha\": \"%s\",\n" (git_sha ());
+  add "  \"sparsify_decode_ms_max\": %.1f,\n" decode_ms_max;
+  add "  \"sparsify_space_words_max\": %d,\n" space_words_max;
+  add "  \"sparsify_pencil_ok\": %d,\n" (if all_ok then 1 else 0);
+  add "  \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    { \"graph\": \"%s\", \"eps\": %.2f, \"edges_in\": %d, \"edges_out\": %d, \
+         \"space_words\": %d, \"ingest_ms\": %.1f, \"decode_ms\": %.1f, \"lambda_min\": \
+         %.4f, \"lambda_max\": %.4f, \"ok\": %d }%s\n"
+        r.label r.eps r.edges_in r.edges_out r.space_words r.ingest_ms r.decode_ms
+        r.lambda_min r.lambda_max
+        (if r.ok then 1 else 0)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ]\n}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "sparsify bench: wrote %s\n" out;
+  if not all_ok then exit 1

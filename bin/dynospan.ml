@@ -375,6 +375,49 @@ let sparsify_cmd =
       const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ k_arg $ eps_arg
       $ rounds_arg $ metrics_arg $ metrics_out_arg)
 
+let sparsify1p_cmd =
+  let run family n p seed decoys eps metrics metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
+    let rng, g, stream = setup ~family ~n ~p ~seed ~decoys in
+    let n = Graph.n g in
+    let prm = Ds_sparsify.Sparsify1p.default_params ~n ~eps in
+    let r = Ds_sparsify.Sparsify1p.run (Prng.split rng) ~n ~params:prm ~eps stream in
+    let wg = Weighted_graph.of_graph g in
+    let b =
+      Ds_linalg.Spectral.pencil_bounds ~base:wg
+        ~candidate:r.Ds_sparsify.Sparsify1p.sparsifier
+    in
+    Fmt.pr "== single-pass spectral sparsifier (KLMMS chain), eps=%.2f ==@." eps;
+    Fmt.pr "graph: n=%d edges=%d@." n (Graph.num_edges g);
+    Fmt.pr "chain: steps=%d final-size=%d@." r.Ds_sparsify.Sparsify1p.chain_steps
+      (Weighted_graph.num_edges r.Ds_sparsify.Sparsify1p.sparsifier);
+    Fmt.pr "pencil eigenvalue bounds: [%.3f, %.3f] (target [%.2f, %.2f])@."
+      b.Ds_linalg.Spectral.lambda_min b.Ds_linalg.Spectral.lambda_max (1.0 -. eps) (1.0 +. eps);
+    Fmt.pr "kernel leak: %.2g@." b.Ds_linalg.Spectral.kernel_leak;
+    Fmt.pr "space: %a (bound %a)@." Ds_util.Space.pp_words
+      r.Ds_sparsify.Sparsify1p.space_words Ds_util.Space.pp_words
+      (int_of_float (Ds_sparsify.Sparsify1p.space_bound ~n ~eps));
+    (* The subcommand is its own acceptance gate: outside the (1 +- eps)
+       window it fails loudly so the CI smoke test is a real check. *)
+    if
+      b.Ds_linalg.Spectral.lambda_min < 1.0 -. eps
+      || b.Ds_linalg.Spectral.lambda_max > 1.0 +. eps
+      || b.Ds_linalg.Spectral.kernel_leak > 1e-6
+    then begin
+      Fmt.pr "FAIL: bounds outside target window@.";
+      exit 1
+    end
+  in
+  let eps_arg = Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc:"Target accuracy.") in
+  Cmd.v
+    (Cmd.info "sparsify1p"
+       ~doc:
+         "Single-pass (1±eps) spectral sparsifier (KLMMS chain over one linear sketch). Exits 1 \
+          if the exact pencil bounds leave [1-eps, 1+eps].")
+    Term.(
+      const run $ family_arg $ n_arg $ p_arg $ seed_arg $ decoys_arg $ eps_arg $ metrics_arg
+      $ metrics_out_arg)
+
 let forest_cmd =
   let run family n p seed decoys metrics metrics_out =
     with_obs ~metrics ~metrics_out @@ fun () ->
@@ -918,6 +961,7 @@ let () =
             trace_analyze_cmd;
             additive_cmd;
             sparsify_cmd;
+            sparsify1p_cmd;
             forest_cmd;
             kconn_cmd;
             mst_cmd;

@@ -9,7 +9,18 @@ type params = {
   spanner : Two_pass_spanner.params;
 }
 
+exception Invalid_eps of float
+
+let validate_eps eps =
+  (* eps <= 0 would send z_rounds to infinity (or, worse, through
+     [int_of_float nan] = 0 rounds); eps >= 1 makes the (1 +- eps) guarantee
+     vacuous. Reject both ends with a typed error instead of producing a
+     nonsense budget. NaN fails every comparison, so it falls through to
+     the raise as well. *)
+  if not (eps > 0.0 && eps < 1.0) then raise (Invalid_eps eps)
+
 let default_params ~k ~eps ~n =
+  validate_eps eps;
   let log2n = float_of_int (Ds_sketch.F0.levels_for n) in
   {
     z_rounds = max 3 (int_of_float (ceil (log2n /. eps /. 4.0)));

@@ -25,10 +25,19 @@ type params = {
   spanner : Two_pass_spanner.params;  (** stretch of the sampling spanners *)
 }
 
+exception Invalid_eps of float
+(** Raised (with the offending value) on [eps <= 0], [eps >= 1] or NaN —
+    accuracies for which the round budget would be nonsense and the
+    [(1 ± eps)] guarantee vacuous. *)
+
+val validate_eps : float -> unit
+(** @raise Invalid_eps unless [0 < eps < 1]. *)
+
 val default_params : k:int -> eps:float -> n:int -> params
 (** Scales [z_rounds] like [log n / eps] (scaled-down from the paper's
     [alpha^2 log n / eps^3], which is far beyond laptop scale; the
-    experiment tables report the measured quality next to the budget). *)
+    experiment tables report the measured quality next to the budget).
+    @raise Invalid_eps unless [0 < eps < 1]. *)
 
 type result = {
   sparsifier : Ds_graph.Weighted_graph.t;

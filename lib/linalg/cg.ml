@@ -1,5 +1,41 @@
 type result = { x : float array; iterations : int; residual : float }
 
+let solve_shifted g ~shift ~b ?(tol = 1e-9) ?(max_iter = 0) () =
+  let n = Ds_graph.Weighted_graph.n g in
+  if Array.length b <> n then invalid_arg "Cg.solve_shifted: size mismatch";
+  if shift <= 0.0 then invalid_arg "Cg.solve_shifted: shift must be positive";
+  let max_iter = if max_iter = 0 then 20 * n else max_iter in
+  (* [L + shift I] is positive definite (no kernel, connected or not), so
+     this is textbook CG: no ones-projection anywhere. *)
+  let apply v =
+    let lv = Laplacian.apply g v in
+    for i = 0 to n - 1 do
+      lv.(i) <- lv.(i) +. (shift *. v.(i))
+    done;
+    lv
+  in
+  let x = Array.make n 0.0 in
+  let r = Array.copy b in
+  let p = Array.copy r in
+  let rs = ref (Vec.dot r r) in
+  let bnorm = max (sqrt !rs) 1e-30 in
+  let iters = ref 0 in
+  while sqrt !rs /. bnorm > tol && !iters < max_iter do
+    incr iters;
+    let kp = apply p in
+    let alpha = !rs /. Vec.dot p kp in
+    Vec.axpy alpha p x;
+    Vec.axpy (-.alpha) kp r;
+    let rs' = Vec.dot r r in
+    let beta = rs' /. !rs in
+    for i = 0 to n - 1 do
+      p.(i) <- r.(i) +. (beta *. p.(i))
+    done;
+    rs := rs'
+  done;
+  let residual = Vec.norm (Vec.sub (apply x) b) /. bnorm in
+  { x; iterations = !iters; residual }
+
 let solve g ~b ?(tol = 1e-9) ?(max_iter = 0) () =
   let n = Ds_graph.Weighted_graph.n g in
   if Array.length b <> n then invalid_arg "Cg.solve: size mismatch";

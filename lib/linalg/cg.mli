@@ -10,3 +10,18 @@ val solve :
 (** [b] is projected off the ones vector first. @raise Invalid_argument when
     [b]'s length differs from the vertex count. The solution is the
     minimum-norm one (mean zero). *)
+
+val solve_shifted :
+  Ds_graph.Weighted_graph.t ->
+  shift:float ->
+  b:float array ->
+  ?tol:float ->
+  ?max_iter:int ->
+  unit ->
+  result
+(** Solve the regularized system [(L + shift * I) x = b], [shift > 0]. The
+    matrix is positive definite for every graph — including disconnected
+    ones — so no kernel projection is involved; this is the solver behind
+    the single-pass sparsifier's chain of regularized Laplacians [K(gamma) =
+    L + gamma I] (KLMMS, arXiv 1407.1289). @raise Invalid_argument on a size
+    mismatch or non-positive shift. *)

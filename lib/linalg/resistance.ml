@@ -17,3 +17,35 @@ let all_edges g =
 
 let total g =
   List.fold_left (fun acc (_, _, w, r) -> acc +. (w *. r)) 0.0 (all_edges g)
+
+let jl_estimator rng g ~shift ~reps ?(tol = 1e-8) () =
+  if reps < 1 then invalid_arg "Resistance.jl_estimator: reps must be positive";
+  let n = Weighted_graph.n g in
+  (* R_uv w.r.t. K = L + shift I is ||M K^-1 (e_u - e_v)||^2 for the
+     factorization K = M^T M, M = [W^{1/2} B; sqrt(shift) I]. Project M onto
+     [reps] Gaussian directions: one edge-indexed Gaussian per probe for the
+     incidence block, one vertex-indexed Gaussian for the sqrt(shift) I
+     block, then a single shifted-CG solve per probe. After the solves,
+     every pair costs O(reps) — which is what lets the sparsifier's decode
+     loop scan all candidate pairs. *)
+  let z =
+    Array.init reps (fun _ ->
+        let y = Array.make n 0.0 in
+        Weighted_graph.iter_edges g (fun u v w ->
+            let g_e = Ds_util.Prng.gaussian rng *. sqrt w in
+            y.(u) <- y.(u) +. g_e;
+            y.(v) <- y.(v) -. g_e);
+        let sq = sqrt shift in
+        for i = 0 to n - 1 do
+          y.(i) <- y.(i) +. (sq *. Ds_util.Prng.gaussian rng)
+        done;
+        (Cg.solve_shifted g ~shift ~b:y ~tol ()).Cg.x)
+  in
+  let inv_reps = 1.0 /. float_of_int reps in
+  fun u v ->
+    let acc = ref 0.0 in
+    for j = 0 to reps - 1 do
+      let d = z.(j).(u) -. z.(j).(v) in
+      acc := !acc +. (d *. d)
+    done;
+    !acc *. inv_reps

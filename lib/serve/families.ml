@@ -49,6 +49,24 @@ let make ~family ~n ~seed =
             ~params:{ Ams_f2.rows = 4; reps = 3; hash_degree = 4 }
         in
         Ok (scalar (Linear_sketch.Packed.pack (module Ams_f2.Linear) t))
+    | "sparsify1p" ->
+        (* n is the vertex count; the sketch lives over the binom(n,2) edge
+           space. Serving-tier bank sizes (not the offline decode defaults,
+           which scale with eps) — like every maker here, they are part of
+           the protocol. *)
+        let t =
+          Ds_sparsify.Level_bank.create (Prng.create seed)
+            ~dim:(Ds_graph.Edge_index.dim n)
+            ~params:
+              {
+                Ds_sparsify.Level_bank.banks = 2;
+                levels = 8;
+                rows = 3;
+                cols = 64;
+                hash_degree = 6;
+              }
+        in
+        Ok (scalar (Linear_sketch.Packed.pack (module Ds_sparsify.Level_bank.Linear) t))
     | other -> Error (Printf.sprintf "unknown family %S" other)
 
-let names = [ "agm"; "connectivity"; "l0_sampler"; "count_sketch"; "ams_f2" ]
+let names = [ "agm"; "connectivity"; "l0_sampler"; "count_sketch"; "ams_f2"; "sparsify1p" ]

@@ -18,6 +18,8 @@ val make : family:string -> n:int -> seed:int -> (made, string) result
 (** Families: ["agm"] (graph connectivity over [n] vertices, per-copy
     durability and certified degraded decode), ["connectivity"],
     ["l0_sampler"], ["count_sketch"], ["ams_f2"] (index space of size
-    [n]). [Error] names the unknown family or bad dimension. *)
+    [n]), ["sparsify1p"] (single-pass sparsifier bank over the
+    [binom(n,2)] edge space of an [n]-vertex graph). [Error] names the
+    unknown family or bad dimension. *)
 
 val names : string list

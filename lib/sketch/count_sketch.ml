@@ -15,7 +15,7 @@ type t = {
 
 let default_params = { rows = 5; cols = 256; hash_degree = 6 }
 
-let create rng ~dim ~params:prm =
+let make rng ~dim ~params:prm ~table =
   if prm.rows < 1 || prm.cols < 1 then invalid_arg "Count_sketch.create: bad params";
   let mk tag i = Kwise.create (Prng.split_named rng (Printf.sprintf "%s%d" tag i)) ~k:prm.hash_degree in
   {
@@ -23,8 +23,20 @@ let create rng ~dim ~params:prm =
     prm;
     bucket_hash = Array.init prm.rows (mk "bucket");
     sign_hash = Array.init prm.rows (mk "sign");
-    table = Words.create (prm.rows * prm.cols);
+    table;
   }
+
+let create rng ~dim ~params = make rng ~dim ~params ~table:(Words.create (params.rows * params.cols))
+
+let create_over rng ~dim ~params ~table =
+  if Words.length table <> params.rows * params.cols then
+    invalid_arg "Count_sketch.create_over: table length <> rows * cols";
+  make rng ~dim ~params ~table
+
+let rebind t ~table =
+  if Words.length table <> Words.length t.table then
+    invalid_arg "Count_sketch.rebind: table length mismatch";
+  { t with table }
 
 let sign t r index = if Kwise.eval t.sign_hash.(r) index land 1 = 0 then 1 else -1
 let[@inline] cell t r c = (r * t.prm.cols) + c

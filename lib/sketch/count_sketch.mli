@@ -15,6 +15,20 @@ val default_params : params
 (** [rows = 5], [cols = 256], [hash_degree = 6]. *)
 
 val create : Ds_util.Prng.t -> dim:int -> params:params -> t
+
+val create_over : Ds_util.Prng.t -> dim:int -> params:params -> table:Ds_util.Words.t -> t
+(** {!create} over caller-provided storage (typically a {!Ds_util.Words.view}
+    into a container's flat buffer): the sketch aliases [table] instead of
+    allocating. This is how a bank of sketches (e.g. the single-pass
+    sparsifier's level chain) lives in one contiguous allocation whose
+    merge/zero/ship cost is one whole-buffer call.
+    @raise Invalid_argument unless [Words.length table = rows * cols]. *)
+
+val rebind : t -> table:Ds_util.Words.t -> t
+(** The same sketch (shared hash functions, hence wire-compatible) over new
+    storage — how a container's [clone_zero] re-attaches its level views to a
+    fresh buffer. @raise Invalid_argument on a length mismatch. *)
+
 val update : t -> index:int -> delta:int -> unit
 
 val estimate : t -> int -> int

@@ -134,6 +134,23 @@ let all : fam list =
       };
     F
       {
+        name = "sparsify1p";
+        make =
+          (fun () ->
+            Ds_sparsify.Level_bank.create (Prng.create 115)
+              ~dim:(Ds_graph.Edge_index.dim agm_n)
+              ~params:
+                {
+                  Ds_sparsify.Level_bank.banks = 2;
+                  levels = 6;
+                  rows = 3;
+                  cols = 32;
+                  hash_degree = 4;
+                });
+        impl = (module Ds_sparsify.Level_bank.Linear);
+      };
+    F
+      {
         name = "agm_copy";
         make =
           (fun () ->

@@ -259,6 +259,165 @@ let test_ss08_expected_size_formula () =
   (* sum_e p_e <= m, and for a clique with eps=0.5 it is far below m. *)
   check_bool "formula sane" true (e > 0.0 && e <= float_of_int (Weighted_graph.num_edges g))
 
+(* -------------------- single-pass (KLMMS chain) -------------------- *)
+
+module S1 = Ds_sparsify.Sparsify1p
+module LB = Ds_sparsify.Level_bank
+
+let weighted_of_multigraph g =
+  let wg = Weighted_graph.create (Graph.n g) in
+  Graph.iter_edges g (fun u v ->
+      Weighted_graph.add_edge wg u v (float_of_int (Graph.multiplicity g u v)));
+  wg
+
+(* A multigraph stream with deletions and Zipf-profiled residual
+   multiplicities: edge of rank r ends at multiplicity ~ 4 / (1 + r mod 7),
+   and every edge is over-inserted once and deleted once on the way. *)
+let zipf_multigraph_stream rng g =
+  let first = ref [] and ins = ref [] and del = ref [] in
+  List.iteri
+    (fun i (u, v) ->
+      let m = max 1 (4 / (1 + (i mod 7))) in
+      first := Update.insert u v :: !first;
+      for _ = 1 to m do
+        ins := Update.insert u v :: !ins
+      done;
+      del := Update.delete u v :: !del)
+    (Graph.edges g);
+  let shuffle a =
+    let a = Array.copy a in
+    for i = Array.length a - 1 downto 1 do
+      let j = Prng.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    a
+  in
+  (* One guaranteed insert per edge up front keeps every prefix valid; the
+     remaining inserts and the deletions then interleave freely (an edge may
+     drop to multiplicity 0 mid-stream and come back). *)
+  Array.append
+    (shuffle (Array.of_list !first))
+    (Stream_gen.interleave rng (shuffle (Array.of_list !ins)) (shuffle (Array.of_list !del)))
+
+let test_s1_eps_boundaries () =
+  let rejects_two_pass eps =
+    try
+      ignore (Sparsify.default_params ~k:2 ~eps ~n:32);
+      false
+    with Sparsify.Invalid_eps e -> e = eps || (Float.is_nan e && Float.is_nan eps)
+  in
+  let rejects_one_pass eps =
+    try
+      ignore (S1.default_params ~n:32 ~eps);
+      false
+    with S1.Invalid_eps e -> e = eps || (Float.is_nan e && Float.is_nan eps)
+  in
+  List.iter
+    (fun eps ->
+      check_bool (Printf.sprintf "two-pass rejects %f" eps) true (rejects_two_pass eps);
+      check_bool (Printf.sprintf "one-pass rejects %f" eps) true (rejects_one_pass eps))
+    [ 0.0; 1.0; -0.25; 1.5; Float.nan ];
+  (* The open interval's interior is accepted right up to the ends. *)
+  List.iter
+    (fun eps ->
+      ignore (Sparsify.default_params ~k:2 ~eps ~n:32);
+      ignore (S1.default_params ~n:32 ~eps))
+    [ 0.001; 0.5; 0.999 ]
+
+let test_s1_empty_stream () =
+  let n = 16 in
+  let r = S1.run (Prng.create 900) ~n ~params:(S1.default_params ~n ~eps:0.5) ~eps:0.5 [||] in
+  check_int "empty stream -> empty sparsifier" 0
+    (Weighted_graph.num_edges r.S1.sparsifier);
+  check_bool "chain still ran" true (r.S1.chain_steps > 0)
+
+let prop_s1_pencil =
+  QCheck.Test.make
+    ~name:"single-pass pencil bounds within (1 +- eps) on Zipf multigraphs with deletions"
+    ~count:8 QCheck.small_nat
+    (fun seed ->
+      let n = 24 and eps = 0.5 in
+      let rng = Prng.create (7000 + seed) in
+      let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.25 in
+      let stream = zipf_multigraph_stream (Prng.split rng) g in
+      let base = weighted_of_multigraph (Update.final_graph ~n stream) in
+      let r = S1.run (Prng.split rng) ~n ~params:(S1.default_params ~n ~eps) ~eps stream in
+      let b = Spectral.pencil_bounds ~base ~candidate:r.S1.sparsifier in
+      b.Spectral.lambda_min >= 1.0 -. eps
+      && b.Spectral.lambda_max <= 1.0 +. eps
+      && b.Spectral.kernel_leak < 1e-6)
+
+let s1_test_bank seed =
+  LB.create (Prng.create seed) ~dim:(Edge_index.dim 16)
+    ~params:{ LB.banks = 2; levels = 6; rows = 3; cols = 32; hash_degree = 4 }
+
+let s1_serialize t = Ds_sketch.Linear_sketch.serialize (module LB.Linear) t
+
+let prop_s1_serialize_merge_commutes =
+  QCheck.Test.make ~name:"level bank: serialize o merge = merge o serialize" ~count:20
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Prng.create (8000 + seed) in
+      let dim = Edge_index.dim 16 in
+      let stream () =
+        Array.init 60 (fun _ -> (Prng.int rng dim, if Prng.bool rng then 1 else -1))
+      in
+      let a = s1_test_bank 33 and b = s1_test_bank 33 in
+      Array.iter (fun (index, delta) -> LB.update a ~index ~delta) (stream ());
+      Array.iter (fun (index, delta) -> LB.update b ~index ~delta) (stream ());
+      (* Path 1: merge the live states, then serialize. *)
+      let merged = LB.clone_zero a in
+      LB.add merged a;
+      LB.add merged b;
+      let direct = s1_serialize merged in
+      (* Path 2: serialize both, rehydrate into fresh states, merge those. *)
+      let a' = LB.clone_zero a and b' = LB.clone_zero b in
+      Ds_sketch.Linear_sketch.deserialize_into (module LB.Linear) a' (s1_serialize a);
+      Ds_sketch.Linear_sketch.deserialize_into (module LB.Linear) b' (s1_serialize b);
+      LB.add a' b';
+      String.equal direct (s1_serialize a'))
+
+let prop_s1_size_vs_two_pass =
+  (* The measured-constant differential of E20: on the same stream the
+     single-pass output may not exceed a small multiple of the two-pass
+     output (both are (1 +- eps) sparsifiers; at this scale the chain's
+     final step saturates, so the honest constant is its distance from the
+     two-pass subsample). *)
+  QCheck.Test.make ~name:"single-pass size within measured constant of two-pass" ~count:5
+    QCheck.small_nat
+    (fun seed ->
+      let n = 32 and eps = 0.5 in
+      let rng = Prng.create (9000 + seed) in
+      let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.3 in
+      let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:100 g in
+      let one = S1.run (Prng.split rng) ~n ~params:(S1.default_params ~n ~eps) ~eps stream in
+      let two = Sparsify.run (Prng.split rng) ~n ~params:(fast_params ~n) stream in
+      let s1 = Weighted_graph.num_edges one.S1.sparsifier in
+      let s2 = max 1 (Weighted_graph.num_edges two.Sparsify.sparsifier) in
+      s1 <= 4 * s2 && float_of_int s1 <= S1.space_bound ~n ~eps)
+
+let test_s1_state_roundtrip_decodes_identically () =
+  (* The bank is the whole state: shipping it through LSK1 and decoding
+     with the same seed must reproduce the sparsifier edge for edge. *)
+  let n = 24 and eps = 0.5 in
+  let rng = Prng.create 910 in
+  let g = Gen.connected_gnp (Prng.split rng) ~n ~p:0.25 in
+  let stream = Stream_gen.with_churn (Prng.split rng) ~decoys:80 g in
+  let prm = S1.default_params ~n ~eps in
+  let t = S1.create (Prng.create 911) ~n ~params:prm in
+  Array.iter (fun u -> S1.update t ~u:u.Update.u ~v:u.Update.v ~delta:(Update.delta u)) stream;
+  let copy = LB.clone_zero (S1.bank t) in
+  Ds_sketch.Linear_sketch.deserialize_into
+    (module LB.Linear)
+    copy
+    (Ds_sketch.Linear_sketch.serialize (module LB.Linear) (S1.bank t));
+  let r1 = S1.decode (Prng.create 912) t ~eps in
+  let r2 = S1.decode (Prng.create 912) (S1.of_bank ~n ~params:prm copy) ~eps in
+  check_bool "identical edge sets" true
+    (Weighted_graph.edges r1.S1.sparsifier = Weighted_graph.edges r2.S1.sparsifier)
+
 let () =
   Alcotest.run "sparsifier"
     [
@@ -292,5 +451,15 @@ let () =
         [
           Alcotest.test_case "quality" `Quick test_ss08_quality;
           Alcotest.test_case "expected size" `Quick test_ss08_expected_size_formula;
+        ] );
+      ( "sparsify1p",
+        [
+          Alcotest.test_case "eps boundaries" `Quick test_s1_eps_boundaries;
+          Alcotest.test_case "empty stream" `Quick test_s1_empty_stream;
+          Alcotest.test_case "state roundtrip decodes identically" `Slow
+            test_s1_state_roundtrip_decodes_identically;
+          QCheck_alcotest.to_alcotest prop_s1_pencil;
+          QCheck_alcotest.to_alcotest prop_s1_serialize_merge_commutes;
+          QCheck_alcotest.to_alcotest prop_s1_size_vs_two_pass;
         ] );
     ]
