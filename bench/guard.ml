@@ -182,11 +182,20 @@ let () =
      ceiling "serve_ingest_p99" "ingest_p99_ms" 250.0;
      ceiling "serve_recovery" "recovery_ms" 2000.0;
      ceiling "serve_flush" "flush_ms" 2000.0;
-     match find_number serve "recovery_streams" with
+     (match find_number serve "recovery_streams" with
      | Some s when s > 0.0 -> ()
      | _ ->
          incr failures;
-         print_endline "guard: serve file recovered zero streams            EMPTY STORE"
+         print_endline "guard: serve file recovered zero streams            EMPTY STORE");
+     (* Enabled-observability overhead on the serve path (v2 schema): a
+        v1 file predates the quantile/STAT/flight subsystem and
+        legitimately lacks the key. *)
+     match find_number serve "serve_obs_overhead_frac" with
+     | None -> print_endline "guard: no serve observability overhead (pre-v2), skipping"
+     | Some o ->
+         let verdict = if o < max_overhead then "ok" else (incr failures; "TOO HIGH") in
+         Printf.printf "guard: %-40s %.2f%% (limit %.0f%%)  %s\n" "serve_obs_overhead_frac"
+           (100.0 *. o) (100.0 *. max_overhead) verdict
    end);
   (* Sparsify gate: committed baseline + fresh BENCH_sparsify.json. *)
   (if argc > 6 then begin

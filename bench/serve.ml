@@ -7,12 +7,18 @@
    schema bench_serve/v1) so bench/guard.exe can gate later PRs:
 
    - ingest round-trip latency through the real Unix-socket path (fork a
-     server, drive a seeded Loadgen plan frame by frame, record every
-     ack's wall clock) — p50/p95/p99 and throughput;
+     server, drive a seeded Loadgen plan frame by frame, feed every
+     ack's wall clock into a [Ds_obs.Quantile] sketch) — p50/p90/p99/
+     p999 and throughput;
    - crash recovery: build a multi-tenant checkpoint store, discard the
      live server, and time [Server.create]'s recovery walk (decode +
      verify + load of the newest good generation per tenant);
-   - checkpoint write: the fsync-bounded cost of one [Flush].
+   - checkpoint write: the fsync-bounded cost of one [Flush];
+   - enabled-observability overhead: three paired off/on server runs of
+     the same seeded workload (telemetry registry + quantiles + tracing
+     enabled in the "on" child), reported as the clamped median wall
+     ratio [serve_obs_overhead_frac] so the guard can hold the serve
+     path's observability tax under its budget.
 
    Percentile ceilings live in the guard, not here: this file records
    what the machine did, the guard decides what is acceptable. *)
@@ -50,15 +56,10 @@ let fresh_dir =
     Unix.mkdir d 0o755;
     d
 
-(* Percentile over a sorted array, nearest-rank. *)
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1 |> max 0))
-
-let start_server config ~socket_path =
+let start_server ?(obs = false) config ~socket_path =
   match Unix.fork () with
   | 0 ->
+      if obs then Ds_obs.Export.enable ();
       (try Server.run_unix (Server.create config) ~socket_path ~tick:0.002 ()
        with _ -> ());
       Unix._exit 0
@@ -114,20 +115,23 @@ let () =
       | Ok _ -> ()
       | Error m -> failwith ("bench serve: create: " ^ m))
     plan.Loadgen.p_specs;
-  let latencies = ref [] in
+  (* Client-side wall clock per acked frame, accumulated in the same
+     fixed-memory quantile sketch the serve path itself uses — so the
+     bench reports the estimator we actually ship, tails included. *)
+  let lat = Ds_obs.Quantile.make () in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun s ->
       List.iter
         (fun payload ->
-          let t = Unix.gettimeofday () in
+          let t = Ds_obs.Clock.now_ns () in
           (match
              Client.ingest client ~tenant:s.Loadgen.l_tenant ~stream:s.Loadgen.l_stream
                ~payload
            with
           | Ok () -> ()
           | Error m -> failwith ("bench serve: ingest: " ^ m));
-          latencies := (Unix.gettimeofday () -. t) :: !latencies)
+          Ds_obs.Quantile.observe lat (Int64.to_int (Ds_obs.Clock.elapsed_ns t)))
         (Loadgen.batches s))
     plan.Loadgen.p_specs;
   let ingest_wall = Unix.gettimeofday () -. t0 in
@@ -145,14 +149,15 @@ let () =
   in
   Client.close client;
   stop_server pid;
-  let sorted = Array.of_list !latencies in
-  Array.sort compare sorted;
-  let p50 = 1000.0 *. percentile sorted 0.50 in
-  let p95 = 1000.0 *. percentile sorted 0.95 in
-  let p99 = 1000.0 *. percentile sorted 0.99 in
+  let s = Ds_obs.Quantile.summarize lat in
+  let ms ns = ns /. 1e6 in
+  let p50 = ms s.Ds_obs.Quantile.s_p50
+  and p90 = ms s.Ds_obs.Quantile.s_p90
+  and p99 = ms s.Ds_obs.Quantile.s_p99
+  and p999 = ms s.Ds_obs.Quantile.s_p999 in
   let rate = float_of_int frames /. ingest_wall in
   Fmt.pr "  ingest  %d frames in %.2fs (%.0f frames/s)@." frames ingest_wall rate;
-  Fmt.pr "  latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms@." p50 p95 p99;
+  Fmt.pr "  latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, p999 %.3f ms@." p50 p90 p99 p999;
   Fmt.pr "  flush   %.1f ms (%d tenants, fsync-bounded)@." flush_ms tenants;
 
   (* --- recovery time ------------------------------------------------ *)
@@ -167,9 +172,45 @@ let () =
   if rr.Server.r_streams <> tenants * streams_per_tenant then
     failwith "bench serve: recovery lost streams";
 
+  (* --- enabled-observability overhead ------------------------------- *)
+  (* Same seeded workload against a telemetry-off and a telemetry-on
+     server child (quantiles + counters + span tracing + per-tenant
+     stats all live in the "on" child), three interleaved pairs; the
+     reported fraction is the median wall ratio, clamped at zero since
+     on a syscall-dominated path scheduler noise swamps a few atomics. *)
+  let obs_plan =
+    Loadgen.make ~seed:(seed + 1) ~tenants:2 ~streams_per_tenant:2 ~updates:1_500 ~n:64
+      ~batch:8 ()
+  in
+  let run_once ~obs =
+    let dir = fresh_dir () in
+    let socket_path = Filename.concat dir "sock" in
+    let config =
+      { (Server.default_config ~dir) with Server.checkpoint_every = 64; drain_per_tick = 64 }
+    in
+    let pid = start_server ~obs config ~socket_path in
+    let client = Client.connect ~socket_path ~delay_unit:0.005 () in
+    let t = Unix.gettimeofday () in
+    let o = Loadgen.run client obs_plan ~ledger:None in
+    let wall = Unix.gettimeofday () -. t in
+    Client.close client;
+    stop_server pid;
+    if o.Loadgen.o_failed_frames > 0 then failwith "bench serve: obs phase dropped frames";
+    wall
+  in
+  let ratios =
+    List.init 3 (fun _ ->
+        let off = run_once ~obs:false in
+        let on = run_once ~obs:true in
+        (on -. off) /. off)
+  in
+  let obs_overhead = max 0.0 (List.nth (List.sort compare ratios) 1) in
+  Fmt.pr "  obs overhead %.2f%% (median of 3 off/on pairs: %s)@." (100.0 *. obs_overhead)
+    (String.concat " " (List.map (fun r -> Printf.sprintf "%+.1f%%" (100.0 *. r)) ratios));
+
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": \"bench_serve/v1\",\n";
+  p "  \"schema\": \"bench_serve/v2\",\n";
   p "  \"git_sha\": \"%s\",\n" (git_sha ());
   p "  \"date\": \"%s\",\n" (iso8601_utc ());
   p "  \"timestamp\": %.0f,\n" (Unix.time ());
@@ -183,13 +224,17 @@ let () =
   p "  \"ingest\": {\n";
   p "    \"frames_per_sec\": %.0f,\n" rate;
   p "    \"ingest_p50_ms\": %.3f,\n" p50;
-  p "    \"ingest_p95_ms\": %.3f,\n" p95;
-  p "    \"ingest_p99_ms\": %.3f\n" p99;
+  p "    \"ingest_p90_ms\": %.3f,\n" p90;
+  p "    \"ingest_p99_ms\": %.3f,\n" p99;
+  p "    \"ingest_p999_ms\": %.3f\n" p999;
   p "  },\n";
   p "  \"durability\": {\n";
   p "    \"flush_ms\": %.1f,\n" flush_ms;
   p "    \"recovery_ms\": %.1f,\n" recovery_ms;
   p "    \"recovery_streams\": %d\n" rr.Server.r_streams;
+  p "  },\n";
+  p "  \"observability\": {\n";
+  p "    \"serve_obs_overhead_frac\": %.4f\n" obs_overhead;
   p "  }\n";
   p "}\n";
   close_out oc;

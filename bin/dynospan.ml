@@ -742,8 +742,14 @@ let dir_arg =
     & info [ "dir" ] ~docv:"DIR" ~doc:"Checkpoint store directory (created if missing).")
 
 let serve_cmd =
-  let run socket dir quota queue_bound drain checkpoint_every retention metrics metrics_out =
+  let run socket dir admin quota queue_bound drain checkpoint_every retention tenant_gauges
+      no_obs no_flight metrics metrics_out =
     with_obs ~metrics ~metrics_out @@ fun () ->
+    (* The service is the one command where telemetry defaults ON: the
+       STAT rollup and the admin plane are only useful when the quantile
+       sketches are accumulating.  [--no-obs] restores the zero-overhead
+       path for byte-identical baselines. *)
+    if not no_obs then Ds_obs.Export.enable ();
     let config =
       {
         (Ds_serve.Server.default_config ~dir) with
@@ -752,10 +758,12 @@ let serve_cmd =
         drain_per_tick = drain;
         checkpoint_every;
         retention;
+        tenant_gauges;
+        flight = not no_flight;
       }
     in
     let server = Ds_serve.Server.create config in
-    Ds_serve.Server.run_unix server ~socket_path:socket ();
+    Ds_serve.Server.run_unix server ~socket_path:socket ?admin_path:admin ();
     Fmt.pr "serve: stopped; %d event(s) logged@."
       (List.length (Ds_serve.Server.events server))
   in
@@ -786,19 +794,60 @@ let serve_cmd =
       value & opt int 2
       & info [ "retention" ] ~docv:"G" ~doc:"Durable generations kept per tenant.")
   in
+  let admin_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admin-socket" ] ~docv:"PATH"
+          ~doc:
+            "Open a second Unix listener inside the same event loop speaking minimal HTTP: \
+             GET /stats (serve_stats/v1 JSON), /metrics (Prometheus), /json (full ds_obs/v1 \
+             report), /healthz.")
+  in
+  let gauges_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "tenant-gauges" ] ~docv:"K"
+          ~doc:
+            "Heaviest tenants kept as per-tenant word gauges in the metric registry; the \
+             rest stay in the bounded STAT rollup only.")
+  in
+  let no_obs_arg =
+    Arg.(
+      value & flag
+      & info [ "no-obs" ]
+          ~doc:
+            "Disable the telemetry registry (quantiles, counters, spans). Stats served over \
+             STAT and the admin plane then report structure only, with empty latency \
+             summaries.")
+  in
+  let no_flight_arg =
+    Arg.(
+      value & flag
+      & info [ "no-flight" ]
+          ~doc:
+            "Disarm the crash flight recorder (no flight-latest.json dumps on overload, \
+             quarantine, checkpoint or shutdown).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the multi-tenant sketch service on a Unix domain socket: bounded ingest queue \
           with typed Overloaded/Quota NACKs, periodic write-tmp/fsync/rename checkpoints, and \
           kill -9-safe recovery that quarantines torn generations and replays the undurable \
-          suffix by linearity. SIGTERM exits gracefully (drain + checkpoint).")
+          suffix by linearity. SIGTERM exits gracefully (drain + checkpoint). Telemetry is on \
+          by default ($(b,--no-obs) disables); $(b,--admin-socket) adds an in-loop HTTP scrape \
+          plane, and the flight recorder dumps recent spans and stats to flight-latest.json on \
+          overload, quarantine and shutdown.")
     Term.(
-      const run $ socket_arg $ dir_arg $ quota_arg $ queue_arg $ drain_arg $ ck_arg
-      $ retention_arg $ metrics_arg $ metrics_out_arg)
+      const run $ socket_arg $ dir_arg $ admin_arg $ quota_arg $ queue_arg $ drain_arg
+      $ ck_arg $ retention_arg $ gauges_arg $ no_obs_arg $ no_flight_arg $ metrics_arg
+      $ metrics_out_arg)
 
 let loadgen_cmd =
-  let run socket seed tenants streams updates n batch ledger verify delay_unit =
+  let run socket seed tenants streams updates n batch ledger verify delay_unit metrics
+      metrics_out =
+    with_obs ~metrics ~metrics_out @@ fun () ->
     let plan = Ds_serve.Loadgen.make ~seed ~tenants ~streams_per_tenant:streams ~updates ~n ~batch () in
     let client = Ds_serve.Client.connect ~socket_path:socket ~delay_unit () in
     if verify then begin
@@ -832,6 +881,14 @@ let loadgen_cmd =
         o.Ds_serve.Loadgen.o_acked_frames o.Ds_serve.Loadgen.o_failed_frames
         o.Ds_serve.Loadgen.o_retries o.Ds_serve.Loadgen.o_reconnects
         o.Ds_serve.Loadgen.o_backoff;
+      let lat = o.Ds_serve.Loadgen.o_lat in
+      if lat.Ds_obs.Quantile.s_count > 0 then
+        Fmt.pr "loadgen: rpc latency (ms) p50=%.2f p90=%.2f p99=%.2f p999=%.2f over %d ack(s)@."
+          (lat.Ds_obs.Quantile.s_p50 /. 1e6)
+          (lat.Ds_obs.Quantile.s_p90 /. 1e6)
+          (lat.Ds_obs.Quantile.s_p99 /. 1e6)
+          (lat.Ds_obs.Quantile.s_p999 /. 1e6)
+          lat.Ds_obs.Quantile.s_count;
       if o.Ds_serve.Loadgen.o_failed_frames > 0 then exit 1
     end;
     Ds_serve.Client.close client
@@ -888,7 +945,164 @@ let loadgen_cmd =
           workload is a pure function of the seed.")
     Term.(
       const run $ socket_arg $ seed_arg $ tenants_arg $ streams_arg $ updates_arg $ ln_arg
-      $ batch_arg $ ledger_arg $ verify_arg $ delay_unit_arg)
+      $ batch_arg $ ledger_arg $ verify_arg $ delay_unit_arg $ metrics_arg $ metrics_out_arg)
+
+let serve_stats_cmd =
+  let open Ds_util in
+  let jnull = Json.Null in
+  let mem k j = Option.value ~default:jnull (Json.member k j) in
+  let num k j =
+    match Option.bind (Json.member k j) Json.to_float with Some v -> v | None -> 0.0
+  in
+  let int_ k j = int_of_float (num k j) in
+  let bool_ k j = match Json.member k j with Some (Json.Bool b) -> b | _ -> false in
+  let str_ k j =
+    match Option.bind (Json.member k j) Json.to_str with Some s -> s | None -> "?"
+  in
+  let pp_summary ppf j =
+    Fmt.pf ppf "n=%d p50=%.0f p90=%.0f p99=%.0f p999=%.0f" (int_ "count" j) (num "p50" j)
+      (num "p90" j) (num "p99" j) (num "p999" j)
+  in
+  let pp_nacks ppf j =
+    match Json.to_obj j with
+    | Some ((_ :: _) as kvs) ->
+        Fmt.pf ppf " nacks:";
+        List.iter
+          (fun (k, v) -> Fmt.pf ppf " %s=%d" k (Option.value ~default:0 (Json.to_int v)))
+          kvs
+    | _ -> ()
+  in
+  let print_stats doc =
+    let queue = mem "queue" doc and totals = mem "totals" doc and flight = mem "flight" doc in
+    Fmt.pr "serve stats (%s): observability=%s@." (str_ "schema" doc)
+      (if bool_ "observability" doc then "on" else "off");
+    Fmt.pr "queue: depth %d / bound %d%s@." (int_ "depth" queue) (int_ "bound" queue)
+      (if bool_ "overloaded" queue then " OVERLOADED" else "");
+    Fmt.pr
+      "totals: %d tenant(s), %d stream(s), %d applied frame(s), %d words (quota %d/tenant), \
+       checkpoint lag %d@."
+      (int_ "tenants" totals) (int_ "streams" totals) (int_ "applied_frames" totals)
+      (int_ "words" totals) (int_ "quota_words" totals) (int_ "checkpoint_lag" totals);
+    Fmt.pr "ingest latency (ns): %a%a@." pp_summary (mem "ingest" doc) pp_nacks
+      (mem "nacks" doc);
+    Fmt.pr "flight: %s, %d dump(s)@."
+      (if bool_ "armed" flight then "armed" else "disarmed")
+      (int_ "dumps" flight);
+    (match Json.to_obj (mem "tenants" doc) with
+    | Some ((_ :: _) as tenants) ->
+        Fmt.pr "tenants (heaviest first):@.";
+        List.iter
+          (fun (name, tj) ->
+            Fmt.pr "  %-12s %d/%d words, %d stream(s), gen %d, lag %d, %a%a@." name
+              (int_ "words" tj) (int_ "quota_words" tj) (int_ "streams" tj)
+              (int_ "generation" tj) (int_ "checkpoint_lag" tj) pp_summary (mem "ingest" tj)
+              pp_nacks (mem "nacks" tj))
+          tenants
+    | _ -> ());
+    let om = mem "tenants_omitted" doc in
+    if int_ "count" om > 0 then
+      Fmt.pr "(+%d tenant(s) omitted holding %d words; aggregate in overflow)@."
+        (int_ "count" om) (int_ "words" om)
+  in
+  let run socket dir post_mortem json =
+    if post_mortem then begin
+      let dir =
+        match dir with
+        | Some d -> d
+        | None ->
+            Fmt.epr "serve-stats: --post-mortem needs --dir DIR@.";
+            exit 2
+      in
+      match Ds_serve.Flight.read ~dir with
+      | Error m ->
+          Fmt.epr "serve-stats: no readable flight dump: %s@." m;
+          exit 1
+      | Ok doc ->
+          if json then print_string (Json.to_string doc ^ "\n")
+          else begin
+            Fmt.pr "flight dump %s: seq=%d reason=%s pid=%d wall=%.3f@." (str_ "schema" doc)
+              (int_ "seq" doc) (str_ "reason" doc) (int_ "pid" doc) (num "wall_s" doc);
+            let spans =
+              Option.value ~default:[] (Option.bind (Json.member "spans" doc) Json.to_list)
+            in
+            Fmt.pr "spans: %d in dump (%d recorded, %d dropped since boot)@."
+              (List.length spans) (int_ "spans_recorded" doc) (int_ "spans_dropped" doc);
+            let tail = List.filteri (fun i _ -> i >= List.length spans - 5) spans in
+            List.iter
+              (fun sp ->
+                Fmt.pr "  %-24s dur=%.0fns trace=%Lx@." (str_ "name" sp) (num "dur_ns" sp)
+                  (Int64.of_float (num "trace_id" sp)))
+              tail;
+            (match Option.bind (Json.member "events" doc) Json.to_list with
+            | Some ((_ :: _) as events) ->
+                Fmt.pr "events (newest first):@.";
+                List.iter
+                  (fun e ->
+                    match Json.to_str e with Some s -> Fmt.pr "  %s@." s | None -> ())
+                  events
+            | _ -> ());
+            print_stats (mem "stats" doc)
+          end
+    end
+    else begin
+      let socket =
+        match socket with
+        | Some s -> s
+        | None ->
+            Fmt.epr "serve-stats: need --socket PATH (or --post-mortem --dir DIR)@.";
+            exit 2
+      in
+      let client = Ds_serve.Client.connect ~socket_path:socket () in
+      let r = Ds_serve.Client.stat client in
+      Ds_serve.Client.close client;
+      match r with
+      | Error m ->
+          Fmt.epr "serve-stats: %s@." m;
+          exit 1
+      | Ok s ->
+          if json then print_string (s ^ "\n")
+          else (
+            match Json.parse s with
+            | Ok doc -> print_stats doc
+            | Error m ->
+                Fmt.epr "serve-stats: server sent unparseable stats: %s@." m;
+                exit 1)
+    end
+  in
+  let socket_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket of a running server.")
+  in
+  let dir_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Checkpoint store to read the flight dump from (with $(b,--post-mortem)).")
+  in
+  let post_mortem_arg =
+    Arg.(
+      value & flag
+      & info [ "post-mortem" ]
+          ~doc:
+            "Read $(b,flight-latest.json) from $(b,--dir) instead of asking a live server — \
+             what the flight recorder persisted before a crash or kill -9.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw JSON document instead of the summary view.")
+  in
+  Cmd.v
+    (Cmd.info "serve-stats"
+       ~doc:
+         "Live service stats: ask a running $(b,dynospan serve) for its serve_stats/v1 rollup \
+          over SRV1 (queue depth and backpressure state, NACK taxonomy, ingest latency \
+          p50/p99/p999, per-tenant space-vs-quota and watermarks), or with $(b,--post-mortem) \
+          read the crash flight recorder's last dump from the checkpoint store.")
+    Term.(const run $ socket_opt_arg $ dir_opt_arg $ post_mortem_arg $ json_arg)
 
 let chaos_serve_cmd =
   let run dir seed fault_seed rate crash_every tear =
@@ -968,6 +1182,7 @@ let () =
             bipartite_cmd;
             offline_cmd;
             serve_cmd;
+            serve_stats_cmd;
             loadgen_cmd;
             chaos_serve_cmd;
           ]))

@@ -10,6 +10,7 @@ let active () = Metrics.enabled () || Trace.enabled ()
 
 let reset () =
   Metrics.reset ();
+  Quantile.reset_all ();
   Trace.reset ();
   Ledger.reset ()
 
@@ -17,6 +18,8 @@ let report_json () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"schema\":\"ds_obs/v1\",\"metrics\":";
   Buffer.add_string b (Metrics.to_json (Metrics.snapshot ()));
+  Buffer.add_string b ",\"quantiles\":";
+  Buffer.add_string b (Quantile.to_json (Quantile.snapshot ()));
   Buffer.add_string b ",\"spans\":[";
   List.iteri
     (fun i (sp : Trace.span) ->
@@ -34,7 +37,9 @@ let write_report ~path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (report_json ()))
 
-let prometheus () = Metrics.to_prometheus (Metrics.snapshot ())
+let prometheus () =
+  Metrics.to_prometheus (Metrics.snapshot ())
+  ^ Quantile.to_prometheus (Quantile.snapshot ())
 
 let pp_summary ppf () =
   let snap = Metrics.snapshot () in
@@ -50,6 +55,13 @@ let pp_summary ppf () =
   List.iter
     (fun (name, v) -> Format.fprintf ppf "  %s = %d@." name v)
     nonzero;
+  List.iter
+    (fun (name, s) ->
+      if s.Quantile.s_count > 0 then
+        Format.fprintf ppf "  %s: n=%d p50=%.0f p99=%.0f p999=%.0f@." name
+          s.Quantile.s_count s.Quantile.s_p50 s.Quantile.s_p99
+          s.Quantile.s_p999)
+    (Quantile.snapshot ());
   List.iter
     (fun e -> Format.fprintf ppf "space-ledger: %a@." Ledger.pp_entry e)
     (Ledger.entries ())

@@ -12,10 +12,12 @@ val reset : unit -> unit
     Registrations persist. *)
 
 val report_json : unit -> string
-(** [{"schema":"ds_obs/v1","metrics":{..},"spans":[..],
-     "spans_dropped":N,"ledger":[..]}] — spans inline as objects (same
-    fields as the JSONL export, causal ids included); [spans_dropped]
-    counts spans lost to ring wraparound.  Trailing newline included. *)
+(** [{"schema":"ds_obs/v1","metrics":{..},"quantiles":{..},
+     "spans":[..],"spans_dropped":N,"ledger":[..]}] — spans inline as
+    objects (same fields as the JSONL export, causal ids included);
+    [spans_dropped] counts spans lost to ring wraparound; [quantiles]
+    holds one {!Quantile.summary} per registered sketch.  Trailing
+    newline included. *)
 
 val write_report : path:string -> unit
 (** Write {!report_json} to [path] (truncating). *)

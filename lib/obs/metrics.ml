@@ -152,6 +152,8 @@ let snapshot () =
         histograms = List.sort by_name !hs;
       })
 
+let unregister name = with_lock (fun () -> Hashtbl.remove registry name)
+
 let reset () =
   with_lock (fun () ->
       Hashtbl.iter

@@ -78,6 +78,17 @@ val snapshot : unit -> snapshot
 val reset : unit -> unit
 (** Zero every registered metric (registrations themselves persist). *)
 
+val unregister : string -> unit
+(** Remove a metric from the registry entirely: it stops appearing in
+    snapshots and exports.  Callers still holding the handle can keep
+    writing to its (now orphaned) cells; a later re-registration under
+    the same name creates fresh cells.  Exists so unbounded name
+    spaces (per-tenant gauges) can evict cold entries. *)
+
+val sanitize : string -> string
+(** Prometheus-legal metric name: out-of-charset bytes become ['_'],
+    a leading digit gets a ['_'] prefix. *)
+
 (** {1 Exporters} *)
 
 val to_json : snapshot -> string

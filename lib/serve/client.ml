@@ -123,8 +123,8 @@ let dial t =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       transport "connect %s: %s" t.socket_path (Unix.error_message e)
 
-let rpc_on fd t req =
-  send fd (Sframe.encode_request req);
+let rpc_on ?trace fd t req =
+  send fd (Sframe.encode_request ?trace req);
   recv t fd
 
 (* Resynchronise one stream after reconnecting: ask the server where its
@@ -237,7 +237,18 @@ let ingest t ~tenant ~stream ~payload =
   e.next_seq <- seq + 1;
   Hashtbl.replace e.unacked seq payload;
   with_retries t (fun fd ->
-      match rpc_on fd t (Sframe.Ingest { tenant; stream; seq; payload }) with
+      match
+        (* When tracing is on, the frame carries this send span's
+           context (TCTX) so the server's serve.apply span parents
+           under it — one causal trace across both processes.  With
+           tracing off, [current_context] is [None] and the bytes are
+           the PR 8 wire format exactly. *)
+        Ds_obs.Trace.with_span "client.send" (fun () ->
+            rpc_on
+              ?trace:(Ds_obs.Trace.current_context ())
+              fd t
+              (Sframe.Ingest { tenant; stream; seq; payload }))
+      with
       | Sframe.Ack { durable_seq; _ } ->
           Hashtbl.iter
             (fun k _ -> if k <= durable_seq then Hashtbl.remove e.unacked k)
@@ -295,6 +306,13 @@ let stats t =
           Ok (tenants, streams, applied_frames, words)
       | Sframe.Nack { reason; _ } -> nack_error reason
       | _ -> Error (`Transient "unexpected response to stats"))
+
+let stat t =
+  with_retries t (fun fd ->
+      match rpc_on fd t Sframe.Stat_rollup with
+      | Sframe.Stat_rollup_reply { json } -> Ok json
+      | Sframe.Nack { reason; _ } -> nack_error reason
+      | _ -> Error (`Transient "unexpected response to stat"))
 
 let unacked_count t ~tenant ~stream =
   match Hashtbl.find_opt t.streams (tenant, stream) with

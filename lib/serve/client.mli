@@ -63,6 +63,11 @@ val drop_copies :
 val stats : t -> (int * int * int * int, string) result
 (** (tenants, streams, applied frames, words). *)
 
+val stat : t -> (string, string) result
+(** The server's full [serve_stats/v1] rollup as one JSON document
+    (queue state, totals, NACK taxonomy, ingest latency quantiles and
+    the bounded per-tenant section) — the [Stat_rollup] RPC. *)
+
 val retries : t -> int
 val reconnects : t -> int
 val backoff_total : t -> float

@@ -128,6 +128,10 @@ type outcome = {
   o_retries : int;
   o_reconnects : int;
   o_backoff : float;
+  o_lat : Ds_obs.Quantile.summary;
+      (* client-observed wall time per acked ingest RPC, ns — measured
+         with an ungated Quantile sketch, so honest p99/p999 come out
+         of a fixed-memory accumulator instead of a sample array *)
 }
 
 (* Drive the plan through a socket client round-robin across streams, so
@@ -151,6 +155,7 @@ let run client plan ~ledger =
     specs;
   let remaining = ref (Array.fold_left (fun a p -> a + Array.length p) 0 payloads) in
   let cursor = Array.make (Array.length specs) 0 in
+  let lat = Ds_obs.Quantile.make () in
   let write_ledger i =
     match ledger with
     | None -> ()
@@ -166,11 +171,14 @@ let run client plan ~ledger =
         if c < Array.length payloads.(i) then begin
           cursor.(i) <- c + 1;
           decr remaining;
+          let t0 = Ds_obs.Clock.now_ns () in
           match
             Client.ingest client ~tenant:spec.l_tenant ~stream:spec.l_stream
               ~payload:payloads.(i).(c)
           with
           | Ok () ->
+              Ds_obs.Quantile.observe lat
+                (Int64.to_int (Ds_obs.Clock.elapsed_ns t0));
               acked.(i) <- acked.(i) + 1;
               write_ledger i
           | Error _ -> incr failed
@@ -195,6 +203,7 @@ let run client plan ~ledger =
     o_retries = Client.retries client;
     o_reconnects = Client.reconnects client;
     o_backoff = Client.backoff_total client;
+    o_lat = Ds_obs.Quantile.summarize lat;
   }
 
 (* Verification: rebuild the plan from its seed, query every stream, and

@@ -51,6 +51,8 @@ type outcome = {
   o_retries : int;
   o_reconnects : int;
   o_backoff : float;
+  o_lat : Ds_obs.Quantile.summary;
+      (** client-observed wall time per acked ingest RPC, in ns *)
 }
 
 val run : Client.t -> plan -> ledger:out_channel option -> outcome

@@ -27,6 +27,13 @@ type config = {
   checkpoint_every : int;  (** applied frames between generations *)
   max_frame : int;  (** LSK1 frame length-prefix ceiling *)
   retention : int;  (** durable generations kept per tenant *)
+  tenant_gauges : int;
+      (** heaviest tenants kept as [serve.tenant.words.*] registry
+          gauges (the rest are evicted — the registry stays bounded) *)
+  tenant_stats_cap : int;
+      (** distinct tenants tracked and reported in the STAT rollup;
+          later arrivals share one overflow slot *)
+  flight : bool;  (** arm the crash {!Flight} recorder *)
 }
 
 val default_config : dir:string -> config
@@ -77,10 +84,29 @@ val take_output : conn -> string
 
 val pending_depth : t -> int
 val checkpoint_now : t -> unit
-(** Checkpoint every dirty tenant immediately (also the [Flush] path). *)
+(** Checkpoint every dirty tenant immediately (also the [Flush] path),
+    refresh the top-K tenant gauges, and flight-dump when armed. *)
 
-val run_unix : t -> socket_path:string -> ?tick:float -> ?max_ticks:int -> unit -> unit
+val stat_json : t -> string
+(** The [serve_stats/v1] rollup answered to [Stat_rollup] requests and
+    served at [/stats] on the admin socket: queue/backpressure state,
+    totals, NACK taxonomy, ingest latency quantiles (p50/p90/p99/p999)
+    and a per-tenant section bounded at [tenant_stats_cap] heaviest
+    tenants (words vs quota, streams, watermarks, checkpoint lag,
+    per-tenant NACKs and latency). *)
+
+val run_unix :
+  t ->
+  socket_path:string ->
+  ?admin_path:string ->
+  ?tick:float ->
+  ?max_ticks:int ->
+  unit ->
+  unit
 (** Accept/ingest loop over a Unix domain socket ([Unix.select],
     non-blocking).  SIGTERM/SIGINT request a graceful exit: queued
     frames are drained and checkpointed; only kill -9 loses state.
-    [max_ticks] bounds the loop for tests. *)
+    [max_ticks] bounds the loop for tests.  [admin_path] opens a second
+    listener inside the same select loop speaking minimal HTTP/1.0:
+    [GET /stats] (STAT rollup JSON), [/metrics] (Prometheus),
+    [/json] (full [ds_obs/v1] report), [/healthz]. *)

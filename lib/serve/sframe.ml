@@ -17,6 +17,7 @@ type request =
   | Flush of { tenant : string }
   | Drop_copies of { tenant : string; stream : string; copies : int list }
   | Stats
+  | Stat_rollup
 
 type response =
   | Created of { words : int }
@@ -33,6 +34,7 @@ type response =
   | Flushed of { generation : int }
   | Stats_reply of { tenants : int; streams : int; applied_frames : int; words : int }
   | Dropped of { copies_lost : int }
+  | Stat_rollup_reply of { json : string }
 
 let nack_name = function
   | Overloaded _ -> "overloaded"
@@ -42,6 +44,28 @@ let nack_name = function
   | Unknown_family _ -> "unknown_family"
   | Bad_seq _ -> "bad_seq"
   | Bad_frame _ -> "bad_frame"
+
+(* Dense taxonomy indexing for per-tenant NACK counts in the STAT
+   rollup: [nack_kinds.(nack_index r) = nack_name r]. *)
+let nack_kinds =
+  [|
+    "overloaded";
+    "quota_exceeded";
+    "unknown_stream";
+    "stream_exists";
+    "unknown_family";
+    "bad_seq";
+    "bad_frame";
+  |]
+
+let nack_index = function
+  | Overloaded _ -> 0
+  | Quota_exceeded _ -> 1
+  | Unknown_stream -> 2
+  | Stream_exists -> 3
+  | Unknown_family _ -> 4
+  | Bad_seq _ -> 5
+  | Bad_frame _ -> 6
 
 (* Only overload is transient from the client's point of view (back off,
    re-send the same bytes).  [Bad_frame] is deterministic too: local
@@ -77,6 +101,14 @@ let pp_nack ppf = function
 
 let magic = "SRV1"
 
+(* Same strictly-additive trace-context extension as the LSK1 envelope
+   (lib/sketch/linear_sketch.ml): an optional trailing
+   [tag "TCTX" . fixed64 trace_id . fixed64 span_id] INSIDE the
+   checksummed payload.  Untraced frames are byte-identical to the
+   PR 8 wire format, so old servers and old clients interoperate with
+   new peers as long as tracing stays off (the default). *)
+let trace_ext_tag = "TCTX"
+
 let finish buf =
   let body = Wire.contents buf in
   Wire.write_fixed64 buf (Wire.fnv1a64 body);
@@ -95,7 +127,7 @@ let write_header buf kind =
   Wire.write_tag buf magic;
   Wire.write_int buf kind
 
-let encode_request r =
+let encode_request ?trace r =
   let buf = Wire.sink () in
   (match r with
   | Create { tenant; stream; family; n; seed } ->
@@ -127,7 +159,14 @@ let encode_request r =
       Wire.write_tag buf tenant;
       Wire.write_tag buf stream;
       Wire.write_array buf (Array.of_list copies)
-  | Stats -> write_header buf 7);
+  | Stats -> write_header buf 7
+  | Stat_rollup -> write_header buf 8);
+  (match trace with
+  | Some { Ds_obs.Trace.trace_id; span_id } ->
+      Wire.write_tag buf trace_ext_tag;
+      Wire.write_fixed64 buf trace_id;
+      Wire.write_fixed64 buf span_id
+  | None -> ());
   finish buf
 
 let encode_nack buf = function
@@ -188,7 +227,10 @@ let encode_response r =
       Wire.write_int buf words
   | Dropped { copies_lost } ->
       write_header buf 71;
-      Wire.write_int buf copies_lost);
+      Wire.write_int buf copies_lost
+  | Stat_rollup_reply { json } ->
+      write_header buf 72;
+      Wire.write_tag buf json);
   finish buf
 
 let decode_header src =
@@ -208,40 +250,62 @@ let decode_guard f msg =
           else Ok v
       | exception Failure m -> Error m)
 
-let decode_request msg =
+let read_request src =
+  match decode_header src with
+  | 1 ->
+      let tenant = Wire.read_tag src in
+      let stream = Wire.read_tag src in
+      let family = Wire.read_tag src in
+      let n = Wire.read_int src in
+      let seed = Wire.read_int src in
+      Create { tenant; stream; family; n; seed }
+  | 2 ->
+      let tenant = Wire.read_tag src in
+      let stream = Wire.read_tag src in
+      let seq = Wire.read_int src in
+      let payload = Wire.read_tag src in
+      Ingest { tenant; stream; seq; payload }
+  | 3 ->
+      let tenant = Wire.read_tag src in
+      let stream = Wire.read_tag src in
+      Query { tenant; stream }
+  | 4 ->
+      let tenant = Wire.read_tag src in
+      let stream = Wire.read_tag src in
+      Seq_query { tenant; stream }
+  | 5 -> Flush { tenant = Wire.read_tag src }
+  | 6 ->
+      let tenant = Wire.read_tag src in
+      let stream = Wire.read_tag src in
+      let copies = Array.to_list (Wire.read_array src) in
+      Drop_copies { tenant; stream; copies }
+  | 7 -> Stats
+  | 8 -> Stat_rollup
+  | k -> failwith (Printf.sprintf "unknown request kind %d" k)
+
+let decode_request_traced msg =
   decode_guard
     (fun src ->
-      match decode_header src with
-      | 1 ->
-          let tenant = Wire.read_tag src in
-          let stream = Wire.read_tag src in
-          let family = Wire.read_tag src in
-          let n = Wire.read_int src in
-          let seed = Wire.read_int src in
-          Create { tenant; stream; family; n; seed }
-      | 2 ->
-          let tenant = Wire.read_tag src in
-          let stream = Wire.read_tag src in
-          let seq = Wire.read_int src in
-          let payload = Wire.read_tag src in
-          Ingest { tenant; stream; seq; payload }
-      | 3 ->
-          let tenant = Wire.read_tag src in
-          let stream = Wire.read_tag src in
-          Query { tenant; stream }
-      | 4 ->
-          let tenant = Wire.read_tag src in
-          let stream = Wire.read_tag src in
-          Seq_query { tenant; stream }
-      | 5 -> Flush { tenant = Wire.read_tag src }
-      | 6 ->
-          let tenant = Wire.read_tag src in
-          let stream = Wire.read_tag src in
-          let copies = Array.to_list (Wire.read_array src) in
-          Drop_copies { tenant; stream; copies }
-      | 7 -> Stats
-      | k -> failwith (Printf.sprintf "unknown request kind %d" k))
+      let req = read_request src in
+      let ctx =
+        if Wire.remaining src = 0 then None
+        else
+          (* Anything after the request fields must be exactly one
+             trace-context extension; otherwise it is trailing garbage
+             exactly as before. *)
+          match
+            try Some (Wire.read_tag src) with Failure _ -> None
+          with
+          | Some tag when tag = trace_ext_tag && Wire.remaining src = 16 ->
+              let trace_id = Wire.read_fixed64 src in
+              let span_id = Wire.read_fixed64 src in
+              Some { Ds_obs.Trace.trace_id; span_id }
+          | Some _ | None -> failwith "trailing bytes after request"
+      in
+      (req, ctx))
     msg
+
+let decode_request msg = Result.map fst (decode_request_traced msg)
 
 let decode_nack src =
   match Wire.read_int src with
@@ -295,6 +359,7 @@ let decode_response msg =
           let words = Wire.read_int src in
           Stats_reply { tenants; streams; applied_frames; words }
       | 71 -> Dropped { copies_lost = Wire.read_int src }
+      | 72 -> Stat_rollup_reply { json = Wire.read_tag src }
       | k -> failwith (Printf.sprintf "unknown response kind %d" k))
     msg
 

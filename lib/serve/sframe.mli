@@ -37,6 +37,12 @@ type request =
   | Drop_copies of { tenant : string; stream : string; copies : int list }
       (** chaos/admin: mark AGM repetitions lost (degraded quorum) *)
   | Stats
+  | Stat_rollup
+      (** live observability rollup: per-tenant words vs quota,
+          checkpoint lag, NACK taxonomy and ingest latency quantiles as
+          one [serve_stats/v1] JSON document.  Strictly additive (kind
+          8): old servers answer it with a decode error, old clients
+          never send it. *)
 
 type response =
   | Created of { words : int }
@@ -57,17 +63,37 @@ type response =
   | Flushed of { generation : int }
   | Stats_reply of { tenants : int; streams : int; applied_frames : int; words : int }
   | Dropped of { copies_lost : int }
+  | Stat_rollup_reply of { json : string }
+      (** the [serve_stats/v1] document ({!Server.stat_json}) *)
 
 val nack_name : nack -> string
 (** Stable lowercase kind name — the keys of NACK metric counters. *)
+
+val nack_kinds : string array
+(** All kind names, indexed by {!nack_index} — the dense taxonomy used
+    by per-tenant NACK counts in the STAT rollup. *)
+
+val nack_index : nack -> int
+(** [nack_kinds.(nack_index r) = nack_name r]. *)
 
 val nack_retryable : nack -> bool
 (** Whether re-sending the same frame after backoff can succeed. *)
 
 val pp_nack : Format.formatter -> nack -> unit
 
-val encode_request : request -> string
+val encode_request : ?trace:Ds_obs.Trace.context -> request -> string
+(** [?trace] appends the same strictly-additive TCTX extension the
+    LSK1 envelope carries (tag + two fixed64 ids, inside the checksum)
+    so the server can link its [serve.apply] span under the client's
+    send span.  Without it the bytes are identical to the PR 8 format,
+    which old servers require. *)
+
 val decode_request : string -> (request, string) result
+(** Accepts traced and untraced frames alike, dropping the context. *)
+
+val decode_request_traced :
+  string -> (request * Ds_obs.Trace.context option, string) result
+
 val encode_response : response -> string
 val decode_response : string -> (response, string) result
 

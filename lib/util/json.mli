@@ -1,0 +1,38 @@
+(** Minimal zero-dependency JSON reader/writer.
+
+    The repo's exporters ([Ds_obs.Export], the bench writers, the
+    serve STAT rollup) emit JSON by hand; this module provides the
+    matching reader so in-tree consumers — [dynospan serve-stats], the
+    flight-recorder post-mortem, tests — can parse those documents
+    without an external library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; trailing non-whitespace bytes
+    are an error. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialization. NaN prints as [null]. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes), for hand-rolled
+    emitters. *)
+
+val member : string -> t -> t option
+(** [member k v] is the value bound to [k] when [v] is an object. *)
+
+val path : string list -> t -> t option
+(** [path ["a";"b"] v] walks nested objects. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

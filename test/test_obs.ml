@@ -366,6 +366,153 @@ let test_exporters_smoke () =
           "exp_hist_count 1";
         ])
 
+(* -------------------- quantile sketch -------------------- *)
+
+let nearest_rank sorted q =
+  let n = Array.length sorted in
+  let r = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  float_of_int sorted.(r - 1)
+
+(* The estimator's contract: the returned value is the midpoint of the
+   cell holding the true nearest-rank sample, so it is within half a
+   cell width — at most [v/64 + 0.5] — of the truth.  We assert the
+   looser [v/20 + 1] (5%), the bound the serve-path consumers rely on. *)
+let check_rank_error ~msg samples qs =
+  let t = Ds_obs.Quantile.make () in
+  List.iter (Ds_obs.Quantile.observe t) samples;
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      let truth = nearest_rank sorted q in
+      let est = Ds_obs.Quantile.estimate t q in
+      let bound = (truth /. 20.0) +. 1.0 in
+      if Float.abs (est -. truth) > bound then
+        Alcotest.failf "%s: q=%.3f estimate %.1f vs truth %.1f (bound %.1f, n=%d)" msg q
+          est truth bound (Array.length sorted))
+    qs
+
+let test_quantile_exact_small () =
+  (* Below 64 every cell has width 1: the estimate is the exact
+     nearest-rank sample, not an approximation. *)
+  let t = Ds_obs.Quantile.make () in
+  for v = 0 to 63 do
+    Ds_obs.Quantile.observe t v
+  done;
+  check_int "count" 64 (Ds_obs.Quantile.count t);
+  check_int "sum" (63 * 64 / 2) (Ds_obs.Quantile.sum t);
+  List.iter
+    (fun (q, expect) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "q=%.3f exact" q)
+        expect
+        (Ds_obs.Quantile.estimate t q))
+    [ (0.0, 0.0); (0.5, 31.0); (1.0, 63.0) ]
+
+let test_quantile_empty_and_negative () =
+  let t = Ds_obs.Quantile.make () in
+  check_bool "empty estimate is nan" true (Float.is_nan (Ds_obs.Quantile.estimate t 0.5));
+  let s = Ds_obs.Quantile.summarize t in
+  check_int "empty count" 0 s.Ds_obs.Quantile.s_count;
+  Ds_obs.Quantile.observe t (-17);
+  Alcotest.(check (float 0.0)) "negative clamps to 0" 0.0 (Ds_obs.Quantile.estimate t 0.5)
+
+let test_quantile_zipf_adversarial () =
+  (* Heavy head, long tail, then a far-out spike band: the shape that
+     breaks mean-based reporting and uniform histograms. *)
+  let samples =
+    List.init 2000 (fun i -> 1_000_000 / (i + 1))
+    @ List.init 25 (fun i -> 800_000_000 + (i * 1_000_000))
+  in
+  check_rank_error ~msg:"zipf+spikes" samples [ 0.5; 0.9; 0.99; 0.999 ]
+
+let prop_quantile_rank_error =
+  QCheck.Test.make ~name:"estimate within 5% rank error on any sample set" ~count:60
+    QCheck.(
+      list_of_size Gen.(int_range 1 400)
+        (oneofl [ 3; 64; 4096; 1_000_000; 999_999_937; 17; 255 ]))
+  @@ fun seeds ->
+  (* Grow each seed into a deterministic burst so magnitudes mix. *)
+  let samples = List.concat_map (fun s -> [ s; s / 3; (s * 2) + 1 ]) seeds in
+  let t = Ds_obs.Quantile.make () in
+  List.iter (Ds_obs.Quantile.observe t) samples;
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  List.for_all
+    (fun q ->
+      let truth = nearest_rank sorted q in
+      Float.abs (Ds_obs.Quantile.estimate t q -. truth) <= (truth /. 20.0) +. 1.0)
+    [ 0.5; 0.9; 0.99; 0.999 ]
+
+let prop_quantile_merge_is_concat =
+  QCheck.Test.make ~name:"merge_into = sketch of concatenated streams" ~count:60
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 200) (int_range 0 1_000_000_000))
+        (list_of_size Gen.(int_range 0 200) (int_range 0 1_000_000_000)))
+  @@ fun (xs, ys) ->
+  let a = Ds_obs.Quantile.make () and b = Ds_obs.Quantile.make () in
+  List.iter (Ds_obs.Quantile.observe a) xs;
+  List.iter (Ds_obs.Quantile.observe b) ys;
+  Ds_obs.Quantile.merge_into ~into:a b;
+  let whole = Ds_obs.Quantile.make () in
+  List.iter (Ds_obs.Quantile.observe whole) (xs @ ys);
+  (* Cells are pure counts, so the merged summary must be bit-identical
+     to the concatenation's — determinism, not approximation. *)
+  Ds_obs.Quantile.summarize a = Ds_obs.Quantile.summarize whole
+
+let test_quantile_sharded_under_domains () =
+  with_obs (fun () ->
+      let q = Ds_obs.Quantile.quantile "test.q.sharded" in
+      let q' = Ds_obs.Quantile.quantile "test.q.sharded" in
+      check_bool "registration idempotent" true (q == q');
+      let per_domain = 5_000 in
+      let work () =
+        for i = 1 to per_domain do
+          Ds_obs.Quantile.observe q (i * 17)
+        done
+      in
+      let domains = List.init 4 (fun _ -> Domain.spawn work) in
+      work ();
+      List.iter Domain.join domains;
+      check_int "no observation lost across domains" (5 * per_domain)
+        (Ds_obs.Quantile.count q);
+      (* Every domain wrote the same multiset, so quantiles match the
+         single-domain truth within the cell bound. *)
+      let truth = float_of_int (int_of_float (0.99 *. float_of_int per_domain) * 17) in
+      let est = Ds_obs.Quantile.estimate q 0.99 in
+      check_bool "p99 within bound after sharded writes" true
+        (Float.abs (est -. truth) <= (truth /. 20.0) +. 17.0))
+
+let test_quantile_gating_and_export () =
+  Ds_obs.Export.disable ();
+  Ds_obs.Export.reset ();
+  let q = Ds_obs.Quantile.quantile "test.q.gated" in
+  Ds_obs.Quantile.observe q 42;
+  check_int "gated sketch ignores observations when disabled" 0
+    (Ds_obs.Quantile.count q);
+  with_obs (fun () ->
+      let q = Ds_obs.Quantile.quantile "test.q.export" in
+      List.iter (Ds_obs.Quantile.observe q) [ 10; 20; 30; 40 ];
+      let json = Ds_obs.Export.report_json () in
+      check_bool "report_json has quantiles section" true
+        (contains ~needle:"\"quantiles\":" json);
+      check_bool "report_json has the sketch" true
+        (contains ~needle:"\"test.q.export\":{\"count\":4" json);
+      (* The hand-rolled report must stay parseable by the in-tree
+         reader — serve-stats and the flight post-mortem depend on it. *)
+      (match Json.parse json with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "report_json unparseable: %s" m);
+      let prom = Ds_obs.Export.prometheus () in
+      check_bool "prometheus summary type" true
+        (contains ~needle:"# TYPE test_q_export summary" prom);
+      check_bool "prometheus p99 series" true
+        (contains ~needle:"test_q_export{quantile=\"0.99\"}" prom);
+      Ds_obs.Quantile.unregister "test.q.export";
+      check_bool "unregistered sketch leaves the export" false
+        (contains ~needle:"test.q.export" (Ds_obs.Export.report_json ())))
+
 (* -------------------- end-to-end: instrumented spanner -------------------- *)
 
 let test_spanner_files_ledger_entries () =
@@ -428,6 +575,17 @@ let () =
           Alcotest.test_case "constant and check" `Quick test_ledger_constant_and_check;
           Alcotest.test_case "rejects bad bounds" `Quick test_ledger_rejects_bad_bounds;
           Alcotest.test_case "disabled no-op" `Quick test_ledger_disabled_noop;
+        ] );
+      ( "quantile",
+        [
+          Alcotest.test_case "exact below 64" `Quick test_quantile_exact_small;
+          Alcotest.test_case "empty + negative" `Quick test_quantile_empty_and_negative;
+          Alcotest.test_case "zipf + spike band" `Quick test_quantile_zipf_adversarial;
+          Alcotest.test_case "sharded under domains" `Quick
+            test_quantile_sharded_under_domains;
+          Alcotest.test_case "gating + export" `Quick test_quantile_gating_and_export;
+          QCheck_alcotest.to_alcotest prop_quantile_rank_error;
+          QCheck_alcotest.to_alcotest prop_quantile_merge_is_concat;
         ] );
       ("export", [ Alcotest.test_case "json + prometheus" `Quick test_exporters_smoke ]);
       ( "end-to-end",

@@ -134,6 +134,7 @@ let requests =
     Sframe.Flush { tenant = "a" };
     Sframe.Drop_copies { tenant = "a"; stream = "b"; copies = [ 0; 2; 5 ] };
     Sframe.Stats;
+    Sframe.Stat_rollup;
   ]
 
 let responses =
@@ -160,6 +161,7 @@ let responses =
     Sframe.Flushed { generation = 2 };
     Sframe.Stats_reply { tenants = 1; streams = 2; applied_frames = 3; words = 4 };
     Sframe.Dropped { copies_lost = 3 };
+    Sframe.Stat_rollup_reply { json = "{\"schema\":\"serve_stats/v1\",\"queue\":{}}" };
   ]
 
 let test_sframe_roundtrip () =
@@ -195,6 +197,50 @@ let prop_sframe_corruption_detected =
              bytes. *)
           QCheck.Test.fail_reportf "corrupted frame decoded as %s"
             (match r' with Sframe.Stats -> "stats" | _ -> "request"))
+
+(* SRV1 trace context: the TCTX extension mirrors LSK1's — optional,
+   inside the checksum, byte-invisible when absent. *)
+
+let hex s = String.concat "" (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let test_srv1_trace_roundtrip () =
+  let r = Sframe.Ingest { tenant = "t0"; stream = "s0"; seq = 3; payload = "\x00\xffbytes" } in
+  let ctx =
+    { Ds_obs.Trace.trace_id = 0x1234_5678_9abc_def0L; span_id = 0x0fed_cba9_8765_4321L }
+  in
+  (match Sframe.decode_request_traced (Sframe.encode_request ~trace:ctx r) with
+  | Ok (r', Some ctx') ->
+      check_bool "request preserved" true (r = r');
+      check_bool "context preserved" true (ctx = ctx')
+  | Ok (_, None) -> Alcotest.fail "trace context lost in decode"
+  | Error m -> Alcotest.fail ("traced decode: " ^ m));
+  (* A current server accepts traced frames through the plain decoder
+     (context dropped, request intact). *)
+  (match Sframe.decode_request (Sframe.encode_request ~trace:ctx r) with
+  | Ok r' -> check_bool "plain decode tolerates TCTX" true (r = r')
+  | Error m -> Alcotest.fail ("plain decode of traced frame: " ^ m));
+  (* And an untraced frame decodes with no context — old clients against
+     a new server. *)
+  match Sframe.decode_request_traced (Sframe.encode_request r) with
+  | Ok (r', None) -> check_bool "untraced has no context" true (r = r')
+  | Ok (_, Some _) -> Alcotest.fail "phantom context on untraced frame"
+  | Error m -> Alcotest.fail ("untraced decode: " ^ m)
+
+let test_srv1_untraced_golden_bytes () =
+  (* Byte pin of the untraced encoding: new clients with tracing off
+     must stay wire-identical to what pre-TCTX servers accepted, so
+     this hex may never change. *)
+  check_string "query golden" "08535256310602610262e202de936f75926d"
+    (hex (Sframe.encode_request (Sframe.Query { tenant = "a"; stream = "b" })));
+  check_string "ingest golden" "085352563104027402730204787975eac2b39fc10465"
+    (hex
+       (Sframe.encode_request
+          (Sframe.Ingest { tenant = "t"; stream = "s"; seq = 1; payload = "xy" })));
+  (* Tracing off goes through the same code path as the optional
+     argument simply being absent. *)
+  let r = Sframe.Flush { tenant = "a" } in
+  check_string "?trace:None is byte-identical" (hex (Sframe.encode_request r))
+    (hex (Sframe.encode_request ?trace:None r))
 
 (* ------------------------------------------------------------------ *)
 (* Connection-level fault draws                                        *)
@@ -380,6 +426,143 @@ let test_server_backpressure () =
     (function
       | Sframe.Ack _ -> () | _ -> Alcotest.fail "queued frames must ack after drain")
     acks
+
+(* ------------------------------------------------------------------ *)
+(* Observability: STAT rollup, bounded gauges, stitched apply spans    *)
+(* ------------------------------------------------------------------ *)
+
+let with_obs_here f =
+  Ds_obs.Export.enable ();
+  Ds_obs.Export.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Ds_obs.Export.disable ();
+      Ds_obs.Export.reset ())
+    f
+
+let create_frame ~tenant ~stream ~family ~n ~seed =
+  Sframe.frame (Sframe.encode_request (Sframe.Create { tenant; stream; family; n; seed }))
+
+let test_stat_rollup_through_core () =
+  let dir = fresh_dir "serve-stat" in
+  let config =
+    {
+      (Server.default_config ~dir) with
+      Server.tenant_stats_cap = 2;
+      checkpoint_every = 1_000_000;
+      drain_per_tick = 100;
+    }
+  in
+  let server = Server.create config in
+  let conn = Server.connect server in
+  let payload = mk_payload ~family:"count_sketch" ~n:64 ~seed:3 [ (1, 1) ] in
+  List.iter
+    (fun tenant ->
+      Server.feed server conn
+        (create_frame ~tenant ~stream:"s" ~family:"count_sketch" ~n:64 ~seed:3);
+      Server.feed server conn (ingest_frame ~tenant ~stream:"s" ~seq:1 ~payload))
+    [ "t0"; "t1"; "t2" ];
+  Server.drain server;
+  ignore (Server.take_output conn);
+  Server.feed server conn (Sframe.frame (Sframe.encode_request Sframe.Stat_rollup));
+  let json =
+    match read_responses conn with
+    | [ Sframe.Stat_rollup_reply { json } ] -> json
+    | _ -> Alcotest.fail "expected exactly one Stat_rollup_reply"
+  in
+  match Json.parse json with
+  | Error m -> Alcotest.failf "rollup unparseable by the in-tree reader: %s" m
+  | Ok doc ->
+      let num path =
+        match Option.bind (Json.path path doc) Json.to_int with
+        | Some v -> v
+        | None -> Alcotest.failf "missing %s" (String.concat "." path)
+      in
+      check_string "schema" "serve_stats/v1"
+        (Option.value ~default:"" (Option.bind (Json.member "schema" doc) Json.to_str));
+      check_int "tenant total" 3 (num [ "totals"; "tenants" ]);
+      check_int "applied total" 3 (num [ "totals"; "applied_frames" ]);
+      check_bool "words total positive" true (num [ "totals"; "words" ] > 0);
+      (* The per-tenant section is bounded by tenant_stats_cap: 2 shown,
+         1 rolled into the omitted line — the rollup's size does not
+         scale with tenant count. *)
+      (match Option.bind (Json.member "tenants" doc) Json.to_obj with
+      | Some shown -> check_int "per-tenant section capped" 2 (List.length shown)
+      | None -> Alcotest.fail "no tenants object");
+      check_int "omitted tenants counted" 1 (num [ "tenants_omitted"; "count" ]);
+      check_bool "omitted words accounted" true (num [ "tenants_omitted"; "words" ] > 0)
+
+let test_tenant_gauges_top_k () =
+  with_obs_here @@ fun () ->
+  let dir = fresh_dir "serve-gauge" in
+  let config =
+    {
+      (Server.default_config ~dir) with
+      Server.tenant_gauges = 1;
+      checkpoint_every = 1_000_000;
+      drain_per_tick = 100;
+    }
+  in
+  let server = Server.create config in
+  let conn = Server.connect server in
+  (* heavy holds two streams, light one: only heavy earns a registry
+     gauge under tenant_gauges = 1. *)
+  Server.feed server conn
+    (create_frame ~tenant:"heavy" ~stream:"a" ~family:"count_sketch" ~n:64 ~seed:1);
+  Server.feed server conn
+    (create_frame ~tenant:"heavy" ~stream:"b" ~family:"count_sketch" ~n:64 ~seed:2);
+  Server.feed server conn
+    (create_frame ~tenant:"light" ~stream:"a" ~family:"count_sketch" ~n:64 ~seed:3);
+  ignore (Server.take_output conn);
+  Server.checkpoint_now server;
+  let gauges () = (Ds_obs.Metrics.snapshot ()).Ds_obs.Metrics.gauges in
+  check_bool "heavy gauged" true (List.mem_assoc "serve.tenant.words.heavy" (gauges ()));
+  check_bool "light not gauged (registry stays bounded)" false
+    (List.mem_assoc "serve.tenant.words.light" (gauges ()));
+  (* Weight flips: light grows past heavy, the next refresh evicts the
+     stale gauge instead of accumulating one per tenant forever. *)
+  Server.feed server conn
+    (create_frame ~tenant:"light" ~stream:"b" ~family:"count_sketch" ~n:64 ~seed:4);
+  Server.feed server conn
+    (create_frame ~tenant:"light" ~stream:"c" ~family:"count_sketch" ~n:64 ~seed:5);
+  ignore (Server.take_output conn);
+  Server.checkpoint_now server;
+  check_bool "light gauged after flip" true
+    (List.mem_assoc "serve.tenant.words.light" (gauges ()));
+  check_bool "heavy evicted after flip" false
+    (List.mem_assoc "serve.tenant.words.heavy" (gauges ()))
+
+let test_trace_context_stitches_apply () =
+  with_obs_here @@ fun () ->
+  let dir = fresh_dir "serve-tctx" in
+  let config =
+    { (Server.default_config ~dir) with Server.checkpoint_every = 1_000_000 }
+  in
+  let server = Server.create config in
+  let conn = Server.connect server in
+  Server.feed server conn
+    (create_frame ~tenant:"t" ~stream:"s" ~family:"count_sketch" ~n:64 ~seed:3);
+  ignore (Server.take_output conn);
+  let payload = mk_payload ~family:"count_sketch" ~n:64 ~seed:3 [ (1, 1) ] in
+  let ctx = { Ds_obs.Trace.trace_id = 0x77L; span_id = 0x99L } in
+  Server.feed server conn
+    (Sframe.frame
+       (Sframe.encode_request ~trace:ctx
+          (Sframe.Ingest { tenant = "t"; stream = "s"; seq = 1; payload })));
+  Server.drain server;
+  ignore (Server.take_output conn);
+  match
+    List.find_opt
+      (fun s -> s.Ds_obs.Trace.name = "serve.apply")
+      (Ds_obs.Trace.spans ())
+  with
+  | None -> Alcotest.fail "no serve.apply span recorded"
+  | Some sp ->
+      (* The apply span joined the sender's trace: same trace id,
+         parented under the carried span — what Trace_tree stitches
+         across processes. *)
+      check_bool "trace id carried" true (sp.Ds_obs.Trace.trace_id = 0x77L);
+      check_bool "parented under client span" true (sp.Ds_obs.Trace.parent_id = 0x99L)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoints: torn writes are quarantined, never decoded             *)
@@ -582,11 +765,12 @@ let reap_children () =
     !children;
   children := []
 
-let start_server config ~socket:path =
+let start_server ?(obs = false) config ~socket:path =
   match Unix.fork () with
   | 0 ->
       (* Child: run the accept loop until signalled.  _exit avoids
          flushing the parent's test-runner buffers twice. *)
+      if obs then Ds_obs.Export.enable ();
       (try Server.run_unix (Server.create config) ~socket_path:path ~tick:0.002 ()
        with _ -> ());
       Unix._exit 0
@@ -742,6 +926,100 @@ let test_resync_keeps_undurable_suffix () =
   ignore (Unix.waitpid [] pid2);
   children := List.filter (fun p -> p <> pid2) !children
 
+let test_flight_dump_survives_kill9 () =
+  (* The flight recorder's whole reason to exist: kill -9 a loaded
+     server mid-run, and the last persisted dump must be a complete
+     JSON document carrying the spans of recently applied frames and a
+     STAT snapshot — readable by the post-mortem path with no help from
+     the dead process. *)
+  with_obs_here @@ fun () ->
+  Fun.protect ~finally:reap_children @@ fun () ->
+  let dir = fresh_dir "serve-flight" in
+  incr tmp_counter;
+  let path = socket_path () in
+  let config =
+    {
+      (Server.default_config ~dir) with
+      Server.checkpoint_every = 4;
+      drain_per_tick = 64;
+      flight = true;
+    }
+  in
+  let spec =
+    List.find
+      (fun s -> s.Loadgen.l_tenant = "tenant-00" && s.Loadgen.l_stream = "stream-00")
+      (small_plan 51).Loadgen.p_specs
+  in
+  let payloads = Array.of_list (Loadgen.batches spec) in
+  let pid = start_server ~obs:true config ~socket:path in
+  let client = Client.connect ~socket_path:path ~delay_unit:0.005 () in
+  (match
+     Client.create_stream client ~tenant:spec.Loadgen.l_tenant
+       ~stream:spec.Loadgen.l_stream ~family:spec.Loadgen.l_family ~n:spec.Loadgen.l_n
+       ~seed:spec.Loadgen.l_seed
+   with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("create: " ^ m));
+  Array.iter
+    (fun payload ->
+      match
+        Client.ingest client ~tenant:spec.Loadgen.l_tenant ~stream:spec.Loadgen.l_stream
+          ~payload
+      with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail ("ingest: " ^ m))
+    payloads;
+  (* The parent traces its sends: every ingest above carried a TCTX
+     context whose trace ids the server's apply spans must echo. *)
+  (* Ids are 63-bit, beyond double precision: compare through the same
+     float rounding the JSON reader applies. *)
+  let client_traces =
+    List.filter_map
+      (fun s ->
+        if s.Ds_obs.Trace.name = "client.send" then
+          Some (Int64.to_float s.Ds_obs.Trace.trace_id)
+        else None)
+      (Ds_obs.Trace.spans ())
+  in
+  check_bool "client recorded send spans" true (client_traces <> []);
+  (match Client.flush client ~tenant:spec.Loadgen.l_tenant with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail ("flush: " ^ m));
+  Client.close client;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  children := List.filter (fun p -> p <> pid) !children;
+  match Flight.read ~dir with
+  | Error m -> Alcotest.failf "no readable flight dump after kill -9: %s" m
+  | Ok doc ->
+      check_string "flight schema" "flight/v1"
+        (Option.value ~default:"" (Option.bind (Json.member "schema" doc) Json.to_str));
+      check_bool "dump sequence positive" true
+        (match Option.bind (Json.member "seq" doc) Json.to_int with
+        | Some s -> s >= 1
+        | None -> false);
+      let spans =
+        Option.value ~default:[] (Option.bind (Json.member "spans" doc) Json.to_list)
+      in
+      let apply_traces =
+        List.filter_map
+          (fun sp ->
+            match Option.bind (Json.member "name" sp) Json.to_str with
+            | Some "serve.apply" -> Option.bind (Json.member "trace_id" sp) Json.to_float
+            | _ -> None)
+          spans
+      in
+      check_bool "dump holds applied-frame spans" true (apply_traces <> []);
+      (* Cross-process stitch: the dead server's apply spans carry the
+         live client's trace ids. *)
+      check_bool "apply spans stitch into client traces" true
+        (List.for_all (fun tid -> List.mem tid client_traces) apply_traces);
+      check_string "embedded stats snapshot" "serve_stats/v1"
+        (Option.value ~default:""
+           (Option.bind
+              (Option.bind (Json.member "stats" doc) (Json.member "schema"))
+              Json.to_str))
+
 let () =
   Alcotest.run "serve"
     [
@@ -757,6 +1035,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_sframe_roundtrip;
           QCheck_alcotest.to_alcotest prop_sframe_corruption_detected;
+          Alcotest.test_case "trace context roundtrip" `Quick test_srv1_trace_roundtrip;
+          Alcotest.test_case "untraced golden bytes" `Quick test_srv1_untraced_golden_bytes;
         ] );
       ( "conn faults",
         [
@@ -770,6 +1050,13 @@ let () =
           Alcotest.test_case "idempotent create" `Quick test_registry_create_idempotent;
         ] );
       ("backpressure", [ Alcotest.test_case "bounded queue" `Quick test_server_backpressure ]);
+      ( "observability",
+        [
+          Alcotest.test_case "stat rollup through core" `Quick test_stat_rollup_through_core;
+          Alcotest.test_case "tenant gauges top-k" `Quick test_tenant_gauges_top_k;
+          Alcotest.test_case "trace context stitches apply" `Quick
+            test_trace_context_stitches_apply;
+        ] );
       ( "checkpoint",
         [
           Alcotest.test_case "newest generation wins" `Quick test_recovery_prefers_newest;
@@ -790,5 +1077,7 @@ let () =
           Alcotest.test_case "end to end with SIGKILL" `Quick test_socket_end_to_end;
           Alcotest.test_case "live resync keeps undurable suffix" `Quick
             test_resync_keeps_undurable_suffix;
+          Alcotest.test_case "flight dump survives kill -9" `Quick
+            test_flight_dump_survives_kill9;
         ] );
     ]
